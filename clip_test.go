@@ -1,0 +1,79 @@
+package clip
+
+import "testing"
+
+func TestFacadeQuickRun(t *testing.T) {
+	cfg := DefaultConfig(4, 2, 8)
+	cfg.InstrPerCore = 4000
+	cfg.WarmupInstr = 1000
+	cfg.Prefetcher = "berti"
+	cc := DefaultCLIPConfig()
+	cfg.CLIP = &cc
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished || res.MeanIPC() <= 0 {
+		t.Fatalf("run failed: finished=%v ipc=%v", res.Finished, res.MeanIPC())
+	}
+	if res.Clip == nil {
+		t.Fatal("CLIP stats missing")
+	}
+}
+
+func TestFacadeMixHelpers(t *testing.T) {
+	if got := len(HomogeneousMixes(8, 0)); got != 45 {
+		t.Fatalf("homogeneous mixes = %d, want 45", got)
+	}
+	if got := len(HeterogeneousMixes(7, 8, 1)); got != 7 {
+		t.Fatalf("heterogeneous mixes = %d, want 7", got)
+	}
+	if got := len(CloudCVPMixes(8, 0)); got != 15 {
+		t.Fatalf("cloud/cvp mixes = %d, want 15", got)
+	}
+	if len(Workloads()) < 70 {
+		t.Fatalf("workload registry too small: %d", len(Workloads()))
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	if len(Experiments()) < 25 {
+		t.Fatal("experiment registry incomplete")
+	}
+	rep, err := RunExperiment("table2", QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := rep.Values["total.KB"]
+	if kb < 1.4 || kb > 1.7 {
+		t.Fatalf("storage %.2f KB, want ~1.53 (paper: 1.56)", kb)
+	}
+	if _, err := RunExperiment("not-a-fig", QuickScale()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFacadeStorage(t *testing.T) {
+	if n := len(StorageBudget(DefaultCLIPConfig(), 512)); n < 6 {
+		t.Fatalf("storage budget rows = %d", n)
+	}
+	b := TotalStorageBytes(DefaultCLIPConfig(), 512)
+	if b < 1400 || b > 1700 {
+		t.Fatalf("total storage %v bytes", b)
+	}
+}
+
+func TestFacadeRunnerNormalization(t *testing.T) {
+	cfg := DefaultConfig(4, 2, 8)
+	cfg.InstrPerCore = 4000
+	cfg.WarmupInstr = 1000
+	r := NewRunner(cfg)
+	mix := HomogeneousMixes(4, 1)[0]
+	ws, _, _, err := r.NormalizedWS(mix, Variant{Name: "no-pf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws < 0.99 || ws > 1.01 {
+		t.Fatalf("self-normalized WS = %v", ws)
+	}
+}

@@ -1,0 +1,89 @@
+// Command clipreport runs a set of experiments and renders a consolidated
+// report — the generator behind EXPERIMENTS.md-style records.
+//
+// Usage:
+//
+//	clipreport                              # headline experiments, markdown
+//	clipreport -experiments fig9,fig16,energy -json
+//	clipreport -all -hom 8 -het 6 > report.md
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"clip/internal/experiments"
+)
+
+// headline is the default experiment set: the numbers the paper's abstract
+// and key-results paragraphs quote.
+var headline = []string{"fig9", "fig10", "fig13", "fig14", "fig16", "table2", "energy"}
+
+func main() {
+	var (
+		list   = flag.String("experiments", "", "comma-separated experiment names (default: headline set)")
+		all    = flag.Bool("all", false, "run every registered experiment")
+		asJSON = flag.Bool("json", false, "emit JSON instead of markdown")
+		hom    = flag.Int("hom", 4, "homogeneous mixes")
+		het    = flag.Int("het", 3, "heterogeneous mixes")
+		cloud  = flag.Int("cloud", 3, "CloudSuite/CVP mixes")
+		instr  = flag.Uint64("instructions", 16000, "instructions per core")
+		warmup = flag.Uint64("warmup", 4000, "warmup instructions per core")
+		cores  = flag.Int("cores", 8, "simulated cores")
+	)
+	flag.Parse()
+
+	sc := experiments.Quick()
+	sc.Cores = *cores
+	sc.HomMixes, sc.HetMixes, sc.CloudMixes = *hom, *het, *cloud
+	sc.InstrPerCore, sc.Warmup = *instr, *warmup
+
+	var names []string
+	switch {
+	case *all:
+		for _, e := range experiments.All() {
+			names = append(names, e.Name)
+		}
+	case *list != "":
+		names = strings.Split(*list, ",")
+	default:
+		names = headline
+	}
+
+	if !*asJSON {
+		fmt.Printf("# CLIP reproduction report\n\ngenerated %s · %d cores · %d+%d instructions/core · %d hom / %d het mixes\n\n",
+			time.Now().Format(time.RFC3339), sc.Cores, sc.Warmup, sc.InstrPerCore,
+			sc.HomMixes, sc.HetMixes)
+	}
+
+	var reports []*experiments.Report
+	for _, name := range names {
+		e, err := experiments.Lookup(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		rep, err := e.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			reports = append(reports, rep)
+		} else {
+			fmt.Println(rep)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

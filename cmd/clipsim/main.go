@@ -1,0 +1,112 @@
+// Command clipsim runs the paper-reproduction experiments from the command
+// line.
+//
+// Usage:
+//
+//	clipsim -list
+//	clipsim -experiment fig9
+//	clipsim -experiment all -cores 8 -instructions 30000 -hom 8 -het 5
+//	clipsim -experiment fig1 -channels 4,8,16,32,64 -full
+//
+// Each experiment prints the same rows/series the corresponding paper figure
+// or table reports, at the configured scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"clip/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		exp      = flag.String("experiment", "", "experiment to run (or \"all\")")
+		full     = flag.Bool("full", false, "use the full scale (all 45 hom + 200 het mixes; slow)")
+		cores    = flag.Int("cores", 0, "override simulated cores")
+		instr    = flag.Uint64("instructions", 0, "override instructions per core")
+		warmup   = flag.Uint64("warmup", 0, "override warmup instructions per core")
+		hom      = flag.Int("hom", 0, "override homogeneous mix count (0 = scale default)")
+		het      = flag.Int("het", 0, "override heterogeneous mix count")
+		cloud    = flag.Int("cloud", 0, "override CloudSuite/CVP mix count")
+		channels = flag.String("channels", "", "comma-separated paper channel counts (e.g. 4,8,16)")
+		seed     = flag.Uint64("seed", 0, "override workload seed")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-20s %s\n", e.Name, e.About)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun one with -experiment <name> (or \"all\")")
+		}
+		return
+	}
+
+	sc := experiments.Quick()
+	if *full {
+		sc = experiments.Full()
+	}
+	if *cores > 0 {
+		sc.Cores = *cores
+	}
+	if *instr > 0 {
+		sc.InstrPerCore = *instr
+	}
+	if *warmup > 0 {
+		sc.Warmup = *warmup
+	}
+	if *hom > 0 {
+		sc.HomMixes = *hom
+	}
+	if *het > 0 {
+		sc.HetMixes = *het
+	}
+	if *cloud > 0 {
+		sc.CloudMixes = *cloud
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *channels != "" {
+		var chs []int
+		for _, part := range strings.Split(*channels, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "bad channel count %q\n", part)
+				os.Exit(2)
+			}
+			chs = append(chs, v)
+		}
+		sc.Channels = chs
+	}
+
+	var entries []experiments.Entry
+	if *exp == "all" {
+		entries = experiments.All()
+	} else {
+		e, err := experiments.Lookup(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		entries = []experiments.Entry{e}
+	}
+
+	for _, e := range entries {
+		t0 := time.Now()
+		rep, err := e.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n(%s in %.1fs)\n\n", rep, e.Name, time.Since(t0).Seconds())
+	}
+}

@@ -1,0 +1,38 @@
+// Command clipstorage prints CLIP's per-core storage accounting — the
+// paper's Table 2 (1.56 KB/core for the published configuration) — for any
+// table scaling.
+//
+// Usage:
+//
+//	clipstorage
+//	clipstorage -scale 4 -rob 512
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"clip/internal/core"
+	"clip/internal/stats"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 1, "table size multiplier (0.25..4, Figure 18)")
+		rob   = flag.Int("rob", 512, "ROB entries (sizes the miss-level flag array)")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig().Scale(*scale)
+	tb := stats.Table{
+		Title:   fmt.Sprintf("CLIP storage overhead (tables at %gx, %d-entry ROB)", *scale, *rob),
+		Headers: []string{"structure", "detail", "bytes"},
+	}
+	for _, it := range core.StorageBudget(cfg, *rob) {
+		tb.AddRow(it.Structure, it.Detail, it.Bytes())
+	}
+	total := core.TotalStorageBytes(cfg, *rob)
+	tb.AddRow("TOTAL", "", total)
+	fmt.Print(tb.String())
+	fmt.Printf("\n= %.2f KB per core (paper: 1.56 KB at 1x)\n", total/1024)
+}

@@ -1,0 +1,64 @@
+// Bandwidth sweep: reproduce the shape of the paper's Figures 1 and 19 for
+// one workload — normalized weighted speedup of Berti and Berti+CLIP as the
+// DRAM channel count grows. Prefetching hurts when bandwidth is scarce and
+// wins when it is ample; CLIP protects the scarce end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clip"
+)
+
+func main() {
+	const bench = "619.lbm_s-2676B"
+	const cores = 8
+
+	// Paper channel counts for 64 cores, mapped onto our scaled core count
+	// by preserving per-core bandwidth (sub-channel points slow the bus).
+	paperChannels := []int{4, 8, 16, 32, 64}
+
+	fmt.Printf("%-8s  %-10s  %-10s\n", "channels", "berti", "berti+clip")
+	for _, pch := range paperChannels {
+		perCore := float64(pch) / 64
+		eff := perCore * cores
+		channels, transfer := 1, 10
+		if eff >= 1 {
+			channels = int(eff + 0.5)
+		} else {
+			transfer = int(10/eff + 0.5)
+		}
+
+		base := clip.DefaultConfig(cores, channels, 8)
+		base.TransferCycles = transfer
+		base.InstrPerCore = 16000
+		base.WarmupInstr = 4000
+		for i := range base.Workload {
+			base.Workload[i] = bench
+		}
+		r := clip.NewRunner(base)
+		mix := clip.Mix{Name: bench, Benchmarks: base.Workload}
+
+		berti, _, _, err := r.NormalizedWS(mix, clip.Variant{
+			Name:   "berti",
+			Mutate: func(c *clip.Config) { c.Prefetcher = "berti" },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		withCLIP, _, _, err := r.NormalizedWS(mix, clip.Variant{
+			Name: "berti+clip",
+			Mutate: func(c *clip.Config) {
+				c.Prefetcher = "berti"
+				cc := clip.DefaultCLIPConfig()
+				c.CLIP = &cc
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d  %-10.3f  %-10.3f\n", pch, berti, withCLIP)
+	}
+	fmt.Println("\n(normalized weighted speedup vs no prefetching; >1 is a gain)")
+}

@@ -1,0 +1,62 @@
+// Criticality analysis: compare CLIP's critical-load prediction against the
+// six prior predictors — the paper's Figures 4, 13 and 14 in miniature.
+// Prior IP-granular predictors either over-predict (CATCH, FVP mark nearly
+// everything critical, so their precision collapses to the workload's base
+// rate) or under-cover (CRISP only sees LLC misses). CLIP's critical
+// signature tracks dynamic per-address criticality.
+//
+// Two workloads bracket the space: a regular stream benchmark where
+// criticality is periodic and predictable (lbm), and a pointer chaser whose
+// criticality is intrinsically hard (mcf).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"clip"
+)
+
+func analyse(bench string) {
+	cfg := clip.DefaultConfig(8, 1, 8)
+	cfg.InstrPerCore = 25000
+	cfg.WarmupInstr = 6000
+	for i := range cfg.Workload {
+		cfg.Workload[i] = bench
+	}
+	cfg.Prefetcher = "berti"
+	cc := clip.DefaultCLIPConfig()
+	cfg.CLIP = &cc
+	cfg.ScorePredictors = true // attach CATCH/FP/FVP/CBP/ROBO/CRISP observers
+
+	res, err := clip.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("--- %s (8 cores, 1 DDR4 channel, Berti) ---\n", bench)
+	fmt.Printf("%-8s  %-9s  %-9s\n", "pred", "accuracy", "coverage")
+	names := make([]string, 0, len(res.PredScores))
+	for n := range res.PredScores {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := res.PredScores[n]
+		fmt.Printf("%-8s  %-9.3f  %-9.3f\n", n, s.Accuracy(), s.Coverage())
+	}
+	fmt.Printf("%-8s  %-9.3f  %-9.3f   <- critical signature (paper mean: 0.93 / 0.76)\n",
+		"clip", res.Clip.PredictionAccuracy(), res.Clip.PredictionCoverage())
+	fmt.Printf("critical IPs: %.1f static + %.1f dynamic per core; prefetches %d -> %d (%.0f%% dropped)\n\n",
+		res.ClipStaticIPs, res.ClipDynamicIPs,
+		res.PFGenerated, res.PFIssued,
+		100*(1-float64(res.PFIssued)/float64(res.PFGenerated)))
+}
+
+func main() {
+	analyse("619.lbm_s-2676B")
+	analyse("605.mcf_s-1554B")
+	fmt.Println("Note: prior predictors flag nearly every load, so their precision equals")
+	fmt.Println("the workload's critical base rate; CLIP predicts selectively per address.")
+}

@@ -1,0 +1,53 @@
+// Mix explorer: build a heterogeneous SPEC+GAP mix (the paper's §5
+// methodology: random, no bias), run it with and without CLIP, and report
+// per-core slowdowns relative to running alone — showing which co-runners
+// suffer most under constrained bandwidth and what CLIP buys each of them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clip"
+)
+
+func main() {
+	const cores = 8
+	mix := clip.HeterogeneousMixes(1, cores, 2026)[0]
+
+	base := clip.DefaultConfig(cores, 1, 8)
+	base.InstrPerCore = 16000
+	base.WarmupInstr = 4000
+	r := clip.NewRunner(base)
+
+	berti := clip.Variant{Name: "berti",
+		Mutate: func(c *clip.Config) { c.Prefetcher = "berti" }}
+	withCLIP := clip.Variant{Name: "berti+clip",
+		Mutate: func(c *clip.Config) {
+			c.Prefetcher = "berti"
+			cc := clip.DefaultCLIPConfig()
+			c.CLIP = &cc
+		}}
+
+	wsB, resB, _, err := r.NormalizedWS(mix, berti)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wsC, resC, _, err := r.NormalizedWS(mix, withCLIP)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("heterogeneous mix %s (8 cores, 1 DDR4 channel):\n\n", mix.Name)
+	fmt.Printf("%-24s  %-12s  %-12s\n", "core / benchmark", "berti", "berti+clip")
+	for i, b := range mix.Benchmarks {
+		alone, err := r.AloneIPC(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d %-22s  %5.2fx alone  %5.2fx alone\n",
+			i, b, resB.IPC[i]/alone, resC.IPC[i]/alone)
+	}
+	fmt.Printf("\nnormalized weighted speedup: berti=%.3f  berti+clip=%.3f (1.0 = no prefetching)\n",
+		wsB, wsC)
+}

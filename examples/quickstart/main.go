@@ -1,0 +1,56 @@
+// Quickstart: simulate one bandwidth-constrained many-core mix three ways —
+// no prefetching, Berti, and Berti gated by CLIP — and print the paper's
+// headline comparison (§1: prefetchers degrade performance at low DRAM
+// bandwidth; CLIP recovers it).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clip"
+)
+
+func main() {
+	const bench = "649.fotonik3d_s-1176B" // stream-heavy, bandwidth-hungry
+
+	// 8 cores sharing one half-rate DDR4 channel reproduces the paper's
+	// 64-core / 4-channel per-core bandwidth ratio (the most constrained
+	// point of Figure 1); caches are scaled 1/8.
+	base := clip.DefaultConfig(8, 1, 8)
+	base.TransferCycles = 20
+	base.InstrPerCore = 20000
+	base.WarmupInstr = 5000
+	for i := range base.Workload {
+		base.Workload[i] = bench
+	}
+
+	run := func(label string, mutate func(*clip.Config)) *clip.Result {
+		cfg := base
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res, err := clip.Run(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		fmt.Printf("%-12s throughput=%6.3f IPC  L1-miss-latency=%5.0f cycles  prefetches=%d\n",
+			label, res.SumIPC(), res.AvgL1MissLatency(), res.PFIssued)
+		return res
+	}
+
+	fmt.Printf("workload: %s x8 cores, paper 4-channel bandwidth ratio\n\n", bench)
+	none := run("no-prefetch", nil)
+	berti := run("berti", func(c *clip.Config) { c.Prefetcher = "berti" })
+	withCLIP := run("berti+clip", func(c *clip.Config) {
+		c.Prefetcher = "berti"
+		cc := clip.DefaultCLIPConfig()
+		c.CLIP = &cc
+	})
+
+	fmt.Printf("\nBerti vs no-PF:      %+.1f%%\n", 100*(berti.SumIPC()/none.SumIPC()-1))
+	fmt.Printf("Berti+CLIP vs no-PF: %+.1f%%\n", 100*(withCLIP.SumIPC()/none.SumIPC()-1))
+	fmt.Printf("CLIP dropped %.0f%% of Berti's prefetch requests (storage cost: %.2f KB/core)\n",
+		100*(1-float64(withCLIP.PFIssued)/float64(berti.PFIssued)),
+		clip.TotalStorageBytes(clip.DefaultCLIPConfig(), 512)/1024)
+}

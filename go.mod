@@ -1,0 +1,3 @@
+module clip
+
+go 1.22

@@ -1,0 +1,634 @@
+// Package cache implements the set-associative caches of the baseline
+// hierarchy (Table 3): tag arrays, MSHRs with request merging, write-back /
+// write-allocate stores, replacement policies, and the demand/prefetch
+// accounting (coverage, accuracy, lateness) that the paper's figures report.
+//
+// A Cache is a cycle-ticked component. Requests enter through Issue (which
+// applies backpressure by returning false), misses flow to the Lower level,
+// and fills return through Fill. Responses to the level above are delivered
+// via the OnResponse callback.
+package cache
+
+import (
+	"fmt"
+
+	"clip/internal/mem"
+	"clip/internal/stats"
+)
+
+// TraceLine, when nonzero, logs every lifecycle event of one cache line
+// through every cache instance (bring-up / debugging aid).
+var TraceLine mem.Addr
+
+func (c *Cache) trace(event string, req mem.Request) {
+	if TraceLine != 0 && req.Addr.Line() == TraceLine {
+		fmt.Printf("  [%s cy%d] %s type=%v owned=%v fill=%v\n",
+			c.cfg.Name, c.cycle, event, req.Type, req.Owned, req.FillLevel)
+	}
+}
+
+// Lower is the next level down (another cache, a NoC adapter, or DRAM).
+type Lower interface {
+	Issue(req mem.Request) bool
+}
+
+// Config sizes one cache instance.
+type Config struct {
+	Name    string
+	Level   mem.Level
+	Sets    int
+	Ways    int
+	Latency uint64 // hit/lookup latency in cycles
+	MSHRs   int
+	Policy  string // see NewPolicy
+	Ports   int    // requests processed per cycle
+	InQ     int    // input queue depth
+}
+
+// Validate reports sizing errors.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Ways <= 0 || (c.Sets&(c.Sets-1)) != 0 {
+		return fmt.Errorf("cache %s: sets must be a positive power of two, ways positive", c.Name)
+	}
+	if c.MSHRs <= 0 || c.Ports <= 0 {
+		return fmt.Errorf("cache %s: MSHRs and Ports must be positive", c.Name)
+	}
+	return nil
+}
+
+// Stats holds per-cache counters.
+type Stats struct {
+	DemandAccesses uint64
+	DemandHits     uint64
+	DemandMisses   uint64
+	StoreAccesses  uint64
+	PFIssued       uint64 // prefetch requests accepted at this level
+	PFDropped      uint64 // prefetches dropped for structural reasons
+	PFFills        uint64 // prefetched lines installed
+	PFUseful       uint64 // prefetched lines touched by a demand
+	PFLate         uint64 // demands merged into in-flight prefetch MSHRs
+	PFPolluting    uint64 // prefetched lines evicted untouched
+	Writebacks     uint64
+	Evictions      uint64
+	MSHRFullEvents uint64
+	OrphanFills    uint64 // fills that matched no MSHR
+
+	// DemandMissLatency measures acceptance-to-fill latency of demand misses
+	// at this level (Figure 3 and Figure 11 feed from this).
+	DemandMissLatency stats.LatencyAcc
+}
+
+// HitRate returns demand hit rate.
+func (s *Stats) HitRate() float64 { return stats.Ratio(s.DemandHits, s.DemandAccesses) }
+
+// Coverage returns prefetch coverage: the fraction of would-be demand misses
+// eliminated by prefetching.
+func (s *Stats) Coverage() float64 {
+	return stats.Ratio(s.PFUseful, s.PFUseful+s.DemandMisses)
+}
+
+// Accuracy returns prefetch accuracy: useful fills / fills. Late-but-useful
+// prefetches count as useful (the paper counts them as accurate).
+func (s *Stats) Accuracy() float64 {
+	return stats.Ratio(s.PFUseful+s.PFLate, s.PFFills+s.PFLate)
+}
+
+type line struct {
+	valid    bool
+	tag      uint64
+	dirty    bool
+	prefetch bool // brought in by a prefetch, not yet demand-touched
+	trigger  uint64
+}
+
+type mshr struct {
+	valid      bool
+	lineAddr   mem.Addr
+	isPrefetch bool // the original allocator was a prefetch
+	firstCycle uint64
+	waiters    []waiter
+	pfReq      mem.Request // original prefetch request (for fill bookkeeping)
+}
+
+// waiter is a request parked on an MSHR, with its arrival cycle so demand
+// miss latency is measured from *its* arrival (a late-prefetch merge waits
+// less than the full fill time).
+type waiter struct {
+	req     mem.Request
+	arrived uint64
+}
+
+type queued struct {
+	req     mem.Request
+	ready   uint64
+	counted bool // per-level stats recorded (lookup may retry under stalls)
+}
+
+// AccessEvent notifies prefetcher training: a demand access at this level.
+type AccessEvent struct {
+	Req   mem.Request
+	Hit   bool
+	Cycle uint64
+	// HitPrefetchedLine: the demand hit a line originally brought by a
+	// prefetch (first touch) — per-IP prefetch usefulness feeds from this.
+	HitPrefetchedLine bool
+	TriggerIP         uint64 // trigger IP of the prefetched line, if any
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg    Config
+	lines  []line
+	policy Policy
+	lower  Lower
+
+	inQ     []queued
+	wbQ     []mem.Request
+	mshrs   []mshr
+	mshrCnt int
+
+	respQ []mem.Response // responses to the level above, ready-ordered
+
+	onResp    func(mem.Response)
+	onAccess  func(AccessEvent)
+	onPFEvict func(trigger uint64, addr mem.Addr)
+
+	cycle uint64
+	stats Stats
+}
+
+// New builds a cache. lower may be nil for a cache whose misses should never
+// happen (tests); issuing a miss with a nil lower panics.
+func New(cfg Config, lower Lower) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InQ <= 0 {
+		cfg.InQ = 16
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 1
+	}
+	return &Cache{
+		cfg:    cfg,
+		lines:  make([]line, cfg.Sets*cfg.Ways),
+		policy: NewPolicy(cfg.Policy, cfg.Sets, cfg.Ways),
+		lower:  lower,
+		mshrs:  make([]mshr, cfg.MSHRs),
+	}, nil
+}
+
+// MustNew panics on config errors.
+func MustNew(cfg Config, lower Lower) *Cache {
+	c, err := New(cfg, lower)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stats returns the live counters.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// OnResponse registers the response sink for the level above.
+func (c *Cache) OnResponse(f func(mem.Response)) { c.onResp = f }
+
+// OnAccess registers the prefetcher-training callback (demand stream).
+func (c *Cache) OnAccess(f func(AccessEvent)) { c.onAccess = f }
+
+// OnPFEvict registers a callback fired when a prefetched line is evicted
+// without ever being demand-touched (negative usefulness feedback for PPF).
+func (c *Cache) OnPFEvict(f func(trigger uint64, addr mem.Addr)) { c.onPFEvict = f }
+
+// Issue enqueues a request. Returns false (caller must retry) when the input
+// queue is full — except prefetches, which are dropped instead of retried,
+// matching the paper's "dropped and not allocated to the MSHR" semantics.
+func (c *Cache) Issue(req mem.Request) bool {
+	if len(c.inQ) >= c.cfg.InQ {
+		if req.Type == mem.Prefetch && !req.Owned {
+			c.trace("issue-drop-pf", req)
+			c.stats.PFDropped++
+			return true
+		}
+		c.trace("issue-refused", req)
+		return false
+	}
+	c.trace("issue-accept", req)
+	if req.Type == mem.Prefetch && req.FillLevel == mem.LevelNone {
+		req.FillLevel = mem.LevelL1
+	}
+	// The request arrives next cycle; the tag lookup then takes Latency.
+	c.inQ = append(c.inQ, queued{req: req, ready: c.cycle + 1 + c.cfg.Latency})
+	return true
+}
+
+// TryIssue is Issue without the silent prefetch drop: it returns false when
+// the input queue is full so the caller (the per-core prefetch queue) can
+// hold the request and retry, modelling ChampSim's PQ.
+func (c *Cache) TryIssue(req mem.Request) bool {
+	if len(c.inQ) >= c.cfg.InQ {
+		return false
+	}
+	return c.Issue(req)
+}
+
+// Probe reports whether the line is present (no state update; test/diagnostic
+// helper and Hermes' filter input).
+func (c *Cache) Probe(addr mem.Addr) bool {
+	set, tag := c.index(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := c.lines[set*c.cfg.Ways+w]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// MSHRInUse returns the number of valid MSHR entries.
+func (c *Cache) MSHRInUse() int {
+	n := 0
+	for i := range c.mshrs {
+		if c.mshrs[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// MSHRFree returns the number of free MSHRs.
+func (c *Cache) MSHRFree() int { return c.cfg.MSHRs - c.MSHRInUse() }
+
+// InQLen returns the input queue occupancy.
+func (c *Cache) InQLen() int { return len(c.inQ) }
+
+// DebugMSHRs lists occupied MSHR line addresses with waiter counts and ages.
+func (c *Cache) DebugMSHRs(now uint64) string {
+	out := ""
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if m.valid {
+			out += fmt.Sprintf("[%x w%d pf%v age%d]", uint64(m.lineAddr), len(m.waiters), m.isPrefetch, now-m.firstCycle)
+		}
+	}
+	return out
+}
+
+// DebugInQ summarises queued request types.
+func (c *Cache) DebugInQ() string {
+	out := ""
+	for i := range c.inQ {
+		out += fmt.Sprintf("%d", int(c.inQ[i].req.Type))
+	}
+	return out
+}
+
+func (c *Cache) index(addr mem.Addr) (set int, tag uint64) {
+	lineID := addr.LineID()
+	set = int(lineID & uint64(c.cfg.Sets-1))
+	tag = lineID >> uint(log2(c.cfg.Sets))
+	return
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// Tick advances one cycle: drain writebacks, process ready requests, deliver
+// ready responses upward.
+func (c *Cache) Tick(cycle uint64) {
+	c.cycle = cycle
+	c.drainWritebacks()
+	c.process()
+	c.deliver()
+}
+
+func (c *Cache) drainWritebacks() {
+	for len(c.wbQ) > 0 {
+		if c.lower == nil || !c.lower.Issue(c.wbQ[0]) {
+			return
+		}
+		c.wbQ = c.wbQ[1:]
+		c.stats.Writebacks++
+	}
+}
+
+func (c *Cache) process() {
+	ports := c.cfg.Ports
+	for ports > 0 && len(c.inQ) > 0 {
+		q := &c.inQ[0]
+		if q.ready > c.cycle {
+			return // head not ready; FIFO models lookup pipeline
+		}
+		first := !q.counted
+		q.counted = true
+		if !c.lookup(q.req, first) {
+			return // structural stall (MSHR full / lower busy): head blocks
+		}
+		c.inQ = c.inQ[1:]
+		ports--
+	}
+}
+
+// lookup performs the tag check; returns false when the request could not be
+// handled this cycle and should block the input queue. first is false on
+// retries of a structurally-stalled head, so stats count each request once.
+func (c *Cache) lookup(req mem.Request, first bool) bool {
+	set, tag := c.index(req.Addr)
+	base := set * c.cfg.Ways
+
+	// Writeback from above: update in place or install dirty; no response.
+	if req.Type == mem.Writeback {
+		for w := 0; w < c.cfg.Ways; w++ {
+			if l := &c.lines[base+w]; l.valid && l.tag == tag {
+				l.dirty = true
+				c.policy.OnHit(set, w)
+				return true
+			}
+		}
+		c.install(req, true)
+		return true
+	}
+
+	isDemand := req.Type == mem.Load || req.Type == mem.Store
+	if first {
+		if req.Type == mem.Store {
+			c.stats.StoreAccesses++
+		} else if req.Type == mem.Load {
+			c.stats.DemandAccesses++
+		}
+	}
+
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := &c.lines[base+w]
+		if !l.valid || l.tag != tag {
+			continue
+		}
+		// Hit.
+		c.trace("hit", req)
+		c.policy.OnHit(set, w)
+		hitPF := l.prefetch
+		trig := l.trigger
+		if isDemand && l.prefetch {
+			l.prefetch = false
+			c.stats.PFUseful++
+		}
+		if req.Type == mem.Store {
+			l.dirty = true
+		}
+		if req.Type == mem.Load || req.Type == mem.Store {
+			// Stores respond too: a lower-level store hit must still fill
+			// the upper level whose MSHR forwarded it (write-allocate); the
+			// core-level sink ignores store responses.
+			if req.Type == mem.Load {
+				c.stats.DemandHits++
+			}
+			c.respond(mem.Response{
+				Req: req, ServedBy: c.cfg.Level, DoneCycle: c.cycle,
+				WasPrefetch: hitPF,
+			})
+		}
+		if req.Type == mem.Prefetch {
+			// Present here; still propagate upward so higher levels (down to
+			// the request's fill level) install the line.
+			c.respond(mem.Response{Req: req, ServedBy: c.cfg.Level, DoneCycle: c.cycle})
+		}
+		if c.onAccess != nil && isDemand {
+			c.onAccess(AccessEvent{Req: req, Hit: true, Cycle: c.cycle,
+				HitPrefetchedLine: hitPF, TriggerIP: trig})
+		}
+		return true
+	}
+
+	// Miss.
+	if first {
+		if req.Type == mem.Load {
+			c.stats.DemandMisses++
+		}
+		if c.onAccess != nil && isDemand {
+			c.onAccess(AccessEvent{Req: req, Hit: false, Cycle: c.cycle})
+		}
+	}
+
+	// MSHR merge?
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if m.valid && m.lineAddr == req.Addr.Line() {
+			c.trace("mshr-merge", req)
+			if req.Type == mem.Prefetch && !req.Owned {
+				return true // already being fetched; fresh prefetch discarded
+			}
+			if req.Type != mem.Prefetch && m.isPrefetch {
+				c.stats.PFLate++ // demand caught an in-flight prefetch: late
+			}
+			// Demands and owned prefetches (an upper-level MSHR depends on
+			// the fill coming back up) wait for the outstanding fill.
+			m.waiters = append(m.waiters, waiter{req: req, arrived: c.cycle})
+			return true
+		}
+	}
+
+	// Allocate MSHR.
+	idx := -1
+	for i := range c.mshrs {
+		if !c.mshrs[i].valid {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		c.stats.MSHRFullEvents++
+		if req.Type == mem.Prefetch && !req.Owned {
+			c.trace("mshr-full-drop-pf", req)
+			c.stats.PFDropped++
+			return true // drop prefetch, don't block
+		}
+		c.trace("mshr-full-block", req)
+		return false
+	}
+	if c.lower == nil {
+		panic("cache " + c.cfg.Name + ": miss with no lower level")
+	}
+	down := req
+	down.Addr = req.Addr.Line()
+	if down.Type == mem.Prefetch {
+		down.Owned = true // this MSHR now depends on the fill returning
+	}
+	if !c.lower.Issue(down) {
+		if req.Type == mem.Prefetch && !req.Owned {
+			c.trace("lower-busy-drop-pf", req)
+			c.stats.PFDropped++
+			return true
+		}
+		c.trace("lower-busy-block", req)
+		return false // lower busy: retry next cycle
+	}
+	c.trace("mshr-alloc", req)
+	m := &c.mshrs[idx]
+	*m = mshr{valid: true, lineAddr: req.Addr.Line(), firstCycle: c.cycle,
+		isPrefetch: req.Type == mem.Prefetch, pfReq: req}
+	if req.Type != mem.Prefetch {
+		m.waiters = append(m.waiters, waiter{req: req, arrived: c.cycle})
+	} else {
+		c.stats.PFIssued++
+	}
+	return true
+}
+
+// Fill delivers a response from the lower level: install the line, wake
+// MSHR waiters.
+func (c *Cache) Fill(resp mem.Response) {
+	lineAddr := resp.Req.Addr.Line()
+	c.trace("fill", resp.Req)
+	for i := range c.mshrs {
+		m := &c.mshrs[i]
+		if !m.valid || m.lineAddr != lineAddr {
+			continue
+		}
+		// A prefetch-allocated MSHR that gathered demand waiters delivers to
+		// them; the fill is then counted as late-useful at respond time.
+		fillReq := resp.Req
+		if m.isPrefetch {
+			c.stats.PFFills++
+		}
+		c.install(fillReq, false)
+		if m.isPrefetch && len(m.waiters) > 0 {
+			// Demand(s) merged into this prefetch: the line is demand-touched
+			// already.
+			c.touchAsDemand(lineAddr)
+		}
+		for _, w := range m.waiters {
+			if w.req.Type == mem.Store {
+				c.setDirty(lineAddr)
+			}
+			if w.req.Type == mem.Load {
+				// Demand miss latency measured per waiter from its own
+				// arrival — covering both plain misses and demands that
+				// merged into an in-flight prefetch.
+				c.stats.DemandMissLatency.Add(c.cycle - w.arrived)
+			}
+		}
+		for _, w := range m.waiters {
+			c.respond(mem.Response{
+				Req: w.req, ServedBy: resp.ServedBy, DoneCycle: c.cycle,
+				WasPrefetch: m.isPrefetch, LatePF: m.isPrefetch,
+			})
+		}
+		if m.isPrefetch {
+			// Propagate the prefetch fill toward its target level.
+			c.respond(mem.Response{
+				Req: m.pfReq, ServedBy: resp.ServedBy, DoneCycle: c.cycle,
+			})
+		}
+		m.valid = false
+		m.waiters = nil
+		return
+	}
+	// No MSHR (e.g. a prefetch filled below our allocation point): install
+	// anyway if the fill level warrants it.
+	c.stats.OrphanFills++
+	c.install(resp.Req, false)
+	if resp.Req.Type == mem.Prefetch {
+		c.stats.PFFills++
+	}
+}
+
+// setDirty marks a present line dirty (store data arrived with the fill).
+func (c *Cache) setDirty(addr mem.Addr) {
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if l := &c.lines[base+w]; l.valid && l.tag == tag {
+			l.dirty = true
+			return
+		}
+	}
+}
+
+// touchAsDemand clears the prefetch bit after a merged-demand fill.
+func (c *Cache) touchAsDemand(addr mem.Addr) {
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if l := &c.lines[base+w]; l.valid && l.tag == tag {
+			l.prefetch = false
+			return
+		}
+	}
+}
+
+// install places a line, evicting as needed.
+func (c *Cache) install(req mem.Request, dirty bool) {
+	set, tag := c.index(req.Addr)
+	base := set * c.cfg.Ways
+
+	// Already present (races between merged fills): update only.
+	for w := 0; w < c.cfg.Ways; w++ {
+		if l := &c.lines[base+w]; l.valid && l.tag == tag {
+			if dirty {
+				l.dirty = true
+			}
+			return
+		}
+	}
+	way := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.lines[base+w].valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = c.policy.Victim(set)
+		victim := &c.lines[base+way]
+		c.stats.Evictions++
+		if victim.prefetch {
+			c.stats.PFPolluting++
+			if c.onPFEvict != nil {
+				vLine := victim.tag<<uint(log2(c.cfg.Sets)) | uint64(set)
+				c.onPFEvict(victim.trigger, mem.Addr(vLine<<mem.LineShift))
+			}
+		}
+		if victim.dirty {
+			// Reconstruct victim address from set+tag.
+			vLine := victim.tag<<uint(log2(c.cfg.Sets)) | uint64(set)
+			c.wbQ = append(c.wbQ, mem.Request{
+				Addr: mem.Addr(vLine << mem.LineShift),
+				Type: mem.Writeback, Core: req.Core, IssueCycle: c.cycle,
+			})
+		}
+	}
+	l := &c.lines[base+way]
+	*l = line{valid: true, tag: tag, dirty: dirty,
+		prefetch: req.Type == mem.Prefetch, trigger: req.TriggerIP}
+	c.policy.OnFill(set, way, req)
+}
+
+func (c *Cache) respond(resp mem.Response) {
+	// Store (write-allocate) responses must still propagate upward so the
+	// upper levels fill and wake their MSHRs — demand loads merged behind a
+	// store miss depend on it. The core-level sink ignores them (stores
+	// complete through the store buffer, ROBIndex < 0).
+	if resp.Req.Type == mem.Prefetch && resp.Req.FillLevel >= c.cfg.Level {
+		return // reached (or passed) its fill level: terminate
+	}
+	c.respQ = append(c.respQ, resp)
+}
+
+func (c *Cache) deliver() {
+	if c.onResp == nil {
+		c.respQ = c.respQ[:0]
+		return
+	}
+	for _, r := range c.respQ {
+		c.onResp(r)
+	}
+	c.respQ = c.respQ[:0]
+}

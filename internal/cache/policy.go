@@ -1,0 +1,221 @@
+package cache
+
+import "clip/internal/mem"
+
+// Policy is a cache replacement policy. Implementations are per-cache-
+// instance and may keep per-set metadata.
+type Policy interface {
+	// OnHit notifies a demand or prefetch hit on (set, way).
+	OnHit(set, way int)
+	// OnFill notifies that (set, way) was filled by req.
+	OnFill(set, way int, req mem.Request)
+	// Victim picks the way to evict in set; lines[i].Valid may be false
+	// (invalid ways are chosen by the cache before Victim is consulted).
+	Victim(set int) int
+}
+
+// NewPolicy constructs the named policy for a sets x ways cache. Supported:
+// "lru", "nru", "srrip" (L2 default, Table 3) and "mockingjay" (LLC default —
+// a lightweight mimicry of Mockingjay's reuse-distance bypassing built on
+// RRIP plus a trigger-signature reuse table; see the type comment).
+func NewPolicy(name string, sets, ways int) Policy {
+	switch name {
+	case "", "lru":
+		return newLRU(sets, ways)
+	case "nru":
+		return newNRU(sets, ways)
+	case "srrip":
+		return newSRRIP(sets, ways)
+	case "mockingjay":
+		return newMockingjayLite(sets, ways)
+	}
+	panic("cache: unknown replacement policy " + name)
+}
+
+// ---- LRU ----
+
+type lru struct {
+	ways  int
+	stamp []uint64
+	clock uint64
+}
+
+func newLRU(sets, ways int) *lru {
+	return &lru{ways: ways, stamp: make([]uint64, sets*ways)}
+}
+
+func (p *lru) touch(set, way int) {
+	p.clock++
+	p.stamp[set*p.ways+way] = p.clock
+}
+
+func (p *lru) OnHit(set, way int)                   { p.touch(set, way) }
+func (p *lru) OnFill(set, way int, req mem.Request) { p.touch(set, way) }
+
+func (p *lru) Victim(set int) int {
+	base := set * p.ways
+	best, bestStamp := 0, p.stamp[base]
+	for w := 1; w < p.ways; w++ {
+		if s := p.stamp[base+w]; s < bestStamp {
+			best, bestStamp = w, s
+		}
+	}
+	return best
+}
+
+// ---- NRU ----
+
+type nru struct {
+	ways int
+	ref  []bool
+}
+
+func newNRU(sets, ways int) *nru {
+	return &nru{ways: ways, ref: make([]bool, sets*ways)}
+}
+
+func (p *nru) set(set, way int) {
+	p.ref[set*p.ways+way] = true
+	// If all referenced, clear others.
+	base := set * p.ways
+	all := true
+	for w := 0; w < p.ways; w++ {
+		if !p.ref[base+w] {
+			all = false
+			break
+		}
+	}
+	if all {
+		for w := 0; w < p.ways; w++ {
+			if w != way {
+				p.ref[base+w] = false
+			}
+		}
+	}
+}
+
+func (p *nru) OnHit(set, way int)                   { p.set(set, way) }
+func (p *nru) OnFill(set, way int, req mem.Request) { p.set(set, way) }
+
+func (p *nru) Victim(set int) int {
+	base := set * p.ways
+	for w := 0; w < p.ways; w++ {
+		if !p.ref[base+w] {
+			return w
+		}
+	}
+	return 0
+}
+
+// ---- SRRIP (Jaleel et al., ISCA'10) ----
+
+const rrpvMax = 3 // 2-bit RRPV
+
+type srrip struct {
+	ways int
+	rrpv []uint8
+}
+
+func newSRRIP(sets, ways int) *srrip {
+	r := &srrip{ways: ways, rrpv: make([]uint8, sets*ways)}
+	for i := range r.rrpv {
+		r.rrpv[i] = rrpvMax
+	}
+	return r
+}
+
+func (p *srrip) OnHit(set, way int) { p.rrpv[set*p.ways+way] = 0 }
+
+func (p *srrip) OnFill(set, way int, req mem.Request) {
+	// Insert with long re-reference prediction (SRRIP-HP).
+	p.rrpv[set*p.ways+way] = rrpvMax - 1
+}
+
+func (p *srrip) Victim(set int) int {
+	base := set * p.ways
+	for {
+		for w := 0; w < p.ways; w++ {
+			if p.rrpv[base+w] == rrpvMax {
+				return w
+			}
+		}
+		for w := 0; w < p.ways; w++ {
+			p.rrpv[base+w]++
+		}
+	}
+}
+
+// ---- Mockingjay-lite ----
+
+// mockingjayLite approximates Mockingjay (Shah, Jain & Lin, HPCA'22), the
+// paper's LLC policy, at a fraction of its state: an RRIP backbone plus a
+// sampled reuse table indexed by the trigger IP signature. Lines whose
+// signature historically shows no reuse are inserted at distant RRPV (near-
+// bypass) — in particular unused prefetch streams — which is the property the
+// paper relies on ("Mockingjay significantly minimizes prefetcher-caused
+// negative interference").
+type mockingjayLite struct {
+	srrip
+	ways   int
+	sig    []uint8 // per-line signature (for feedback on eviction)
+	reused []bool
+	table  [256]int8 // signature -> reuse confidence
+	probe  uint8     // rotating counter for probational inserts
+}
+
+func newMockingjayLite(sets, ways int) *mockingjayLite {
+	m := &mockingjayLite{
+		srrip:  *newSRRIP(sets, ways),
+		ways:   ways,
+		sig:    make([]uint8, sets*ways),
+		reused: make([]bool, sets*ways),
+	}
+	return m
+}
+
+func sigOf(req mem.Request) uint8 {
+	s := mem.Mix64(req.TriggerIP ^ uint64(req.Type)<<56)
+	return uint8(s)
+}
+
+func (m *mockingjayLite) OnHit(set, way int) {
+	m.srrip.OnHit(set, way)
+	m.reused[set*m.ways+way] = true
+}
+
+func (m *mockingjayLite) OnFill(set, way int, req mem.Request) {
+	idx := set*m.ways + way
+	// Feedback for the line being replaced.
+	old := m.sig[idx]
+	if m.reused[idx] {
+		if m.table[old] < 15 {
+			m.table[old]++
+		}
+	} else if m.table[old] > -16 {
+		m.table[old]--
+	}
+	s := sigOf(req)
+	m.sig[idx] = s
+	m.reused[idx] = false
+	// Predicted dead on arrival: insert at distant RRPV. Demand fills get a
+	// 1-in-8 probational normal insert: upper levels filter reuse, so
+	// without probation a cold signature whose lines *are* re-requested
+	// after L2 eviction could never gather the evidence to recover (a death
+	// spiral the sampler in full Mockingjay avoids). Prefetch fills get no
+	// probation — bypassing dead prefetch streams is exactly the anti-
+	// pollution behaviour the paper relies on.
+	dead := m.table[s] < -8
+	if dead && req.Type != mem.Prefetch {
+		m.probe++
+		if m.probe&7 == 0 {
+			dead = false
+		}
+	}
+	if dead {
+		m.rrpv[idx] = rrpvMax
+	} else {
+		m.rrpv[idx] = rrpvMax - 1
+	}
+}
+
+func (m *mockingjayLite) Victim(set int) int { return m.srrip.Victim(set) }

@@ -1,0 +1,100 @@
+package cache
+
+import (
+	"testing"
+
+	"clip/internal/mem"
+)
+
+func TestNewPolicyNames(t *testing.T) {
+	for _, name := range []string{"", "lru", "nru", "srrip", "mockingjay"} {
+		if p := NewPolicy(name, 4, 4); p == nil {
+			t.Fatalf("nil policy for %q", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown policy accepted")
+		}
+	}()
+	NewPolicy("belady", 4, 4)
+}
+
+func TestLRUVictimIsLeastRecent(t *testing.T) {
+	p := newLRU(1, 4)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, mem.Request{})
+	}
+	p.OnHit(0, 0) // way 0 most recent; way 1 is now LRU
+	if v := p.Victim(0); v != 1 {
+		t.Fatalf("victim = %d, want 1", v)
+	}
+}
+
+func TestNRUVictimUnreferenced(t *testing.T) {
+	p := newNRU(1, 4)
+	p.OnFill(0, 0, mem.Request{})
+	p.OnFill(0, 1, mem.Request{})
+	v := p.Victim(0)
+	if v != 2 && v != 3 {
+		t.Fatalf("victim = %d, want an unreferenced way", v)
+	}
+}
+
+func TestNRUClearsWhenSaturated(t *testing.T) {
+	p := newNRU(1, 2)
+	p.OnFill(0, 0, mem.Request{})
+	p.OnFill(0, 1, mem.Request{}) // all referenced -> clear others
+	if v := p.Victim(0); v != 0 {
+		t.Fatalf("victim = %d, want 0 after clear", v)
+	}
+}
+
+func TestSRRIPPromotionOnHit(t *testing.T) {
+	p := newSRRIP(1, 2)
+	p.OnFill(0, 0, mem.Request{})
+	p.OnFill(0, 1, mem.Request{})
+	p.OnHit(0, 0)
+	// Way 1 has higher RRPV so it should age out first.
+	if v := p.Victim(0); v != 1 {
+		t.Fatalf("victim = %d, want 1", v)
+	}
+}
+
+func TestSRRIPVictimTerminates(t *testing.T) {
+	p := newSRRIP(1, 4)
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, mem.Request{})
+		p.OnHit(0, w) // all rrpv 0
+	}
+	// Must age and terminate.
+	v := p.Victim(0)
+	if v < 0 || v >= 4 {
+		t.Fatalf("victim out of range: %d", v)
+	}
+}
+
+func TestMockingjayLiteBypassesDeadSignatures(t *testing.T) {
+	m := newMockingjayLite(1, 4)
+	deadIP := uint64(0xDEAD)
+	// Train: fill with deadIP, never hit, refill same ways repeatedly.
+	for i := 0; i < 40; i++ {
+		w := i % 4
+		m.OnFill(0, w, mem.Request{TriggerIP: deadIP, Type: mem.Prefetch})
+	}
+	// Now the signature is dead: a new fill should insert at distant RRPV.
+	m.OnFill(0, 0, mem.Request{TriggerIP: deadIP, Type: mem.Prefetch})
+	if m.rrpv[0] != rrpvMax {
+		t.Fatalf("dead-signature insert rrpv = %d, want %d", m.rrpv[0], rrpvMax)
+	}
+	// A reused signature keeps the default insertion.
+	liveIP := uint64(0x11FE)
+	for i := 0; i < 40; i++ {
+		m.OnFill(0, 1, mem.Request{TriggerIP: liveIP, Type: mem.Load})
+		m.OnHit(0, 1)
+	}
+	m.OnFill(0, 1, mem.Request{TriggerIP: liveIP, Type: mem.Load})
+	if m.rrpv[1] == rrpvMax {
+		t.Fatal("live-signature insert bypassed")
+	}
+}

@@ -1,0 +1,81 @@
+package cpu
+
+import "clip/internal/mem"
+
+// Perceptron is a hashed perceptron branch predictor (Jiménez & Lin, HPCA'01;
+// the paper's baseline core uses the hashed variant). Several weight tables
+// are indexed by hashes of the branch IP with different global-history
+// segments; the prediction is the sign of the summed weights.
+type Perceptron struct {
+	tables   [][]int8
+	history  uint64
+	theta    int32
+	lastSum  int32
+	tableSel []uint32 // scratch: per-table index of the last prediction
+}
+
+// perceptron geometry: enough to predict the synthetic workloads' loop and
+// guard branches well while staying cheap.
+const (
+	pcptTables    = 4
+	pcptEntries   = 1024
+	pcptHistSlice = 12
+	pcptWeightMax = 63
+	pcptWeightMin = -64
+)
+
+// NewPerceptron constructs a predictor with zeroed weights.
+func NewPerceptron() *Perceptron {
+	p := &Perceptron{
+		tables:   make([][]int8, pcptTables),
+		theta:    int32(2*pcptTables + 7),
+		tableSel: make([]uint32, pcptTables),
+	}
+	for i := range p.tables {
+		p.tables[i] = make([]int8, pcptEntries)
+	}
+	return p
+}
+
+// Predict returns the predicted direction for the branch at ip.
+func (p *Perceptron) Predict(ip uint64) bool {
+	var sum int32
+	for t := 0; t < pcptTables; t++ {
+		slice := (p.history >> (uint(t) * pcptHistSlice)) & ((1 << pcptHistSlice) - 1)
+		idx := uint32(mem.Mix64(ip^(slice<<17)^uint64(t)*0x9e37) % pcptEntries)
+		p.tableSel[t] = idx
+		sum += int32(p.tables[t][idx])
+	}
+	p.lastSum = sum
+	return sum >= 0
+}
+
+// Update trains the predictor with the actual outcome of the most recently
+// predicted branch and shifts the global history.
+func (p *Perceptron) Update(taken, predicted bool) {
+	if predicted != taken || abs32(p.lastSum) <= p.theta {
+		for t := 0; t < pcptTables; t++ {
+			w := p.tables[t][p.tableSel[t]]
+			if taken && w < pcptWeightMax {
+				w++
+			} else if !taken && w > pcptWeightMin {
+				w--
+			}
+			p.tables[t][p.tableSel[t]] = w
+		}
+	}
+	p.history <<= 1
+	if taken {
+		p.history |= 1
+	}
+}
+
+// History exposes the low bits of the global history (used by tests).
+func (p *Perceptron) History() uint64 { return p.history }
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,557 @@
+// Package cpu models the out-of-order core of the paper's baseline system
+// (Table 3): 512-entry ROB, 6-issue, 4-retire, hashed perceptron branch
+// prediction, and — crucially for CLIP — precise head-of-ROB stall accounting
+// per load and per service level.
+//
+// The model is a timing skeleton rather than a full dataflow scheduler:
+// instructions enter the ROB in order, complete after an op-dependent latency
+// (loads complete when their memory response returns), and retire in order.
+// A load marked DependsOnPrevLoad cannot issue until the youngest older load
+// has completed, which reproduces the MLP collapse of pointer chasing. This
+// captures exactly the signals every evaluated criticality predictor consumes:
+// which loads stall the ROB head, for how long, from which level, at what ROB
+// occupancy and MLP.
+package cpu
+
+import (
+	"fmt"
+
+	"clip/internal/mem"
+	"clip/internal/trace"
+)
+
+// Config sizes the core.
+type Config struct {
+	ROBSize           int // reorder buffer entries (paper: 512)
+	IssueWidth        int // dispatch width (paper: 6)
+	RetireWidth       int // retire width (paper: 4)
+	LoadPorts         int // loads issued to L1D per cycle (paper LOAD width: 2)
+	MispredictPenalty int // fetch redirect penalty in cycles
+	LQSize            int // load queue entries
+}
+
+// DefaultConfig matches Table 3.
+func DefaultConfig() Config {
+	return Config{
+		ROBSize:           512,
+		IssueWidth:        6,
+		RetireWidth:       4,
+		LoadPorts:         2,
+		MispredictPenalty: 12,
+		LQSize:            96,
+	}
+}
+
+// Validate reports sizing errors.
+func (c Config) Validate() error {
+	if c.ROBSize < 4 || c.IssueWidth < 1 || c.RetireWidth < 1 || c.LoadPorts < 1 {
+		return fmt.Errorf("cpu: invalid config %+v", c)
+	}
+	return nil
+}
+
+// MemoryPort is the core's view of the L1D. Issue returns false when the
+// cache cannot accept the request this cycle (ports or MSHRs exhausted); the
+// core retries next cycle.
+type MemoryPort interface {
+	Issue(req mem.Request) bool
+}
+
+// FetchChecker models the instruction-fetch path: it returns the stall (in
+// cycles) incurred to fetch the 64B block containing ip. The front end
+// consults it whenever dispatch crosses a block boundary.
+type FetchChecker func(ip uint64) uint64
+
+// LoadEvent fires when a load response returns to the core. It carries every
+// signal the criticality predictors (CLIP and the six baselines) train on.
+type LoadEvent struct {
+	Core            int
+	IP              uint64
+	Addr            mem.Addr
+	ServedBy        mem.Level
+	Latency         uint64
+	StalledHead     bool   // ROB-stall flag set when the response arrived
+	AtHead          bool   // the load itself was the stalled ROB head
+	HeadStallCycles uint64 // cycles this load has stalled the head so far
+	ROBOccupancy    int
+	MLPAtComplete   int // other loads still outstanding
+	WasPrefetchHit  bool
+	LatePF          bool
+	Cycle           uint64
+
+	// BranchHist and CritHist snapshot the core's global branch and
+	// criticality history registers at completion time — the inputs to
+	// CLIP's critical signature.
+	BranchHist uint32
+	CritHist   uint32
+}
+
+// RetireEvent fires when an instruction retires, for predictors that walk the
+// retire stream (CATCH's dependency graph, FVP's retire-window confidence).
+type RetireEvent struct {
+	Core        int
+	IP          uint64
+	Op          trace.Op
+	Addr        mem.Addr
+	IsLoad      bool
+	ServedBy    mem.Level
+	StallCycles uint64 // commit stalls attributed to this instruction
+	DependChain bool   // load was data-dependent on an older load
+	Cycle       uint64
+}
+
+// Stats aggregates core-level counters.
+type Stats struct {
+	Cycles            uint64
+	Retired           uint64
+	Loads             uint64
+	Stores            uint64
+	Branches          uint64
+	Mispredicts       uint64
+	ROBStallCycles    uint64
+	StallsByLevel     [5]uint64 // indexed by mem.Level
+	LoadLatency       [5]struct{ Sum, Count uint64 }
+	FetchStallCycles  uint64
+	LoadsStalledHead  uint64 // loads whose response arrived during a head stall with miss level >= L2
+	L1DAccesses       uint64 // loads+stores issued to L1D (APC numerator)
+	CriticalResponses uint64 // responses meeting the paper's critical-load definition
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+type wheelEntry struct {
+	slot int
+	seq  uint64
+	at   uint64
+}
+
+type robEntry struct {
+	seq         uint64
+	valid       bool
+	ip          uint64
+	op          trace.Op
+	addr        mem.Addr
+	done        bool
+	doneCycle   uint64 // for non-loads: completion time
+	issued      bool   // load sent to L1D
+	dependsOn   int    // ROB slot of the load this load depends on, -1 none
+	servedBy    mem.Level
+	stallCycles uint64 // head-of-ROB stall cycles attributed
+	latency     uint64
+	wasPF       bool
+	latePF      bool
+	dependChain bool
+}
+
+// Core is one simulated core.
+type Core struct {
+	cfg  Config
+	id   int
+	gen  trace.Generator
+	port MemoryPort
+
+	rob        []robEntry
+	head, tail int
+	count      int
+
+	cycle           uint64
+	fetchStallUntil uint64
+	budget          uint64 // instructions to retire before Finished
+	retiredTotal    uint64 // lifetime retires (survives ResetStats)
+	finishCycle     uint64 // cycle the budget was reached (0 = not yet)
+	outstanding     int    // loads in flight
+	lastLoadSlot    int    // youngest load's ROB slot (for dependence)
+
+	pendingLoads []int // ROB slots waiting to issue to L1D
+
+	// wheel schedules non-load completions without scanning the ROB: slot
+	// indices are filed under (completionCycle mod wheelSize); each entry
+	// carries the allocation sequence number to ignore stale slots.
+	wheel    [][]wheelEntry
+	seq      uint64
+	overflow []wheelEntry // completions beyond the wheel horizon
+
+	bp *Perceptron
+
+	// BranchHist is the global conditional branch history (last 32 outcomes),
+	// CritHist the global criticality history (last 32 loads) — the two shift
+	// registers CLIP's critical signature hashes (paper §4.2).
+	BranchHist uint32
+	CritHist   uint32
+
+	fetchCheck FetchChecker
+	lastBlock  uint64
+
+	stats Stats
+
+	onLoad   []func(LoadEvent)
+	onRetire []func(RetireEvent)
+}
+
+// New creates a core running gen with an instruction budget. The budget only
+// marks Finished(); the core keeps executing (replay) so shared-resource
+// pressure stays realistic until every core in the mix is done, as in the
+// paper's methodology.
+func New(id int, cfg Config, gen trace.Generator, port MemoryPort, budget uint64) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gen == nil || port == nil {
+		return nil, fmt.Errorf("cpu: nil generator or memory port")
+	}
+	c := &Core{
+		cfg:          cfg,
+		id:           id,
+		gen:          gen,
+		port:         port,
+		rob:          make([]robEntry, cfg.ROBSize),
+		budget:       budget,
+		lastLoadSlot: -1,
+		bp:           NewPerceptron(),
+		wheel:        make([][]wheelEntry, wheelSize),
+	}
+	return c, nil
+}
+
+// ID returns the core id.
+func (c *Core) ID() int { return c.id }
+
+// Stats returns a pointer to the live counters.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// Finished reports whether the core has retired its instruction budget.
+func (c *Core) Finished() bool { return c.retiredTotal >= c.budget }
+
+// FinishCycle returns the cycle at which the budget was reached (0 if not
+// yet finished).
+func (c *Core) FinishCycle() uint64 { return c.finishCycle }
+
+// RetiredTotal returns lifetime retired instructions (unaffected by
+// ResetStats).
+func (c *Core) RetiredTotal() uint64 { return c.retiredTotal }
+
+// ResetStats zeroes the measurement counters after cache warmup without
+// disturbing execution progress accounting.
+func (c *Core) ResetStats() { c.stats = Stats{} }
+
+// ExtendBudget grants the core extra instructions beyond its *current*
+// progress (not beyond the old budget: while slower cores finish warmup a
+// fast core keeps replaying, and the measurement interval must still cover
+// extra instructions from the barrier) and re-arms FinishCycle.
+func (c *Core) ExtendBudget(extra uint64) {
+	c.budget = c.retiredTotal + extra
+	c.finishCycle = 0
+}
+
+// SetFetchChecker installs the instruction-fetch model (nil disables it).
+func (c *Core) SetFetchChecker(f FetchChecker) { c.fetchCheck = f }
+
+// OnLoadComplete registers a listener for load responses.
+func (c *Core) OnLoadComplete(f func(LoadEvent)) { c.onLoad = append(c.onLoad, f) }
+
+// OnRetire registers a listener for retiring instructions.
+func (c *Core) OnRetire(f func(RetireEvent)) { c.onRetire = append(c.onRetire, f) }
+
+// ROBOccupancy returns the number of valid ROB entries.
+func (c *Core) ROBOccupancy() int { return c.count }
+
+// HeadStalled reports whether the ROB head is an incomplete instruction —
+// the paper's "ROB stall flag".
+func (c *Core) HeadStalled() bool {
+	return c.count > 0 && !c.rob[c.head].done
+}
+
+// Tick advances the core one cycle: retire, complete ALU work, issue pending
+// loads, then fetch/dispatch.
+func (c *Core) Tick(cycle uint64) {
+	c.cycle = cycle
+	c.stats.Cycles++
+
+	c.completeALU()
+	c.accountStall()
+	c.retire()
+	c.issueLoads()
+	c.dispatch()
+}
+
+// wheelSize bounds the scheduling horizon; ALU latencies are <= 250 plus
+// headroom, so 512 slots suffice.
+const wheelSize = 512
+
+// schedule files a completion event for slot at cycle `at`.
+func (c *Core) schedule(slot int, at uint64) {
+	if at <= c.cycle {
+		at = c.cycle + 1
+	}
+	if at-c.cycle >= wheelSize {
+		c.overflow = append(c.overflow, wheelEntry{slot: slot, seq: c.rob[slot].seq, at: at})
+		return
+	}
+	idx := at % wheelSize
+	c.wheel[idx] = append(c.wheel[idx], wheelEntry{slot: slot, seq: c.rob[slot].seq, at: at})
+}
+
+func (c *Core) completeALU() {
+	idx := c.cycle % wheelSize
+	if events := c.wheel[idx]; len(events) > 0 {
+		for _, ev := range events {
+			e := &c.rob[ev.slot]
+			if e.valid && e.seq == ev.seq && !e.done && e.op != trace.OpLoad {
+				e.done = true
+			}
+		}
+		c.wheel[idx] = c.wheel[idx][:0]
+	}
+	if len(c.overflow) > 0 && c.cycle%wheelSize == 0 {
+		// Re-file overflow events that are now within the horizon.
+		rest := c.overflow[:0]
+		for _, ev := range c.overflow {
+			if ev.at-c.cycle < wheelSize {
+				e := &c.rob[ev.slot]
+				if e.valid && e.seq == ev.seq {
+					c.wheel[ev.at%wheelSize] = append(c.wheel[ev.at%wheelSize], ev)
+				}
+			} else {
+				rest = append(rest, ev)
+			}
+		}
+		c.overflow = rest
+	}
+}
+
+func (c *Core) accountStall() {
+	if c.HeadStalled() {
+		c.stats.ROBStallCycles++
+		c.rob[c.head].stallCycles++
+	}
+}
+
+func (c *Core) retire() {
+	for n := 0; n < c.cfg.RetireWidth && c.count > 0; n++ {
+		e := &c.rob[c.head]
+		if !e.done {
+			break
+		}
+		c.stats.Retired++
+		c.retiredTotal++
+		if c.finishCycle == 0 && c.retiredTotal >= c.budget {
+			c.finishCycle = c.cycle
+		}
+		c.stats.StallsByLevel[e.servedBy] += e.stallCycles
+		for _, f := range c.onRetire {
+			f(RetireEvent{
+				Core: c.id, IP: e.ip, Op: e.op, Addr: e.addr,
+				IsLoad: e.op == trace.OpLoad, ServedBy: e.servedBy,
+				StallCycles: e.stallCycles, DependChain: e.dependChain,
+				Cycle: c.cycle,
+			})
+		}
+		if c.lastLoadSlot == c.head {
+			c.lastLoadSlot = -1
+		}
+		e.valid = false
+		c.head++
+		if c.head == len(c.rob) {
+			c.head = 0
+		}
+		c.count--
+	}
+}
+
+func (c *Core) issueLoads() {
+	ports := c.cfg.LoadPorts
+	pl := c.pendingLoads
+	kept := pl[:0]
+	// Bound per-cycle scheduling effort: examine the oldest few ready loads
+	// (an age-ordered LQ scheduler), and stop on L1 backpressure — when the
+	// L1 refuses one request it refuses them all this cycle.
+	const scanLimit = 16
+	examined := 0
+	for idx, slot := range pl {
+		e := &c.rob[slot]
+		if !e.valid || e.done || e.issued {
+			continue
+		}
+		if ports == 0 || examined >= scanLimit {
+			kept = append(kept, pl[idx:]...)
+			break
+		}
+		examined++
+		if e.dependsOn >= 0 {
+			dep := &c.rob[e.dependsOn]
+			if dep.valid && !dep.done {
+				kept = append(kept, slot) // producer not ready
+				continue
+			}
+		}
+		req := mem.Request{
+			Addr: e.addr.Line(), IP: e.ip, TriggerIP: e.ip, Core: c.id,
+			Type: mem.Load, IssueCycle: c.cycle, ROBIndex: slot,
+		}
+		if c.port.Issue(req) {
+			e.issued = true
+			c.outstanding++
+			c.stats.L1DAccesses++
+			ports--
+		} else {
+			kept = append(kept, pl[idx:]...) // L1 saturated: retry next cycle
+			break
+		}
+	}
+	c.pendingLoads = kept
+}
+
+func (c *Core) dispatch() {
+	if c.cycle < c.fetchStallUntil {
+		c.stats.FetchStallCycles++
+		return
+	}
+	for n := 0; n < c.cfg.IssueWidth; n++ {
+		if c.count == len(c.rob) {
+			return // ROB full
+		}
+		ins := c.gen.Next()
+		if c.fetchCheck != nil {
+			if blk := ins.IP >> 6; blk != c.lastBlock {
+				c.lastBlock = blk
+				if stall := c.fetchCheck(ins.IP); stall > 0 {
+					c.stats.FetchStallCycles += stall
+					c.fetchStallUntil = c.cycle + stall
+					// The instruction itself dispatches now (it is at the
+					// head of the fetched block); subsequent fetch waits.
+				}
+			}
+		}
+		slot := c.tail
+		e := &c.rob[slot]
+		c.seq++
+		*e = robEntry{seq: c.seq, valid: true, ip: ins.IP, op: ins.Op, addr: ins.Addr, dependsOn: -1}
+		c.tail++
+		if c.tail == len(c.rob) {
+			c.tail = 0
+		}
+		c.count++
+
+		switch ins.Op {
+		case trace.OpLoad:
+			c.stats.Loads++
+			if ins.DependsOnPrevLoad && c.lastLoadSlot >= 0 && c.rob[c.lastLoadSlot].valid {
+				e.dependsOn = c.lastLoadSlot
+				e.dependChain = true
+			}
+			c.lastLoadSlot = slot
+			if len(c.pendingLoads) < c.cfg.LQSize {
+				c.pendingLoads = append(c.pendingLoads, slot)
+			} else {
+				// LQ full: treat as an immediate L1 hit to keep draining; rare.
+				e.done = true
+				e.servedBy = mem.LevelL1
+			}
+		case trace.OpStore:
+			c.stats.Stores++
+			// Stores complete via the store buffer; still send the write to
+			// the cache for traffic/allocation effects.
+			e.done = true
+			e.servedBy = mem.LevelL1
+			c.stats.L1DAccesses++
+			c.port.Issue(mem.Request{
+				Addr: ins.Addr.Line(), IP: ins.IP, TriggerIP: ins.IP, Core: c.id,
+				Type: mem.Store, IssueCycle: c.cycle, ROBIndex: -1,
+			})
+		case trace.OpBranch:
+			c.stats.Branches++
+			pred := c.bp.Predict(ins.IP)
+			c.bp.Update(ins.Taken, pred)
+			c.BranchHist = c.BranchHist<<1 | b2u(ins.Taken)
+			e.doneCycle = c.cycle + 1
+			c.schedule(slot, e.doneCycle)
+			if pred != ins.Taken {
+				c.stats.Mispredicts++
+				c.fetchStallUntil = c.cycle + uint64(c.cfg.MispredictPenalty)
+				// Stop dispatching this cycle: redirect.
+				return
+			}
+		default: // ALU
+			lat := uint64(ins.ExecLat)
+			if lat == 0 {
+				lat = 1
+			}
+			e.doneCycle = c.cycle + lat
+			c.schedule(slot, e.doneCycle)
+		}
+	}
+}
+
+// CompleteLoad delivers a memory response for the load in ROB slot
+// resp.Req.ROBIndex. It updates the criticality history and fires LoadEvent
+// listeners — this is the paper's training moment: "on a load response back
+// to the processor, check the ROB stall flag and the miss-level flag".
+func (c *Core) CompleteLoad(resp mem.Response) {
+	slot := resp.Req.ROBIndex
+	if slot < 0 || slot >= len(c.rob) {
+		return
+	}
+	e := &c.rob[slot]
+	if !e.valid || e.op != trace.OpLoad || e.done {
+		return
+	}
+	// Sample the ROB-stall flag before completing the load: the paper checks
+	// the flag at the moment the response arrives, and the stalled head is
+	// most often this very load.
+	stalled := c.HeadStalled()
+	atHead := c.count > 0 && c.head == slot
+	e.done = true
+	e.servedBy = resp.ServedBy
+	e.latency = resp.Latency()
+	e.wasPF = resp.WasPrefetch
+	e.latePF = resp.LatePF
+	if c.outstanding > 0 {
+		c.outstanding--
+	}
+
+	lv := int(resp.ServedBy)
+	c.stats.LoadLatency[lv].Sum += e.latency
+	c.stats.LoadLatency[lv].Count++
+
+	critical := stalled && resp.ServedBy >= mem.LevelL2
+	if critical {
+		c.stats.LoadsStalledHead++
+		c.stats.CriticalResponses++
+	}
+	c.CritHist = c.CritHist<<1 | b2u(critical)
+
+	ev := LoadEvent{
+		Core: c.id, IP: e.ip, Addr: e.addr, ServedBy: resp.ServedBy,
+		Latency: e.latency, StalledHead: stalled, AtHead: atHead,
+		HeadStallCycles: e.stallCycles, ROBOccupancy: c.count,
+		MLPAtComplete: c.outstanding, WasPrefetchHit: resp.WasPrefetch,
+		LatePF: resp.LatePF, Cycle: c.cycle,
+		BranchHist: c.BranchHist, CritHist: c.CritHist,
+	}
+	for _, f := range c.onLoad {
+		f(ev)
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// DebugHead reports the head ROB entry (diagnostics).
+func (c *Core) DebugHead() string {
+	if c.count == 0 {
+		return "empty"
+	}
+	e := &c.rob[c.head]
+	return fmt.Sprintf("slot=%d op=%v ip=%#x addr=%#x done=%v issued=%v dep=%d pendingLoads=%d outstanding=%d",
+		c.head, e.op, e.ip, uint64(e.addr), e.done, e.issued, e.dependsOn, len(c.pendingLoads), c.outstanding)
+}

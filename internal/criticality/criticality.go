@@ -1,0 +1,322 @@
+// Package criticality implements the six prior load-criticality predictors
+// the paper compares against (Table 1, Figures 4 and 5): CATCH, FP, FVP,
+// CBP, ROBO and CRISP. Each keys on the load IP alone — the shared weakness
+// the paper identifies: "different instances of the same load IP do not lead
+// to a stall at the head of the ROB", so IP-granular predictors either
+// over-predict (CATCH, FVP — 100% coverage, poor accuracy) or under-cover
+// (CRISP — only LLC misses).
+//
+// Ground truth follows the paper's definition: a load is critical when its
+// response arrives from L2, LLC or DRAM while the ROB head is stalled.
+package criticality
+
+import (
+	"fmt"
+
+	"clip/internal/cpu"
+	"clip/internal/mem"
+	"clip/internal/stats"
+)
+
+// Predictor is the common interface for load criticality predictors.
+type Predictor interface {
+	Name() string
+	// OnLoadComplete trains on a completed load.
+	OnLoadComplete(ev cpu.LoadEvent)
+	// OnRetire trains on the retire stream (CATCH/FVP walk it).
+	OnRetire(ev cpu.RetireEvent)
+	// Critical predicts whether the next dynamic instance of ip accessing
+	// addr will be critical. Prior predictors ignore addr — that is their
+	// documented limitation, not an implementation shortcut.
+	Critical(ip uint64, addr mem.Addr) bool
+}
+
+// IsCriticalEvent applies the paper's ground-truth definition to a load.
+func IsCriticalEvent(ev cpu.LoadEvent) bool {
+	return ev.StalledHead && ev.ServedBy >= mem.LevelL2
+}
+
+// New constructs a predictor by name: catch, fp, fvp, cbp, robo, crisp.
+func New(name string, robSize int) (Predictor, error) {
+	switch name {
+	case "catch":
+		return newCATCH(), nil
+	case "fp":
+		return newFP(), nil
+	case "fvp":
+		return newFVP(), nil
+	case "cbp":
+		return newCBP(), nil
+	case "robo":
+		return newROBO(robSize), nil
+	case "crisp":
+		return newCRISP(), nil
+	}
+	return nil, fmt.Errorf("criticality: unknown predictor %q", name)
+}
+
+// Names lists the prior predictors in the paper's Figure 4 order.
+func Names() []string { return []string{"crisp", "catch", "fp", "fvp", "cbp", "robo"} }
+
+// Score accumulates a confusion matrix over dynamic critical-load events.
+type Score struct {
+	TruePos, FalsePos, FalseNeg, TrueNeg uint64
+}
+
+// Update records one (predicted, actual) pair.
+func (s *Score) Update(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		s.TruePos++
+	case predicted && !actual:
+		s.FalsePos++
+	case !predicted && actual:
+		s.FalseNeg++
+	default:
+		s.TrueNeg++
+	}
+}
+
+// Accuracy is the paper's metric: correct critical predictions over all
+// critical predictions (precision).
+func (s *Score) Accuracy() float64 {
+	return stats.Ratio(s.TruePos, s.TruePos+s.FalsePos)
+}
+
+// Coverage is the fraction of actually-critical loads that were predicted
+// (recall).
+func (s *Score) Coverage() float64 {
+	return stats.Ratio(s.TruePos, s.TruePos+s.FalseNeg)
+}
+
+// Events returns the number of scored events.
+func (s *Score) Events() uint64 {
+	return s.TruePos + s.FalsePos + s.FalseNeg + s.TrueNeg
+}
+
+// ---- CATCH (Nori et al., ISCA'18) ----
+
+// catchPred enumerates the data-dependency graph incrementally at retire: the
+// costliest incoming edge marks instructions on the critical path. Loads in
+// the vicinity of branches and producers of long chains get tagged even when
+// they never stall — and once confident, an IP stays critical (Table 1:
+// "blind to MLP", over-predicts).
+type catchPred struct {
+	conf        map[uint64]int
+	recentLoads []uint64 // IPs of recently retired loads (the DDG window)
+}
+
+func newCATCH() *catchPred { return &catchPred{conf: map[uint64]int{}} }
+
+func (c *catchPred) Name() string { return "catch" }
+
+func (c *catchPred) OnLoadComplete(ev cpu.LoadEvent) {
+	// Any stall makes the whole neighbourhood look costly in the DDG.
+	if ev.StalledHead && ev.ServedBy >= mem.LevelL2 {
+		c.bump(ev.IP, 2)
+		for _, ip := range c.recentLoads {
+			c.bump(ip, 1) // loads overlapped with the stall: flagged too (MLP-blind)
+		}
+	}
+}
+
+func (c *catchPred) OnRetire(ev cpu.RetireEvent) {
+	if !ev.IsLoad {
+		return
+	}
+	c.recentLoads = append(c.recentLoads, ev.IP)
+	if len(c.recentLoads) > 8 {
+		c.recentLoads = c.recentLoads[1:]
+	}
+	// Dependency-chain roots look critical in the graph.
+	if ev.DependChain {
+		c.bump(ev.IP, 1)
+	}
+	// Off-chip misses are costly edges regardless of stalls.
+	if ev.ServedBy >= mem.LevelL2 {
+		c.bump(ev.IP, 1)
+	}
+}
+
+func (c *catchPred) bump(ip uint64, n int) {
+	if len(c.conf) < 4096 || c.conf[ip] != 0 {
+		c.conf[ip] += n
+	}
+}
+
+func (c *catchPred) Critical(ip uint64, _ mem.Addr) bool { return c.conf[ip] >= 2 }
+
+// ---- FP / Focused Prefetching (Manikantan & Govindarajan, ICS'08) ----
+
+// fpPred tracks LIMCOS: the few loads incurring the majority of commit
+// stalls. It accumulates per-IP commit stall cycles and flags the heavy
+// hitters. It never predicts IPs that stall only lightly, and effectively
+// marks most L3-missing IPs critical (Table 1).
+type fpPred struct {
+	stall  map[uint64]uint64
+	total  uint64
+	events uint64
+}
+
+func newFP() *fpPred { return &fpPred{stall: map[uint64]uint64{}} }
+
+func (f *fpPred) Name() string { return "fp" }
+
+func (f *fpPred) OnLoadComplete(cpu.LoadEvent) {}
+
+func (f *fpPred) OnRetire(ev cpu.RetireEvent) {
+	if !ev.IsLoad {
+		return
+	}
+	f.stall[ev.IP] += ev.StallCycles
+	f.total += ev.StallCycles
+	f.events++
+	if f.events%65536 == 0 { // epoch decay
+		for ip := range f.stall {
+			f.stall[ip] /= 2
+		}
+		f.total /= 2
+	}
+}
+
+func (f *fpPred) Critical(ip uint64, _ mem.Addr) bool {
+	if f.total == 0 {
+		return false
+	}
+	// An IP owning >=1% of total commit stalls is a LIMCOS member.
+	return f.stall[ip]*100 >= f.total
+}
+
+// ---- FVP (Bandishte et al., ISCA'20) ----
+
+// fvpPred marks in-flight instructions inside the retire-width window and
+// identifies dependency-chain roots; it "ends up identifying all those loads
+// that are likely to delay the execution of other loads" — tagging
+// excessively (Table 1).
+type fvpPred struct {
+	conf map[uint64]int
+}
+
+func newFVP() *fvpPred { return &fvpPred{conf: map[uint64]int{}} }
+
+func (f *fvpPred) Name() string { return "fvp" }
+
+func (f *fvpPred) OnLoadComplete(ev cpu.LoadEvent) {
+	// In-flight at the retire window: almost every load that ever waited.
+	if ev.StalledHead || ev.AtHead || ev.Latency > 8 {
+		f.conf[ev.IP]++
+	}
+}
+
+func (f *fvpPred) OnRetire(ev cpu.RetireEvent) {
+	if ev.IsLoad && ev.DependChain {
+		f.conf[ev.IP]++ // producer of a value chain
+	}
+}
+
+func (f *fvpPred) Critical(ip uint64, _ mem.Addr) bool { return f.conf[ip] >= 1 }
+
+// ---- CBP (Ghose, Lee & Martínez, ISCA'13) ----
+
+// cbpPred predicts commit-blocking loads from total/maximum stall time.
+// Like ROBO it is static: once flagged, an IP stays critical through all its
+// recurrences (Table 1).
+type cbpPred struct {
+	flagged map[uint64]bool
+	maxSeen map[uint64]uint64
+}
+
+func newCBP() *cbpPred {
+	return &cbpPred{flagged: map[uint64]bool{}, maxSeen: map[uint64]uint64{}}
+}
+
+func (c *cbpPred) Name() string { return "cbp" }
+
+func (c *cbpPred) OnLoadComplete(ev cpu.LoadEvent) {
+	if ev.HeadStallCycles > c.maxSeen[ev.IP] {
+		c.maxSeen[ev.IP] = ev.HeadStallCycles
+	}
+	// Total-or-max stall threshold; modest on purpose (the original targets
+	// memory scheduling, not filtering).
+	if ev.HeadStallCycles >= 4 || c.maxSeen[ev.IP] >= 16 {
+		c.flagged[ev.IP] = true
+	}
+}
+
+func (c *cbpPred) OnRetire(cpu.RetireEvent) {}
+
+func (c *cbpPred) Critical(ip uint64, _ mem.Addr) bool { return c.flagged[ip] }
+
+// ---- ROBO (Kalani & Panda, CAL'21) ----
+
+// roboPred flags an IP when a retirement stall coincides with high ROB
+// occupancy. Static: "once an IP is flagged critical, throughout the
+// execution, the IP is considered critical" (Table 1).
+type roboPred struct {
+	robSize int
+	flagged map[uint64]bool
+	stalls  map[uint64]int
+}
+
+func newROBO(robSize int) *roboPred {
+	if robSize <= 0 {
+		robSize = 512
+	}
+	return &roboPred{robSize: robSize, flagged: map[uint64]bool{},
+		stalls: map[uint64]int{}}
+}
+
+func (r *roboPred) Name() string { return "robo" }
+
+func (r *roboPred) OnLoadComplete(ev cpu.LoadEvent) {
+	if ev.StalledHead && ev.ROBOccupancy*4 >= r.robSize*3 {
+		r.stalls[ev.IP]++
+		if r.stalls[ev.IP] >= 2 {
+			r.flagged[ev.IP] = true
+		}
+	}
+}
+
+func (r *roboPred) OnRetire(cpu.RetireEvent) {}
+
+func (r *roboPred) Critical(ip uint64, _ mem.Addr) bool { return r.flagged[ip] }
+
+// ---- CRISP (Litz, Ayers & Ranganathan, ASPLOS'22) ----
+
+// crispPred marks loads with frequent LLC misses and low memory-level
+// parallelism as critical slices. It ignores L1/L2-supplied loads entirely —
+// exactly the gap the paper calls out (60% of ROB stalls come from L2/LLC
+// hits under constrained bandwidth).
+type crispPred struct {
+	llcMiss map[uint64]uint32
+	samples map[uint64]uint32
+	mlpSum  map[uint64]uint64
+}
+
+func newCRISP() *crispPred {
+	return &crispPred{llcMiss: map[uint64]uint32{}, samples: map[uint64]uint32{},
+		mlpSum: map[uint64]uint64{}}
+}
+
+func (c *crispPred) Name() string { return "crisp" }
+
+func (c *crispPred) OnLoadComplete(ev cpu.LoadEvent) {
+	c.samples[ev.IP]++
+	c.mlpSum[ev.IP] += uint64(ev.MLPAtComplete)
+	if ev.ServedBy == mem.LevelDRAM {
+		c.llcMiss[ev.IP]++
+	}
+}
+
+func (c *crispPred) OnRetire(cpu.RetireEvent) {}
+
+func (c *crispPred) Critical(ip uint64, _ mem.Addr) bool {
+	n := c.samples[ip]
+	if n < 8 {
+		return false
+	}
+	missRate := float64(c.llcMiss[ip]) / float64(n)
+	avgMLP := float64(c.mlpSum[ip]) / float64(n)
+	// Pre-defined thresholds, as the paper notes CRISP uses.
+	return missRate >= 0.10 && avgMLP <= 4
+}

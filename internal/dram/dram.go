@@ -1,0 +1,426 @@
+// Package dram models the multi-channel DDR4-3200 memory system of the
+// baseline (Table 3): per-channel FR-FCFS controllers with 64-entry read and
+// write queues, 16 banks with open-page 4KB row buffers, tRP/tRCD/CAS timing,
+// serialized data-bus transfers (the 25.6 GB/s per-channel ceiling), write
+// drain at a 7/8 watermark, and PADC-style prefetch-aware scheduling that —
+// with CLIP — honours the criticality flag by giving critical prefetches
+// demand priority.
+//
+// Constrained bandwidth shows up exactly as in the paper: with few channels,
+// bursty prefetch traffic lengthens the read queues and every request's
+// queueing delay inflates, including demands that hit in on-chip caches
+// behind a full MSHR chain.
+package dram
+
+import (
+	"fmt"
+
+	"clip/internal/mem"
+	"clip/internal/stats"
+)
+
+// Config sizes the memory system.
+type Config struct {
+	Channels int
+	Banks    int // banks per channel
+	RQ, WQ   int // read/write queue entries per channel
+
+	// Timing in core cycles (4 GHz core, 12.5ns tRP=tRCD=CAS => 50 cycles).
+	CAS, RCD, RP int
+	// Transfer is the data-bus occupancy per 64B line (10 cycles at
+	// 25.6GB/s on a 4GHz core).
+	Transfer int
+
+	RowLines int // lines per row buffer (4KB row = 64 lines)
+
+	// REFI is the refresh interval and RFC the refresh cycle time, in core
+	// cycles (DDR4: tREFI 7.8us, tRFC ~350ns at a 4GHz core clock). During
+	// a refresh the whole channel is blocked. Zero REFI disables refresh.
+	REFI, RFC int
+
+	// PADC enables prefetch-aware demand-first scheduling (Lee et al.).
+	PADC bool
+	// CriticalPriority treats CLIP-flagged critical prefetches as demands in
+	// the scheduler (the paper's "load criticality conscious DRAM").
+	CriticalPriority bool
+
+	// WriteWatermark (numerator/denominator = 7/8 in the paper) triggers
+	// write drain when the WQ fills beyond it.
+	WriteWatermarkNum, WriteWatermarkDen int
+}
+
+// DefaultConfig matches Table 3 for the given channel count.
+func DefaultConfig(channels int) Config {
+	return Config{
+		Channels: channels, Banks: 16, RQ: 64, WQ: 64,
+		CAS: 50, RCD: 50, RP: 50, Transfer: 10, RowLines: 64,
+		REFI: 31200, RFC: 1400,
+		PADC: true, WriteWatermarkNum: 7, WriteWatermarkDen: 8,
+	}
+}
+
+// Validate reports sizing errors.
+func (c Config) Validate() error {
+	if c.Channels <= 0 || c.Banks <= 0 || c.RQ <= 0 || c.WQ <= 0 {
+		return fmt.Errorf("dram: non-positive sizes in %+v", c)
+	}
+	if c.Transfer <= 0 || c.RowLines <= 0 {
+		return fmt.Errorf("dram: non-positive timing in %+v", c)
+	}
+	return nil
+}
+
+// Stats aggregates controller counters across channels.
+type Stats struct {
+	Reads          uint64
+	Writes         uint64
+	PrefetchReads  uint64
+	RowHits        uint64
+	RowMisses      uint64
+	RowConflicts   uint64
+	RQFullEvents   uint64
+	WQFullEvents   uint64
+	Refreshes      uint64
+	QueueDelay     stats.LatencyAcc // acceptance-to-schedule delay of reads
+	ServiceLatency stats.LatencyAcc // acceptance-to-data delay of reads
+	BusBusyCycles  uint64
+	Cycles         uint64
+}
+
+// Utilization returns the fraction of data-bus cycles in use, averaged over
+// channels (DSPatch's bandwidth signal).
+func (s *Stats) Utilization() float64 {
+	return stats.Ratio(s.BusBusyCycles, s.Cycles)
+}
+
+// RowHitRate returns row-buffer hit rate.
+func (s *Stats) RowHitRate() float64 {
+	return stats.Ratio(s.RowHits, s.RowHits+s.RowMisses+s.RowConflicts)
+}
+
+type rdEntry struct {
+	req     mem.Request
+	arrived uint64
+}
+
+type bank struct {
+	openRow   int64 // -1 closed
+	busyUntil uint64
+}
+
+type channel struct {
+	rq          []rdEntry
+	wq          []mem.Request
+	banks       []bank
+	busFreeAt   uint64
+	nextRefresh uint64
+	refreshEnd  uint64
+	draining    bool
+	utilWindow  uint64 // busy cycles in current utilization epoch
+	utilCycles  uint64
+	recentUtil  float64
+	epochCycles uint64
+}
+
+// DRAM is the whole memory system.
+type DRAM struct {
+	cfg    Config
+	chans  []channel
+	onResp func(mem.Response)
+	cycle  uint64
+	stats  Stats
+}
+
+// New builds the memory system.
+func New(cfg Config) (*DRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &DRAM{cfg: cfg, chans: make([]channel, cfg.Channels)}
+	for i := range d.chans {
+		ch := &d.chans[i]
+		ch.banks = make([]bank, cfg.Banks)
+		for b := range ch.banks {
+			ch.banks[b].openRow = -1
+		}
+	}
+	return d, nil
+}
+
+// MustNew panics on config errors.
+func MustNew(cfg Config) *DRAM {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Stats returns the live counters.
+func (d *DRAM) Stats() *Stats { return &d.stats }
+
+// OnResponse registers the fill sink (the LLC, via the NoC adapter).
+func (d *DRAM) OnResponse(f func(mem.Response)) { d.onResp = f }
+
+// ChannelUtilization returns the most recent per-channel bus utilization —
+// DSPatch's per-controller signal (deliberately myopic, as the paper notes).
+func (d *DRAM) ChannelUtilization(ch int) float64 {
+	if ch < 0 || ch >= len(d.chans) {
+		return 0
+	}
+	return d.chans[ch].recentUtil
+}
+
+// GlobalUtilization averages utilization across channels.
+func (d *DRAM) GlobalUtilization() float64 {
+	var sum float64
+	for i := range d.chans {
+		sum += d.chans[i].recentUtil
+	}
+	return sum / float64(len(d.chans))
+}
+
+func (d *DRAM) route(addr mem.Addr) (ch, bk int, row int64) {
+	line := addr.LineID()
+	ch = int(line % uint64(d.cfg.Channels))
+	perCh := line / uint64(d.cfg.Channels)
+	bk = int(perCh % uint64(d.cfg.Banks))
+	row = int64(perCh / uint64(d.cfg.Banks) / uint64(d.cfg.RowLines))
+	return
+}
+
+// Issue implements cache.Lower: reads (loads/prefetches) enter the read
+// queue, writebacks the write queue. Returns false when the target queue is
+// full — except prefetches, which are dropped (the controller never blocks
+// the chip on a prefetch).
+func (d *DRAM) Issue(req mem.Request) bool {
+	ch, _, _ := d.route(req.Addr)
+	c := &d.chans[ch]
+	if req.Type == mem.Writeback {
+		if len(c.wq) >= d.cfg.WQ {
+			d.stats.WQFullEvents++
+			return false
+		}
+		c.wq = append(c.wq, req)
+		return true
+	}
+	if len(c.rq) >= d.cfg.RQ {
+		d.stats.RQFullEvents++
+		if req.Type == mem.Prefetch && !req.Owned {
+			return true // dropped
+		}
+		return false
+	}
+	c.rq = append(c.rq, rdEntry{req: req, arrived: d.cycle})
+	return true
+}
+
+// QueueOccupancy returns total read-queue occupancy (diagnostics).
+func (d *DRAM) QueueOccupancy() int {
+	n := 0
+	for i := range d.chans {
+		n += len(d.chans[i].rq)
+	}
+	return n
+}
+
+// Tick advances one memory-controller cycle on every channel.
+func (d *DRAM) Tick(cycle uint64) {
+	d.cycle = cycle
+	// Cycles counts channel-cycles so Utilization() stays in [0,1]
+	// regardless of channel count.
+	d.stats.Cycles += uint64(len(d.chans))
+	for i := range d.chans {
+		d.tickChannel(&d.chans[i])
+	}
+}
+
+const utilEpoch = 2048 // cycles per utilization sample
+
+func (d *DRAM) tickChannel(c *channel) {
+	// Refresh: at every tREFI the channel stalls for tRFC and all rows
+	// close (auto-precharge), costing row-buffer locality.
+	if d.cfg.REFI > 0 {
+		if c.nextRefresh == 0 {
+			c.nextRefresh = uint64(d.cfg.REFI)
+		}
+		if d.cycle >= c.nextRefresh {
+			c.nextRefresh += uint64(d.cfg.REFI)
+			c.refreshEnd = d.cycle + uint64(d.cfg.RFC)
+			d.stats.Refreshes++
+			for b := range c.banks {
+				c.banks[b].openRow = -1
+				if c.banks[b].busyUntil < c.refreshEnd {
+					c.banks[b].busyUntil = c.refreshEnd
+				}
+			}
+		}
+		if d.cycle < c.refreshEnd {
+			return // channel busy refreshing
+		}
+	}
+
+	// Utilization accounting: busy cycles are credited at schedule time
+	// (Transfer cycles per operation), not derived from busFreeAt, which
+	// points past the bank-access latency and would overstate utilization.
+	c.epochCycles++
+	if c.epochCycles >= utilEpoch {
+		u := float64(c.utilWindow) / float64(c.epochCycles)
+		if u > 1 {
+			u = 1
+		}
+		c.recentUtil = u
+		c.utilWindow, c.epochCycles = 0, 0
+	}
+
+	// Write drain hysteresis.
+	hi := d.cfg.WQ * d.cfg.WriteWatermarkNum / d.cfg.WriteWatermarkDen
+	lo := d.cfg.WQ / 4
+	if len(c.wq) >= hi {
+		c.draining = true
+	} else if len(c.wq) <= lo {
+		c.draining = false
+	}
+
+	// Reads prioritized over writes unless draining (Table 3).
+	if c.draining && len(c.wq) > 0 {
+		if d.scheduleWrite(c) {
+			return
+		}
+	}
+	if d.scheduleRead(c) {
+		return
+	}
+	// Opportunistic write when idle.
+	if len(c.wq) > 0 && len(c.rq) == 0 {
+		d.scheduleWrite(c)
+	}
+}
+
+// agePromote is the queueing age after which a deprioritized prefetch is
+// promoted to demand rank; PADC-style schedulers bound prefetch waiting so
+// in-flight MSHRs upstream cannot be starved indefinitely.
+const agePromote = 600
+
+// classRank orders scheduling classes: lower is better.
+func (d *DRAM) classRank(e rdEntry, rowHit bool) int {
+	demand := e.req.Type != mem.Prefetch ||
+		(d.cfg.CriticalPriority && e.req.Critical) ||
+		d.cycle-e.arrived >= agePromote
+	switch {
+	case demand && rowHit:
+		return 0
+	case demand:
+		return 1
+	case rowHit: // plain prefetch, row hit
+		if d.cfg.PADC {
+			return 2
+		}
+		return 0 // without PADC, FR-FCFS ignores request type
+	default:
+		if d.cfg.PADC {
+			return 3
+		}
+		return 1
+	}
+}
+
+func (d *DRAM) scheduleRead(c *channel) bool {
+	best := -1
+	bestRank := 1 << 30
+	for i := range c.rq {
+		e := &c.rq[i]
+		_, bk, row := d.route(e.req.Addr)
+		b := &c.banks[bk]
+		if b.busyUntil > d.cycle {
+			continue
+		}
+		rank := d.classRank(*e, b.openRow == row)
+		if rank < bestRank { // FCFS within rank: first match wins ties
+			bestRank = rank
+			best = i
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	e := c.rq[best]
+	c.rq = append(c.rq[:best], c.rq[best+1:]...)
+
+	_, bk, row := d.route(e.req.Addr)
+	b := &c.banks[bk]
+	var access uint64
+	switch {
+	case b.openRow == row:
+		access = uint64(d.cfg.CAS)
+		d.stats.RowHits++
+	case b.openRow < 0:
+		access = uint64(d.cfg.RCD + d.cfg.CAS)
+		d.stats.RowMisses++
+	default:
+		access = uint64(d.cfg.RP + d.cfg.RCD + d.cfg.CAS)
+		d.stats.RowConflicts++
+	}
+	b.openRow = row
+
+	ready := d.cycle + access
+	// Serialize on the shared data bus.
+	busAt := ready
+	if c.busFreeAt > busAt {
+		busAt = c.busFreeAt
+	}
+	done := busAt + uint64(d.cfg.Transfer)
+	c.busFreeAt = done
+	b.busyUntil = ready
+	c.utilWindow += uint64(d.cfg.Transfer)
+	d.stats.BusBusyCycles += uint64(d.cfg.Transfer)
+
+	d.stats.Reads++
+	if e.req.Type == mem.Prefetch {
+		d.stats.PrefetchReads++
+	}
+	d.stats.QueueDelay.Add(d.cycle - e.arrived)
+	d.stats.ServiceLatency.Add(done - e.arrived)
+
+	if d.onResp != nil {
+		d.onResp(mem.Response{Req: e.req, ServedBy: mem.LevelDRAM, DoneCycle: done})
+	}
+	return true
+}
+
+func (d *DRAM) scheduleWrite(c *channel) bool {
+	for i := range c.wq {
+		req := c.wq[i]
+		_, bk, row := d.route(req.Addr)
+		b := &c.banks[bk]
+		if b.busyUntil > d.cycle {
+			continue
+		}
+		var access uint64
+		switch {
+		case b.openRow == row:
+			access = uint64(d.cfg.CAS)
+			d.stats.RowHits++
+		case b.openRow < 0:
+			access = uint64(d.cfg.RCD + d.cfg.CAS)
+			d.stats.RowMisses++
+		default:
+			access = uint64(d.cfg.RP + d.cfg.RCD + d.cfg.CAS)
+			d.stats.RowConflicts++
+		}
+		b.openRow = row
+		ready := d.cycle + access
+		busAt := ready
+		if c.busFreeAt > busAt {
+			busAt = c.busFreeAt
+		}
+		c.busFreeAt = busAt + uint64(d.cfg.Transfer)
+		b.busyUntil = ready
+		c.utilWindow += uint64(d.cfg.Transfer)
+		d.stats.BusBusyCycles += uint64(d.cfg.Transfer)
+		c.wq = append(c.wq[:i], c.wq[i+1:]...)
+		d.stats.Writes++
+		return true
+	}
+	return false
+}

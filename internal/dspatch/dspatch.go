@@ -1,0 +1,168 @@
+// Package dspatch implements DSPatch (Bera et al., MICRO'19) as a bandwidth-
+// modulated spatial add-on for a base prefetcher. DSPatch learns two spatial
+// bit-patterns per program+region signature:
+//
+//   - CovP, the OR of observed footprints (coverage-biased), and
+//   - AccP, the AND of observed footprints (accuracy-biased),
+//
+// and selects between them using the DRAM *per-controller* bandwidth
+// utilization: below the threshold it prefetches the aggressive CovP pattern,
+// above it the conservative AccP pattern.
+//
+// The paper's criticism, reproduced here: the per-controller signal is myopic
+// (it samples one controller, not system-wide pressure), and in constrained-
+// bandwidth scenarios measured utilization is frequently below the threshold
+// while queues are already deep — so DSPatch keeps choosing coverage and
+// exacerbates the latency problem.
+package dspatch
+
+import (
+	"clip/internal/mem"
+	"clip/internal/prefetch"
+)
+
+// BandwidthSource samples the DRAM controller utilization DSPatch keys on.
+type BandwidthSource func() float64
+
+// DSPatch wraps a base prefetcher with dual spatial patterns.
+type DSPatch struct {
+	base prefetch.Prefetcher
+	bw   BandwidthSource
+
+	regions map[uint64]*regionAcc
+	order   []uint64
+	table   map[uint64]*patterns
+	tableQ  []uint64
+
+	stats Stats
+}
+
+// Stats reports modulation behaviour.
+type Stats struct {
+	CovSelections uint64
+	AccSelections uint64
+	Extra         uint64 // candidates added beyond the base prefetcher
+}
+
+type regionAcc struct {
+	sig    uint64
+	bitmap uint64
+}
+
+type patterns struct {
+	covp uint64 // OR of footprints
+	accp uint64 // AND of footprints
+	seen int
+}
+
+const (
+	regionLines   = 32 // 2KB regions
+	activeRegions = 64
+	tableMax      = 2048
+	utilThreshold = 0.70
+	maxExtra      = 8
+)
+
+// New wraps base with DSPatch modulation fed by bw.
+func New(base prefetch.Prefetcher, bw BandwidthSource) *DSPatch {
+	return &DSPatch{
+		base:    base,
+		bw:      bw,
+		regions: map[uint64]*regionAcc{},
+		table:   map[uint64]*patterns{},
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (d *DSPatch) Name() string { return d.base.Name() + "+dspatch" }
+
+// Stats returns live counters.
+func (d *DSPatch) Stats() *Stats { return &d.stats }
+
+// Base returns the wrapped prefetcher.
+func (d *DSPatch) Base() prefetch.Prefetcher { return d.base }
+
+func sigOf(ip uint64, addr mem.Addr) uint64 {
+	return mem.Mix64(ip ^ uint64(addr.LineID()%regionLines)<<48)
+}
+
+// Train implements prefetch.Prefetcher: trains the base prefetcher and the
+// dual patterns, then emits the base candidates plus the selected pattern's
+// expansion.
+func (d *DSPatch) Train(a prefetch.Access) []prefetch.Candidate {
+	out := d.base.Train(a)
+
+	rid := a.Addr.Region()
+	off := int(a.Addr.LineID() % regionLines)
+	regionBase := mem.Addr((a.Addr.LineID() - uint64(off)) << mem.LineShift)
+
+	r := d.regions[rid]
+	trigger := false
+	if r == nil {
+		trigger = true
+		if len(d.regions) >= activeRegions {
+			old := d.order[0]
+			d.order = d.order[1:]
+			d.commit(old)
+		}
+		r = &regionAcc{sig: sigOf(a.IP, a.Addr)}
+		d.regions[rid] = r
+		d.order = append(d.order, rid)
+	}
+	r.bitmap |= 1 << off
+
+	if !trigger {
+		return out
+	}
+	p := d.table[sigOf(a.IP, a.Addr)]
+	if p == nil || p.seen == 0 {
+		return out
+	}
+	// Modulate: per-controller utilization decides coverage vs accuracy.
+	var pattern uint64
+	if d.bw() < utilThreshold {
+		pattern = p.covp
+		d.stats.CovSelections++
+	} else {
+		pattern = p.accp
+		d.stats.AccSelections++
+	}
+	added := 0
+	for o := 0; o < regionLines && added < maxExtra; o++ {
+		if pattern&(1<<o) == 0 || o == off {
+			continue
+		}
+		out = append(out, prefetch.Candidate{
+			Addr:      regionBase + mem.Addr(o*mem.LineBytes),
+			TriggerIP: a.IP, FillLevel: mem.LevelL2, Confidence: 0.5,
+		})
+		added++
+		d.stats.Extra++
+	}
+	return out
+}
+
+func (d *DSPatch) commit(rid uint64) {
+	r, ok := d.regions[rid]
+	if !ok {
+		return
+	}
+	delete(d.regions, rid)
+	if r.bitmap == 0 {
+		return
+	}
+	p := d.table[r.sig]
+	if p == nil {
+		if len(d.table) >= tableMax {
+			old := d.tableQ[0]
+			d.tableQ = d.tableQ[1:]
+			delete(d.table, old)
+		}
+		p = &patterns{accp: ^uint64(0)}
+		d.table[r.sig] = p
+		d.tableQ = append(d.tableQ, r.sig)
+	}
+	p.covp |= r.bitmap
+	p.accp &= r.bitmap
+	p.seen++
+}

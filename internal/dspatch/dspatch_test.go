@@ -1,0 +1,106 @@
+package dspatch
+
+import (
+	"testing"
+
+	"clip/internal/mem"
+	"clip/internal/prefetch"
+)
+
+// fixedBW returns a constant utilization.
+func fixedBW(v float64) BandwidthSource { return func() float64 { return v } }
+
+// visit streams one region's footprint through the prefetcher.
+func visit(d *DSPatch, ip uint64, base mem.Addr, offsets []int, cycle uint64) {
+	for i, o := range offsets {
+		d.Train(prefetch.Access{IP: ip, Addr: base + mem.Addr(o*mem.LineBytes),
+			Cycle: cycle + uint64(i)})
+	}
+}
+
+// trainPatterns teaches DSPatch a signature with varying footprints so CovP
+// (union) and AccP (intersection) diverge.
+func trainPatterns(d *DSPatch) (ip uint64, offset int) {
+	ip = uint64(0x77)
+	offset = 1
+	footprints := [][]int{
+		{1, 2, 3, 8},
+		{1, 2, 3, 12},
+		{1, 2, 3, 20},
+	}
+	base := mem.Addr(0x100000)
+	for i, fp := range footprints {
+		visit(d, ip, base+mem.Addr(i*64*1024), fp, uint64(i*1000))
+	}
+	// Flood to commit the trained regions.
+	for r := 0; r < activeRegions+4; r++ {
+		visit(d, 0x1, mem.Addr(0x4000000+r*2048), []int{0}, uint64(50000+r))
+	}
+	return
+}
+
+func TestCoverageModeUnderLowUtilization(t *testing.T) {
+	d := New(prefetch.None{}, fixedBW(0.2))
+	ip, off := trainPatterns(d)
+	// Trigger a fresh region at the trained offset.
+	cands := d.Train(prefetch.Access{IP: ip,
+		Addr: mem.Addr(0x9000000 + off*mem.LineBytes), Cycle: 99999})
+	if len(cands) == 0 {
+		t.Fatal("coverage mode produced no candidates")
+	}
+	if d.Stats().CovSelections == 0 {
+		t.Fatal("coverage pattern never selected at low utilization")
+	}
+	// CovP is the union: must include more than the common {1,2,3} lines.
+	if len(cands) <= 2 {
+		t.Fatalf("coverage expansion too small: %d", len(cands))
+	}
+}
+
+func TestAccuracyModeUnderHighUtilization(t *testing.T) {
+	d := New(prefetch.None{}, fixedBW(0.9))
+	ip, off := trainPatterns(d)
+	cands := d.Train(prefetch.Access{IP: ip,
+		Addr: mem.Addr(0xA000000 + off*mem.LineBytes), Cycle: 99999})
+	if d.Stats().AccSelections == 0 {
+		t.Fatal("accuracy pattern never selected at high utilization")
+	}
+	// AccP is the intersection {1,2,3}: at most 2 extra lines (minus trigger).
+	if len(cands) > 2 {
+		t.Fatalf("accuracy mode leaked %d candidates", len(cands))
+	}
+}
+
+func TestCoverageSuperset(t *testing.T) {
+	dLow := New(prefetch.None{}, fixedBW(0.1))
+	ipL, offL := trainPatterns(dLow)
+	low := dLow.Train(prefetch.Access{IP: ipL,
+		Addr: mem.Addr(0xB000000 + offL*mem.LineBytes), Cycle: 99999})
+
+	dHigh := New(prefetch.None{}, fixedBW(0.95))
+	ipH, offH := trainPatterns(dHigh)
+	high := dHigh.Train(prefetch.Access{IP: ipH,
+		Addr: mem.Addr(0xB000000 + offH*mem.LineBytes), Cycle: 99999})
+
+	if len(low) <= len(high) {
+		t.Fatalf("CovP (%d) should expand beyond AccP (%d)", len(low), len(high))
+	}
+}
+
+func TestPassesThroughBaseCandidates(t *testing.T) {
+	base, _ := prefetch.New("stride")
+	d := New(base, fixedBW(0.9))
+	var got []prefetch.Candidate
+	line := int64(0x10000)
+	for i := 0; i < 50; i++ {
+		got = append(got, d.Train(prefetch.Access{IP: 0x5,
+			Addr: mem.Addr(uint64(line) << mem.LineShift), Cycle: uint64(i * 100)})...)
+		line++
+	}
+	if len(got) == 0 {
+		t.Fatal("base prefetcher candidates swallowed")
+	}
+	if d.Name() != "stride+dspatch" {
+		t.Fatalf("name %q", d.Name())
+	}
+}

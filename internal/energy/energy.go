@@ -1,0 +1,74 @@
+// Package energy models the dynamic energy of the memory hierarchy the way
+// the paper does (§5, "Energy model"): per-event energies for tag and data
+// array reads/writes at each cache level (CACTI-P-class numbers for a 7nm
+// process) and DRAM activate/read/write energy (Micron power-calculator
+// methodology), multiplied by the simulator's event counts.
+//
+// Absolute joules are calibration-dependent; the figures the harness reports
+// are *relative* (CLIP vs. baseline), which the per-event accounting
+// preserves.
+package energy
+
+import "fmt"
+
+// PerEvent holds per-event dynamic energies in picojoules.
+type PerEvent struct {
+	L1Access   float64 // tag+data read or write
+	L2Access   float64
+	LLCAccess  float64
+	DRAMRead   float64 // incl. activate amortization
+	DRAMWrite  float64
+	NoCPerFlit float64
+	ClipAccess float64 // CLIP's small tables (filter+predictor+CAM probe)
+}
+
+// Default7nm is a CACTI-P-flavoured 7nm calibration (picojoules).
+var Default7nm = PerEvent{
+	L1Access:   8,
+	L2Access:   25,
+	LLCAccess:  60,
+	DRAMRead:   15000,
+	DRAMWrite:  15000,
+	NoCPerFlit: 4,
+	ClipAccess: 1.5,
+}
+
+// Counts are the event totals from a simulation.
+type Counts struct {
+	L1Accesses  uint64
+	L2Accesses  uint64
+	LLCAccesses uint64
+	DRAMReads   uint64
+	DRAMWrites  uint64
+	NoCFlits    uint64
+	ClipProbes  uint64
+}
+
+// Breakdown is the per-component dynamic energy in microjoules.
+type Breakdown struct {
+	L1, L2, LLC, DRAM, NoC, Clip float64
+}
+
+// Total sums the breakdown (microjoules).
+func (b Breakdown) Total() float64 {
+	return b.L1 + b.L2 + b.LLC + b.DRAM + b.NoC + b.Clip
+}
+
+// String renders the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("L1=%.1fuJ L2=%.1fuJ LLC=%.1fuJ DRAM=%.1fuJ NoC=%.1fuJ CLIP=%.2fuJ total=%.1fuJ",
+		b.L1, b.L2, b.LLC, b.DRAM, b.NoC, b.Clip, b.Total())
+}
+
+// Compute applies the calibration to event counts.
+func Compute(c Counts, pe PerEvent) Breakdown {
+	const pJtouJ = 1e-6
+	return Breakdown{
+		L1:   float64(c.L1Accesses) * pe.L1Access * pJtouJ,
+		L2:   float64(c.L2Accesses) * pe.L2Access * pJtouJ,
+		LLC:  float64(c.LLCAccesses) * pe.LLCAccess * pJtouJ,
+		DRAM: (float64(c.DRAMReads)*pe.DRAMRead + float64(c.DRAMWrites)*pe.DRAMWrite) * pJtouJ,
+		NoC:  float64(c.NoCFlits) * pe.NoCPerFlit * pJtouJ,
+		Clip: float64(c.ClipProbes) * pe.ClipAccess * pJtouJ,
+	}
+}

@@ -1,0 +1,43 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeBreakdown(t *testing.T) {
+	c := Counts{L1Accesses: 1000, L2Accesses: 100, LLCAccesses: 10,
+		DRAMReads: 5, DRAMWrites: 2, NoCFlits: 50, ClipProbes: 20}
+	b := Compute(c, Default7nm)
+	if b.Total() <= 0 {
+		t.Fatal("zero total energy")
+	}
+	if b.DRAM <= b.L1 {
+		t.Fatal("DRAM energy should dominate L1 at these counts")
+	}
+	sum := b.L1 + b.L2 + b.LLC + b.DRAM + b.NoC + b.Clip
+	if sum != b.Total() {
+		t.Fatal("Total() inconsistent with fields")
+	}
+	if !strings.Contains(b.String(), "DRAM=") {
+		t.Fatalf("String(): %s", b.String())
+	}
+}
+
+func TestFewerDRAMReadsLowerEnergy(t *testing.T) {
+	base := Counts{L1Accesses: 10000, DRAMReads: 1000}
+	clip := base
+	clip.DRAMReads = 500 // CLIP halves prefetch traffic
+	clip.ClipProbes = 5000
+	eBase := Compute(base, Default7nm).Total()
+	eClip := Compute(clip, Default7nm).Total()
+	if eClip >= eBase {
+		t.Fatalf("halved DRAM traffic must cut energy: %v vs %v", eClip, eBase)
+	}
+}
+
+func TestZeroCounts(t *testing.T) {
+	if got := Compute(Counts{}, Default7nm).Total(); got != 0 {
+		t.Fatalf("zero counts gave %v", got)
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// micro is the smallest scale that still exercises every code path.
+func micro() Scale {
+	return Scale{
+		Cores: 4, InstrPerCore: 5000, Warmup: 1500, CacheDiv: 8,
+		HomMixes: 2, HetMixes: 2, CloudMixes: 2,
+		Channels: []int{8}, Seed: 1,
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.Name == "" || e.About == "" || e.Run == nil {
+			t.Fatalf("incomplete entry %+v", e)
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate experiment %s", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	if len(seen) < 25 {
+		t.Fatalf("registry suspiciously small: %d", len(seen))
+	}
+	if _, err := Lookup("fig9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestChannelsFor(t *testing.T) {
+	cases := []struct {
+		paperCh, cores, wantCh, wantTr int
+	}{
+		{64, 8, 8, 10}, // one channel per core
+		{8, 8, 1, 10},  // the paper's baseline ratio
+		{4, 8, 1, 20},  // half bandwidth: slower transfer
+		{16, 8, 2, 10},
+		{8, 64, 8, 10}, // unscaled: identity
+		{4, 4, 1, 40},  // quarter-channel equivalent
+	}
+	for _, c := range cases {
+		ch, tr := channelsFor(c.paperCh, c.cores)
+		if ch != c.wantCh || tr != c.wantTr {
+			t.Errorf("channelsFor(%d,%d) = (%d,%d), want (%d,%d)",
+				c.paperCh, c.cores, ch, tr, c.wantCh, c.wantTr)
+		}
+	}
+}
+
+func TestHomMixesQuickSubsetIsDiverse(t *testing.T) {
+	sc := micro()
+	sc.HomMixes = 4
+	mixes := homMixes(sc)
+	if len(mixes) != 4 {
+		t.Fatalf("got %d mixes", len(mixes))
+	}
+	families := map[string]bool{}
+	for _, m := range mixes {
+		families[strings.SplitN(m.Name, "_", 2)[0]] = true
+	}
+	if len(families) < 4 {
+		t.Fatalf("subset not diverse: %v", families)
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rep, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := rep.Values["total.KB"]
+	if kb < 1.4 || kb > 1.7 {
+		t.Fatalf("storage %.2f KB, paper says 1.56", kb)
+	}
+	if !strings.Contains(rep.String(), "Criticality filter") {
+		t.Fatal("report missing filter row")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	sc := micro()
+	sc.Channels = []int{8, 64}
+	rep, err := Fig1(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Berti must gain from more bandwidth.
+	low := rep.Values["berti@8ch"]
+	high := rep.Values["berti@64ch"]
+	if low <= 0 || high <= 0 {
+		t.Fatalf("missing values: %v", rep.Values)
+	}
+	if high < low {
+		t.Fatalf("berti at 64ch (%v) should be >= 8ch (%v)", high, low)
+	}
+}
+
+func TestFig4PriorPredictorShapes(t *testing.T) {
+	rep, err := Fig4(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FVP over-predicts: high coverage.
+	if rep.Values["fvp.coverage"] < 0.6 {
+		t.Fatalf("FVP coverage %v too low", rep.Values["fvp.coverage"])
+	}
+	// No prior predictor should reach CLIP-grade accuracy on these mixes.
+	for _, p := range []string{"catch", "fvp", "cbp", "robo"} {
+		if a := rep.Values[p+".accuracy"]; a > 0.9 {
+			t.Errorf("%s accuracy %v suspiciously high", p, a)
+		}
+	}
+}
+
+func TestFig9ClipLiftsBerti(t *testing.T) {
+	sc := micro()
+	sc.Cores = 8
+	sc.InstrPerCore = 12000
+	sc.Warmup = 3000
+	rep, err := Fig9(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["hom.berti+clip"] <= rep.Values["hom.berti"] {
+		t.Fatalf("CLIP (%v) did not lift Berti (%v) on homogeneous mixes",
+			rep.Values["hom.berti+clip"], rep.Values["hom.berti"])
+	}
+}
+
+func TestFig16Reduction(t *testing.T) {
+	sc := micro()
+	sc.Cores = 8
+	sc.InstrPerCore = 12000
+	sc.Warmup = 3000
+	rep, err := Fig16(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := rep.Values["mean.reduction"]
+	if red < 0.2 || red > 1 {
+		t.Fatalf("prefetch reduction %v outside (0.2, 1]", red)
+	}
+}
+
+func TestEnergyReduction(t *testing.T) {
+	sc := micro()
+	sc.Cores = 8
+	sc.InstrPerCore = 12000
+	sc.Warmup = 3000
+	sc.HetMixes = 1
+	rep, err := Energy(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["hom.reduction"] <= 0 {
+		t.Fatalf("CLIP should reduce dynamic energy, got %v",
+			rep.Values["hom.reduction"])
+	}
+}
+
+func TestFig13ClipBeatsPriors(t *testing.T) {
+	sc := micro()
+	sc.Cores = 8
+	sc.InstrPerCore = 12000
+	sc.Warmup = 3000
+	rep, err := Fig13(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["mean.clip"] <= rep.Values["mean.best-prior"] {
+		t.Fatalf("CLIP accuracy %v should beat best prior %v",
+			rep.Values["mean.clip"], rep.Values["mean.best-prior"])
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, _ := Table2()
+	s := rep.String()
+	for _, want := range []string{"### table2", "total.KB"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"clip/internal/stats"
+	"clip/internal/workload"
+)
+
+// Fig9 reproduces Figure 9: CLIP paired with each of the four prefetchers at
+// the paper's 8-channel point, homogeneous and heterogeneous. Expected
+// shape: CLIP lifts every prefetcher; largest gain with Berti.
+func Fig9(sc Scale) (*Report, error) {
+	rep := newReport("fig9", "CLIP with the four prefetchers at 8 channels (normalized WS)")
+	for _, part := range []struct {
+		label string
+		mixes []workload.Mix
+	}{{"hom", homMixes(sc)}, {"het", hetMixes(sc)}} {
+		rc := newRunnerCache(sc)
+		tb := &stats.Table{Title: "fig9-" + part.label,
+			Headers: []string{"prefetcher", "alone", "with CLIP"}}
+		for _, pf := range paperPrefetchers {
+			alone, err := rc.mean(8, part.mixes, pfVariant(pf))
+			if err != nil {
+				return nil, err
+			}
+			with, err := rc.mean(8, part.mixes, clipVariant(pf))
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(pf, alone, with)
+			rep.Values[part.label+"."+pf] = alone
+			rep.Values[part.label+"."+pf+"+clip"] = with
+		}
+		rep.Tables = append(rep.Tables, tb)
+	}
+	return rep, nil
+}
+
+// perMix runs Berti and Berti+CLIP per homogeneous mix at 8 channels and
+// hands each mix's results to visit.
+func perMix(sc Scale, visit func(mix string, berti, clip *mixOutcome)) error {
+	r := workload.NewRunner(template(sc, 8))
+	for _, m := range homMixes(sc) {
+		wsB, resB, _, err := r.NormalizedWS(m, pfVariant("berti"))
+		if err != nil {
+			return err
+		}
+		wsC, resC, _, err := r.NormalizedWS(m, clipVariant("berti"))
+		if err != nil {
+			return err
+		}
+		visit(m.Name,
+			&mixOutcome{ws: wsB, res: resB},
+			&mixOutcome{ws: wsC, res: resC})
+	}
+	return nil
+}
+
+type mixOutcome struct {
+	ws  float64
+	res *resultAlias
+}
+
+// resultAlias avoids re-exporting sim.Result in the signature.
+type resultAlias = simResult
+
+// Fig10 reproduces Figure 10: per-mix normalized weighted speedup of Berti
+// and Berti+CLIP on the homogeneous mixes at 8 channels. Expected shape:
+// CLIP turns most slowdown mixes into speedups.
+func Fig10(sc Scale) (*Report, error) {
+	rep := newReport("fig10", "per-mix normalized WS: Berti vs Berti+CLIP (8 channels)")
+	tb := &stats.Table{Title: "fig10", Headers: []string{"mix", "berti", "berti+clip"}}
+	var b, c []float64
+	err := perMix(sc, func(mix string, berti, clip *mixOutcome) {
+		tb.AddRow(mix, berti.ws, clip.ws)
+		rep.Values[mix+".berti"] = berti.ws
+		rep.Values[mix+".clip"] = clip.ws
+		b = append(b, berti.ws)
+		c = append(c, clip.ws)
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("MEAN", stats.Mean(b), stats.Mean(c))
+	rep.Values["mean.berti"] = stats.Mean(b)
+	rep.Values["mean.clip"] = stats.Mean(c)
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// Fig11 reproduces Figure 11: per-mix average L1 miss latency for Berti and
+// Berti+CLIP. Expected shape: CLIP lowers the average latency.
+func Fig11(sc Scale) (*Report, error) {
+	rep := newReport("fig11", "per-mix average L1 miss latency (cycles)")
+	tb := &stats.Table{Title: "fig11", Headers: []string{"mix", "berti", "berti+clip"}}
+	var b, c []float64
+	err := perMix(sc, func(mix string, berti, clip *mixOutcome) {
+		lb := berti.res.AvgL1MissLatency()
+		lc := clip.res.AvgL1MissLatency()
+		tb.AddRow(mix, lb, lc)
+		b = append(b, lb)
+		c = append(c, lc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("MEAN", stats.Mean(b), stats.Mean(c))
+	rep.Values["mean.berti"] = stats.Mean(b)
+	rep.Values["mean.clip"] = stats.Mean(c)
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// Fig12 reproduces Figure 12: L1/L2/LLC prefetch miss coverage for Berti and
+// Berti+CLIP. Expected shape: CLIP costs some coverage (the latency-for-
+// coverage trade the paper describes), most visibly at L1.
+func Fig12(sc Scale) (*Report, error) {
+	rep := newReport("fig12", "prefetch miss coverage by level (%)")
+	var bl1, bl2, bl3, cl1, cl2, cl3 []float64
+	err := perMix(sc, func(mix string, berti, clip *mixOutcome) {
+		bl1 = append(bl1, berti.res.L1.Coverage()*100)
+		bl2 = append(bl2, berti.res.L2.Coverage()*100)
+		bl3 = append(bl3, berti.res.LLC.Coverage()*100)
+		cl1 = append(cl1, clip.res.L1.Coverage()*100)
+		cl2 = append(cl2, clip.res.L2.Coverage()*100)
+		cl3 = append(cl3, clip.res.LLC.Coverage()*100)
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := &stats.Table{Title: "fig12", Headers: []string{"level", "berti", "berti+clip"}}
+	tb.AddRow("L1", stats.Mean(bl1), stats.Mean(cl1))
+	tb.AddRow("L2", stats.Mean(bl2), stats.Mean(cl2))
+	tb.AddRow("LLC", stats.Mean(bl3), stats.Mean(cl3))
+	rep.Values["L1.berti"] = stats.Mean(bl1)
+	rep.Values["L1.clip"] = stats.Mean(cl1)
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// Fig13 reproduces Figure 13: CLIP's per-mix critical-load prediction
+// accuracy against the best prior predictor. Expected shape: CLIP >90% on
+// most mixes; the best prior predictor far below.
+func Fig13(sc Scale) (*Report, error) {
+	rep := newReport("fig13", "critical-load prediction accuracy per mix")
+	tb := &stats.Table{Title: "fig13", Headers: []string{"mix", "clip", "best-prior"}}
+	r := workload.NewRunner(template(sc, 8))
+	var cs, ps []float64
+	for _, m := range homMixes(sc) {
+		res, _, err := r.RunMix(m, scoredClipVariant())
+		if err != nil {
+			return nil, err
+		}
+		clipAcc := res.Clip.PredictionAccuracy()
+		best := 0.0
+		for _, s := range res.PredScores {
+			if a := s.Accuracy(); a > best {
+				best = a
+			}
+		}
+		tb.AddRow(m.Name, clipAcc, best)
+		rep.Values[m.Name+".clip"] = clipAcc
+		cs = append(cs, clipAcc)
+		ps = append(ps, best)
+	}
+	tb.AddRow("MEAN", stats.Mean(cs), stats.Mean(ps))
+	rep.Values["mean.clip"] = stats.Mean(cs)
+	rep.Values["mean.best-prior"] = stats.Mean(ps)
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// Fig14 reproduces Figure 14: CLIP's per-mix criticality prediction
+// coverage. Expected shape: ~0.5-0.9 per mix, mean near 0.76.
+func Fig14(sc Scale) (*Report, error) {
+	rep := newReport("fig14", "critical-load prediction coverage per mix")
+	tb := &stats.Table{Title: "fig14", Headers: []string{"mix", "coverage"}}
+	r := workload.NewRunner(template(sc, 8))
+	var cov []float64
+	for _, m := range homMixes(sc) {
+		res, _, err := r.RunMix(m, clipVariant("berti"))
+		if err != nil {
+			return nil, err
+		}
+		c := res.Clip.PredictionCoverage()
+		tb.AddRow(m.Name, c)
+		cov = append(cov, c)
+	}
+	tb.AddRow("MEAN", stats.Mean(cov))
+	rep.Values["mean"] = stats.Mean(cov)
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// Fig15 reproduces Figure 15: the number of critical-and-accurate IPs CLIP
+// selects per mix, split into static- and dynamic-critical. Expected shape:
+// tens of IPs per mix, roughly half dynamic.
+func Fig15(sc Scale) (*Report, error) {
+	rep := newReport("fig15", "critical IPs selected by CLIP (static/dynamic)")
+	tb := &stats.Table{Title: "fig15", Headers: []string{"mix", "static", "dynamic"}}
+	r := workload.NewRunner(template(sc, 8))
+	var st, dy []float64
+	for _, m := range homMixes(sc) {
+		res, _, err := r.RunMix(m, clipVariant("berti"))
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(m.Name, res.ClipStaticIPs, res.ClipDynamicIPs)
+		st = append(st, res.ClipStaticIPs)
+		dy = append(dy, res.ClipDynamicIPs)
+	}
+	tb.AddRow("MEAN", stats.Mean(st), stats.Mean(dy))
+	rep.Values["mean.static"] = stats.Mean(st)
+	rep.Values["mean.dynamic"] = stats.Mean(dy)
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// Fig16 reproduces Figure 16: the reduction in prefetch requests issued when
+// CLIP gates Berti. Expected shape: ~50% average reduction.
+func Fig16(sc Scale) (*Report, error) {
+	rep := newReport("fig16", "prefetch requests issued: CLIP relative to Berti")
+	tb := &stats.Table{Title: "fig16", Headers: []string{"mix", "reduction"}}
+	var red []float64
+	err := perMix(sc, func(mix string, berti, clip *mixOutcome) {
+		r := 1 - stats.Ratio(clip.res.PFIssued, berti.res.PFIssued)
+		tb.AddRow(mix, r)
+		red = append(red, r)
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("MEAN", stats.Mean(red))
+	rep.Values["mean.reduction"] = stats.Mean(red)
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}

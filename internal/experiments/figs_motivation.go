@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"clip/internal/criticality"
+	"clip/internal/sim"
+	"clip/internal/stats"
+	"clip/internal/workload"
+)
+
+// prefetchers evaluated throughout §5.
+var paperPrefetchers = []string{"berti", "ipcp", "bingo", "spppf"}
+
+// Fig1 reproduces Figure 1: normalized weighted speedup of the four
+// prefetchers across DRAM channel counts on homogeneous mixes. Expected
+// shape: below 1.0 at 4-8 channels, above 1.0 with ample bandwidth.
+func Fig1(sc Scale) (*Report, error) {
+	return figPrefetchersVsChannels(sc, "fig1", homMixes(sc))
+}
+
+// Fig2 is Figure 2: the same sweep on heterogeneous mixes.
+func Fig2(sc Scale) (*Report, error) {
+	return figPrefetchersVsChannels(sc, "fig2", hetMixes(sc))
+}
+
+func figPrefetchersVsChannels(sc Scale, name string, mixes []workload.Mix) (*Report, error) {
+	rep := newReport(name, "normalized weighted speedup vs paper channel count")
+	rc := newRunnerCache(sc)
+	tb := &stats.Table{Title: name, Headers: append([]string{"prefetcher"}, chLabels(sc.Channels)...)}
+	for _, pf := range paperPrefetchers {
+		ser := &stats.Series{Name: pf}
+		row := []interface{}{pf}
+		for _, ch := range sc.Channels {
+			ws, err := rc.mean(ch, mixes, pfVariant(pf))
+			if err != nil {
+				return nil, err
+			}
+			ser.Add(chLabel(ch), ws)
+			row = append(row, ws)
+			rep.Values[pf+"@"+chLabel(ch)] = ws
+		}
+		rep.Series = append(rep.Series, ser)
+		tb.AddRow(row...)
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+func chLabel(ch int) string { return fmtInt(ch) + "ch" }
+
+func chLabels(chs []int) []string {
+	out := make([]string, len(chs))
+	for i, c := range chs {
+		out[i] = chLabel(c)
+	}
+	return out
+}
+
+func fmtInt(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Fig3 reproduces Figure 3: the increase in average L1/L2/L3 demand miss
+// latency with Berti relative to no prefetching, across channel counts.
+// Expected shape: ~2x inflation at 4-8 channels, near 1x at high counts.
+func Fig3(sc Scale) (*Report, error) {
+	rep := newReport("fig3", "demand miss latency with Berti / no-PF, by level")
+	mixes := append(homMixes(sc), hetMixes(sc)...)
+	tb := &stats.Table{Title: "fig3", Headers: []string{"channels", "L1", "L2", "LLC"}}
+	for _, ch := range sc.Channels {
+		r := workload.NewRunner(template(sc, ch))
+		var l1r, l2r, l3r []float64
+		for _, m := range mixes {
+			_, varRes, baseRes, err := r.NormalizedWS(m, pfVariant("berti"))
+			if err != nil {
+				return nil, err
+			}
+			l1r = append(l1r, ratioOr1(varRes.L1.DemandMissLatency.Mean(), baseRes.L1.DemandMissLatency.Mean()))
+			l2r = append(l2r, ratioOr1(varRes.L2.DemandMissLatency.Mean(), baseRes.L2.DemandMissLatency.Mean()))
+			l3r = append(l3r, ratioOr1(varRes.LLC.DemandMissLatency.Mean(), baseRes.LLC.DemandMissLatency.Mean()))
+		}
+		tb.AddRow(chLabel(ch), stats.Mean(l1r), stats.Mean(l2r), stats.Mean(l3r))
+		rep.Values["L2@"+chLabel(ch)] = stats.Mean(l2r)
+		rep.Values["LLC@"+chLabel(ch)] = stats.Mean(l3r)
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+func ratioOr1(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	return a / b
+}
+
+// Fig4 reproduces Figure 4: criticality prediction accuracy and coverage of
+// the six prior predictors, measured while Berti prefetches. Expected shape:
+// CATCH/FVP near 100% coverage with poor accuracy; best accuracy ~41%.
+func Fig4(sc Scale) (*Report, error) {
+	rep := newReport("fig4", "prior predictor accuracy/coverage under Berti")
+	mixes := append(homMixes(sc), hetMixes(sc)...)
+	agg := map[string]*criticality.Score{}
+	for _, name := range criticality.Names() {
+		agg[name] = &criticality.Score{}
+	}
+	for _, ch := range []int{8} {
+		r := workload.NewRunner(template(sc, ch))
+		for _, m := range mixes {
+			res, _, err := r.RunMix(m, workload.Variant{
+				Name: "berti+score",
+				Mutate: func(c *sim.Config) {
+					c.Prefetcher = "berti"
+					c.ScorePredictors = true
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			for name, sc2 := range res.PredScores {
+				a := agg[name]
+				a.TruePos += sc2.TruePos
+				a.FalsePos += sc2.FalsePos
+				a.FalseNeg += sc2.FalseNeg
+				a.TrueNeg += sc2.TrueNeg
+			}
+		}
+	}
+	tb := &stats.Table{Title: "fig4", Headers: []string{"predictor", "accuracy", "coverage"}}
+	for _, name := range criticality.Names() {
+		s := agg[name]
+		tb.AddRow(name, s.Accuracy(), s.Coverage())
+		rep.Values[name+".accuracy"] = s.Accuracy()
+		rep.Values[name+".coverage"] = s.Coverage()
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// Fig5 reproduces Figure 5: Berti gated by each prior criticality predictor
+// across channel counts, homogeneous and heterogeneous. Expected shape: no
+// predictor rescues Berti at low bandwidth.
+func Fig5(sc Scale) (*Report, error) {
+	rep := newReport("fig5", "Berti with prior criticality predictors (normalized WS)")
+	for _, part := range []struct {
+		label string
+		mixes []workload.Mix
+	}{{"hom", homMixes(sc)}, {"het", hetMixes(sc)}} {
+		rc := newRunnerCache(sc)
+		tb := &stats.Table{Title: "fig5-" + part.label,
+			Headers: append([]string{"variant"}, chLabels(sc.Channels)...)}
+		variants := []workload.Variant{pfVariant("berti")}
+		for _, p := range criticality.Names() {
+			variants = append(variants, critVariant("berti", p))
+		}
+		for _, v := range variants {
+			row := []interface{}{v.Name}
+			for _, ch := range sc.Channels {
+				ws, err := rc.mean(ch, part.mixes, v)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, ws)
+				rep.Values[part.label+"."+v.Name+"@"+chLabel(ch)] = ws
+			}
+			tb.AddRow(row...)
+		}
+		rep.Tables = append(rep.Tables, tb)
+	}
+	return rep, nil
+}
+
+// Fig6 reproduces Figure 6: Berti under the four throttlers across channel
+// counts. Expected shape: marginal improvements, slowdown remains.
+func Fig6(sc Scale) (*Report, error) {
+	rep := newReport("fig6", "Berti with prefetch throttlers (normalized WS)")
+	throttlers := []string{"fdp", "hpac", "spac", "nst"}
+	for _, part := range []struct {
+		label string
+		mixes []workload.Mix
+	}{{"hom", homMixes(sc)}, {"het", hetMixes(sc)}} {
+		rc := newRunnerCache(sc)
+		tb := &stats.Table{Title: "fig6-" + part.label,
+			Headers: append([]string{"variant"}, chLabels(sc.Channels)...)}
+		variants := []workload.Variant{pfVariant("berti")}
+		for _, th := range throttlers {
+			variants = append(variants, throttleVariant("berti", th))
+		}
+		for _, v := range variants {
+			row := []interface{}{v.Name}
+			for _, ch := range sc.Channels {
+				ws, err := rc.mean(ch, part.mixes, v)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, ws)
+				rep.Values[part.label+"."+v.Name+"@"+chLabel(ch)] = ws
+			}
+			tb.AddRow(row...)
+		}
+		rep.Tables = append(rep.Tables, tb)
+	}
+	return rep, nil
+}

@@ -1,0 +1,416 @@
+package experiments
+
+import (
+	"clip/internal/core"
+	"clip/internal/sim"
+	"clip/internal/stats"
+	"clip/internal/workload"
+)
+
+// simResult aliases sim.Result for the per-mix plumbing.
+type simResult = sim.Result
+
+// scoredClipVariant runs Berti+CLIP with the prior predictors attached in
+// observation mode (Figure 13 compares both on the same run).
+func scoredClipVariant() workload.Variant {
+	return workload.Variant{Name: "berti+clip+score", Mutate: func(c *sim.Config) {
+		c.Prefetcher = "berti"
+		cc := core.DefaultConfig()
+		c.CLIP = &cc
+		c.ScorePredictors = true
+	}}
+}
+
+// Fig17 reproduces Figure 17: CloudSuite and CVP homogeneous workloads
+// across channel counts. Expected shape: prefetchers gain little (<10%) even
+// with ample bandwidth, so the constrained-bandwidth problem is mild.
+func Fig17(sc Scale) (*Report, error) {
+	rep := newReport("fig17", "CloudSuite/CVP workloads (normalized WS)")
+	mixes := workload.CloudCVP(sc.Cores, sc.CloudMixes)
+	rc := newRunnerCache(sc)
+	tb := &stats.Table{Title: "fig17",
+		Headers: append([]string{"variant"}, chLabels(sc.Channels)...)}
+	for _, v := range []workload.Variant{pfVariant("berti"), clipVariant("berti")} {
+		row := []interface{}{v.Name}
+		for _, ch := range sc.Channels {
+			ws, err := rc.mean(ch, mixes, v)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ws)
+			rep.Values[v.Name+"@"+chLabel(ch)] = ws
+		}
+		tb.AddRow(row...)
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// Fig18 reproduces Figure 18: sensitivity to CLIP's table sizes, sweeping
+// both tables from 0.25x to 4x. Expected shape: small losses below 1x,
+// marginal gains above.
+func Fig18(sc Scale) (*Report, error) {
+	rep := newReport("fig18", "CLIP table size sensitivity (normalized WS at 8 channels)")
+	mixes := append(homMixes(sc), hetMixes(sc)...)
+	rc := newRunnerCache(sc)
+	tb := &stats.Table{Title: "fig18", Headers: []string{"scale", "normalized WS"}}
+	for _, f := range []float64{0.25, 0.5, 1, 2, 4} {
+		cc := core.DefaultConfig().Scale(f)
+		ws, err := rc.mean(8, mixes, clipVariantCfg("berti", cc))
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(f, ws)
+		rep.Values[fmtFloat(f)] = ws
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+func fmtFloat(f float64) string {
+	switch f {
+	case 0.25:
+		return "0.25x"
+	case 0.5:
+		return "0.50x"
+	case 1:
+		return "1x"
+	case 2:
+		return "2x"
+	case 4:
+		return "4x"
+	}
+	return "x"
+}
+
+// Fig19 reproduces Figure 19: CLIP with every prefetcher across channel
+// counts on homogeneous mixes.
+func Fig19(sc Scale) (*Report, error) {
+	return figClipVsChannels(sc, "fig19", homMixes(sc))
+}
+
+// Fig20 is Figure 20: the heterogeneous counterpart.
+func Fig20(sc Scale) (*Report, error) {
+	return figClipVsChannels(sc, "fig20", hetMixes(sc))
+}
+
+func figClipVsChannels(sc Scale, name string, mixes []workload.Mix) (*Report, error) {
+	rep := newReport(name, "prefetcher and prefetcher+CLIP vs channels (normalized WS)")
+	rc := newRunnerCache(sc)
+	tb := &stats.Table{Title: name,
+		Headers: append([]string{"variant"}, chLabels(sc.Channels)...)}
+	for _, pf := range paperPrefetchers {
+		for _, v := range []workload.Variant{pfVariant(pf), clipVariant(pf)} {
+			ser := &stats.Series{Name: v.Name}
+			row := []interface{}{v.Name}
+			for _, ch := range sc.Channels {
+				ws, err := rc.mean(ch, mixes, v)
+				if err != nil {
+					return nil, err
+				}
+				ser.Add(chLabel(ch), ws)
+				row = append(row, ws)
+				rep.Values[v.Name+"@"+chLabel(ch)] = ws
+			}
+			rep.Series = append(rep.Series, ser)
+			tb.AddRow(row...)
+		}
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// Fig21 reproduces Figure 21: Hermes and DSPatch against CLIP, all paired
+// with Berti, homogeneous and heterogeneous. Expected shape: CLIP wins at
+// 4-8 channels; Hermes catches up with ample bandwidth; DSPatch trails.
+func Fig21(sc Scale) (*Report, error) {
+	rep := newReport("fig21", "Hermes vs DSPatch vs CLIP with Berti (normalized WS)")
+	variants := []workload.Variant{
+		pfVariant("berti"), hermesVariant("berti"),
+		dspatchVariant("berti"), clipVariant("berti"),
+	}
+	for _, part := range []struct {
+		label string
+		mixes []workload.Mix
+	}{{"hom", homMixes(sc)}, {"het", hetMixes(sc)}} {
+		rc := newRunnerCache(sc)
+		tb := &stats.Table{Title: "fig21-" + part.label,
+			Headers: append([]string{"variant"}, chLabels(sc.Channels)...)}
+		for _, v := range variants {
+			row := []interface{}{v.Name}
+			for _, ch := range sc.Channels {
+				ws, err := rc.mean(ch, part.mixes, v)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, ws)
+				rep.Values[part.label+"."+v.Name+"@"+chLabel(ch)] = ws
+			}
+			tb.AddRow(row...)
+		}
+		rep.Tables = append(rep.Tables, tb)
+	}
+	return rep, nil
+}
+
+// Table2 reproduces Table 2: CLIP's per-core storage budget.
+func Table2() (*Report, error) {
+	rep := newReport("table2", "CLIP storage overhead per core")
+	tb := &stats.Table{Title: "table2", Headers: []string{"structure", "detail", "bytes"}}
+	cfg := core.DefaultConfig()
+	for _, it := range core.StorageBudget(cfg, 512) {
+		tb.AddRow(it.Structure, it.Detail, it.Bytes())
+	}
+	total := core.TotalStorageBytes(cfg, 512)
+	tb.AddRow("TOTAL", "", total)
+	rep.Values["total.bytes"] = total
+	rep.Values["total.KB"] = total / 1024
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// Energy reproduces the §5.1 energy result: dynamic memory-hierarchy energy
+// of Berti+CLIP relative to Berti. Expected shape: a double-digit percentage
+// reduction on homogeneous mixes (paper: 18.21%), smaller on heterogeneous
+// (paper: <7%).
+func Energy(sc Scale) (*Report, error) {
+	rep := newReport("energy", "dynamic memory-hierarchy energy: CLIP vs Berti")
+	tb := &stats.Table{Title: "energy",
+		Headers: []string{"mixes", "berti (uJ)", "berti+clip (uJ)", "reduction"}}
+	for _, part := range []struct {
+		label string
+		mixes []workload.Mix
+	}{{"hom", homMixes(sc)}, {"het", hetMixes(sc)}} {
+		r := workload.NewRunner(template(sc, 8))
+		var eb, ec []float64
+		for _, m := range part.mixes {
+			resB, _, err := r.RunMix(m, pfVariant("berti"))
+			if err != nil {
+				return nil, err
+			}
+			resC, _, err := r.RunMix(m, clipVariant("berti"))
+			if err != nil {
+				return nil, err
+			}
+			eb = append(eb, resB.Energy.Total())
+			ec = append(ec, resC.Energy.Total())
+		}
+		mb, mc := stats.Mean(eb), stats.Mean(ec)
+		red := 1 - stats.SafeDiv(mc, mb)
+		tb.AddRow(part.label, mb, mc, red)
+		rep.Values[part.label+".reduction"] = red
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// SensCores reproduces the §5.2 core-count sensitivity: CLIP's benefit at a
+// fixed cores-per-channel ratio across core counts.
+func SensCores(sc Scale) (*Report, error) {
+	rep := newReport("sens-cores", "CLIP benefit across core counts (8-channel-equivalent ratio)")
+	tb := &stats.Table{Title: "sens-cores", Headers: []string{"cores", "berti", "berti+clip"}}
+	for _, cores := range []int{4, 8, 16} {
+		s2 := sc
+		s2.Cores = cores
+		mixes := homMixes(s2)
+		b, err := meanNormWS(s2, 8, mixes, pfVariant("berti"))
+		if err != nil {
+			return nil, err
+		}
+		c, err := meanNormWS(s2, 8, mixes, clipVariant("berti"))
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(cores, b, c)
+		rep.Values[fmtInt(cores)+".berti"] = b
+		rep.Values[fmtInt(cores)+".clip"] = c
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// SensLLC reproduces the §5.2 LLC-capacity sensitivity: Berti and Berti+CLIP
+// at 8 channels while sweeping LLC capacity per core. Expected shape: Berti's
+// slowdown worsens with smaller LLCs; CLIP's protection grows.
+func SensLLC(sc Scale) (*Report, error) {
+	rep := newReport("sens-llc", "LLC capacity sweep at 8 channels (normalized WS)")
+	tb := &stats.Table{Title: "sens-llc", Headers: []string{"llc-sets", "berti", "berti+clip"}}
+	base := template(sc, 8)
+	for _, mult := range []float64{0.25, 0.5, 1, 2} {
+		sets := int(float64(base.LLC.Sets) * mult)
+		p := 1
+		for p*2 <= sets {
+			p *= 2
+		}
+		mixes := homMixes(sc)
+		run := func(v workload.Variant) (float64, error) {
+			inner := v.Mutate
+			v2 := workload.Variant{Name: v.Name, Mutate: func(c *sim.Config) {
+				c.LLC.Sets = p
+				if inner != nil {
+					inner(c)
+				}
+			}}
+			return meanNormWS(sc, 8, mixes, v2)
+		}
+		b, err := run(pfVariant("berti"))
+		if err != nil {
+			return nil, err
+		}
+		c, err := run(clipVariant("berti"))
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(p, b, c)
+		rep.Values[fmtInt(p)+".berti"] = b
+		rep.Values[fmtInt(p)+".clip"] = c
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// AblationSignature compares the critical signature against IP-only
+// predictor indexing (§4.2: IP-only "drops compared to a simple IP-based
+// prediction" in accuracy).
+func AblationSignature(sc Scale) (*Report, error) {
+	rep := newReport("ablation-signature", "critical signature vs IP-only indexing")
+	mixes := homMixes(sc)
+	full := core.DefaultConfig()
+	ipOnly := core.DefaultConfig()
+	ipOnly.UseSignature = false
+	tb := &stats.Table{Title: "ablation-signature",
+		Headers: []string{"variant", "normWS@8ch", "pred accuracy"}}
+	for _, v := range []struct {
+		name string
+		cfg  core.Config
+	}{{"signature", full}, {"ip-only", ipOnly}} {
+		r := workload.NewRunner(template(sc, 8))
+		var ws, acc []float64
+		for _, m := range mixes {
+			w, res, _, err := r.NormalizedWS(m, clipVariantCfg("berti", v.cfg))
+			if err != nil {
+				return nil, err
+			}
+			ws = append(ws, w)
+			acc = append(acc, res.Clip.PredictionAccuracy())
+		}
+		tb.AddRow(v.name, stats.Mean(ws), stats.Mean(acc))
+		rep.Values[v.name+".ws"] = stats.Mean(ws)
+		rep.Values[v.name+".accuracy"] = stats.Mean(acc)
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// AblationStages isolates Stage I (criticality filtering) from the full
+// two-stage design (§5.1: 77.5% of the benefit comes from criticality
+// filtering and prediction, the rest from accuracy filtering).
+func AblationStages(sc Scale) (*Report, error) {
+	rep := newReport("ablation-stages", "criticality-only vs two-stage CLIP")
+	mixes := homMixes(sc)
+	stage1 := core.DefaultConfig()
+	stage1.UseAccuracyStage = false
+	rc := newRunnerCache(sc)
+	tb := &stats.Table{Title: "ablation-stages", Headers: []string{"variant", "normWS@8ch"}}
+	for _, v := range []struct {
+		name string
+		cfg  core.Config
+	}{{"two-stage", core.DefaultConfig()}, {"criticality-only", stage1}} {
+		ws, err := rc.mean(8, mixes, clipVariantCfg("berti", v.cfg))
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(v.name, ws)
+		rep.Values[v.name] = ws
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// AblationThresholds sweeps the per-IP hit-rate threshold (80/90/100%) and
+// the criticality count threshold (§4.2's design-choice discussion).
+func AblationThresholds(sc Scale) (*Report, error) {
+	rep := newReport("ablation-thresholds", "hit-rate and criticality-count thresholds")
+	mixes := homMixes(sc)
+	rc := newRunnerCache(sc)
+	tb := &stats.Table{Title: "ablation-thresholds", Headers: []string{"knob", "value", "normWS@8ch"}}
+	for _, hr := range []float64{0.8, 0.9, 1.0} {
+		cc := core.DefaultConfig()
+		cc.HitRateThreshold = hr
+		ws, err := rc.mean(8, mixes, clipVariantCfg("berti", cc))
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow("hit-rate", hr, ws)
+		rep.Values["hitrate."+fmtFloat(hr)] = ws
+	}
+	for _, cnt := range []uint8{1, 2, 3} {
+		cc := core.DefaultConfig()
+		cc.CritCountThreshold = cnt
+		ws, err := rc.mean(8, mixes, clipVariantCfg("berti", cc))
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow("crit-count", cnt, ws)
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// AblationPriority toggles the criticality-conscious NoC and DRAM (§5.1:
+// they contribute 2.8% of the 24% gain).
+func AblationPriority(sc Scale) (*Report, error) {
+	rep := newReport("ablation-priority", "criticality-conscious NoC/DRAM on vs off")
+	mixes := homMixes(sc)
+	tb := &stats.Table{Title: "ablation-priority", Headers: []string{"variant", "normWS@8ch"}}
+	off := workload.Variant{Name: "clip-noprio", Mutate: func(c *sim.Config) {
+		c.Prefetcher = "berti"
+		cc := core.DefaultConfig()
+		c.CLIP = &cc
+		c.NoCCriticalPriority = false
+		c.DRAMCriticalPriority = false
+	}}
+	rc := newRunnerCache(sc)
+	for _, v := range []workload.Variant{clipVariant("berti"), off} {
+		ws, err := rc.mean(8, mixes, v)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(v.Name, ws)
+		rep.Values[v.Name] = ws
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+// AblationDynamic evaluates the paper's §5.3 "Dynamic CLIP" future-work
+// proposal: CLIP filtering that disengages while per-core DRAM bandwidth is
+// ample. Expected shape: dynamic CLIP tracks plain CLIP at low channel
+// counts and recovers (part of) the prefetcher's upside at high counts.
+func AblationDynamic(sc Scale) (*Report, error) {
+	rep := newReport("ablation-dynamic", "static vs dynamic CLIP across channels")
+	mixes := homMixes(sc)
+	rc := newRunnerCache(sc)
+	dyn := workload.Variant{Name: "berti+dynclip", Mutate: func(c *sim.Config) {
+		c.Prefetcher = "berti"
+		cc := core.DefaultConfig()
+		c.CLIP = &cc
+		c.DynamicCLIP = true
+	}}
+	tb := &stats.Table{Title: "ablation-dynamic",
+		Headers: append([]string{"variant"}, chLabels(sc.Channels)...)}
+	for _, v := range []workload.Variant{pfVariant("berti"), clipVariant("berti"), dyn} {
+		row := []interface{}{v.Name}
+		for _, ch := range sc.Channels {
+			ws, err := rc.mean(ch, mixes, v)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ws)
+			rep.Values[v.Name+"@"+chLabel(ch)] = ws
+		}
+		tb.AddRow(row...)
+	}
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}

@@ -1,0 +1,330 @@
+// Package noc models the on-chip interconnect of the baseline (Table 3): an
+// 8x8 mesh with XY routing, two-stage routers, one-flit address packets and
+// eight-flit data packets, and two priority classes standing in for virtual
+// channels. With CLIP, demand packets and critical-accurate prefetch packets
+// travel in the high class; plain prefetch packets in the low class — the
+// paper's "load criticality conscious NOC".
+//
+// The transport is modelled at packet granularity with store-and-forward
+// links (a flit-accurate wormhole pipeline would shave a few cycles per hop
+// but exhibits the same contention behaviour, which is what matters here:
+// prefetch bursts queue behind each other and delay demand packets).
+package noc
+
+import (
+	"fmt"
+
+	"clip/internal/stats"
+)
+
+// Config sizes the mesh.
+type Config struct {
+	Width, Height int
+	RouterStage   int // per-hop router pipeline latency in cycles
+	// VCs is the number of virtual channels per port (Table 3: six). The
+	// high class (demands, critical prefetches) owns VCs-2 of them; the low
+	// class shares the remaining two, so prefetch bursts cannot occupy the
+	// whole buffer pool while the weighted arbiter still guarantees them
+	// forward progress.
+	VCs int
+	// CriticalPriority arbitrates high-class packets ahead of low-class.
+	CriticalPriority bool
+}
+
+// DefaultConfig is the paper's 8x8 mesh with six VCs per port, scaled down
+// when nodes < 64.
+func DefaultConfig(nodes int) Config {
+	w := 1
+	for w*w < nodes {
+		w++
+	}
+	h := (nodes + w - 1) / w
+	return Config{Width: w, Height: h, RouterStage: 2, VCs: 6, CriticalPriority: true}
+}
+
+// Validate reports sizing errors.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 || c.RouterStage < 0 {
+		return fmt.Errorf("noc: invalid config %+v", c)
+	}
+	if c.VCs < 0 {
+		return fmt.Errorf("noc: negative VC count in %+v", c)
+	}
+	return nil
+}
+
+// Stats holds mesh counters.
+type Stats struct {
+	Packets     uint64
+	Flits       uint64
+	HighLatency stats.LatencyAcc
+	LowLatency  stats.LatencyAcc
+	LinkBusy    uint64
+	Cycles      uint64
+}
+
+// FlitsPerData is the data packet size (Table 3).
+const FlitsPerData = 8
+
+// FlitsPerAddr is the address packet size (Table 3).
+const FlitsPerAddr = 1
+
+type packet struct {
+	path    []int // link ids remaining
+	flits   int
+	high    bool
+	sent    uint64
+	deliver func(cycle uint64)
+}
+
+type link struct {
+	// vcs[0..hiVCs) carry the high class round-robin; the rest the low
+	// class. With CriticalPriority off, every packet uses vcs[0].
+	vcs      [][]*packet
+	hiVCs    int
+	rrHi     int // round-robin cursor over high VCs
+	rrLo     int
+	cur      *packet
+	busyLeft int
+	arb      uint8 // arbitration counter for weighted low-class service
+}
+
+func (l *link) hiLen() int {
+	n := 0
+	for v := 0; v < l.hiVCs; v++ {
+		n += len(l.vcs[v])
+	}
+	return n
+}
+
+func (l *link) loLen() int {
+	n := 0
+	for v := l.hiVCs; v < len(l.vcs); v++ {
+		n += len(l.vcs[v])
+	}
+	return n
+}
+
+// popHi dequeues the next high-class packet round-robin across its VCs.
+func (l *link) popHi() *packet {
+	for i := 0; i < l.hiVCs; i++ {
+		v := (l.rrHi + i) % l.hiVCs
+		if len(l.vcs[v]) > 0 {
+			p := l.vcs[v][0]
+			l.vcs[v] = l.vcs[v][1:]
+			l.rrHi = (v + 1) % l.hiVCs
+			return p
+		}
+	}
+	return nil
+}
+
+// popLo dequeues the next low-class packet round-robin across its VCs.
+func (l *link) popLo() *packet {
+	nLo := len(l.vcs) - l.hiVCs
+	if nLo == 0 {
+		return nil
+	}
+	for i := 0; i < nLo; i++ {
+		v := l.hiVCs + (l.rrLo+i)%nLo
+		if len(l.vcs[v]) > 0 {
+			p := l.vcs[v][0]
+			l.vcs[v] = l.vcs[v][1:]
+			l.rrLo = (v - l.hiVCs + 1) % nLo
+			return p
+		}
+	}
+	return nil
+}
+
+// Mesh is the interconnect.
+type Mesh struct {
+	cfg   Config
+	links []link
+	// pending holds packets between links (router pipeline delay).
+	pending []pendingHop
+	cycle   uint64
+	stats   Stats
+}
+
+type pendingHop struct {
+	p     *packet
+	ready uint64
+}
+
+// New constructs a mesh.
+func New(cfg Config) (*Mesh, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.VCs < 2 {
+		cfg.VCs = 2
+	}
+	hiVCs := cfg.VCs - 2
+	if hiVCs < 1 {
+		hiVCs = 1
+	}
+	// Four directed links per node is an upper bound; we address links as
+	// node*4+dir with dir: 0=east 1=west 2=north 3=south.
+	m := &Mesh{cfg: cfg, links: make([]link, cfg.Width*cfg.Height*4)}
+	for i := range m.links {
+		m.links[i].vcs = make([][]*packet, cfg.VCs)
+		m.links[i].hiVCs = hiVCs
+	}
+	return m, nil
+}
+
+// MustNew panics on config errors.
+func MustNew(cfg Config) *Mesh {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Stats returns live counters.
+func (m *Mesh) Stats() *Stats { return &m.stats }
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+
+func (m *Mesh) nodeXY(n int) (x, y int) { return n % m.cfg.Width, n / m.cfg.Width }
+
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+// route computes the XY path from src to dst as a list of link ids.
+func (m *Mesh) route(src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	var path []int
+	x, y := m.nodeXY(src)
+	dx, dy := m.nodeXY(dst)
+	cur := src
+	for x != dx {
+		if x < dx {
+			path = append(path, cur*4+dirEast)
+			x++
+		} else {
+			path = append(path, cur*4+dirWest)
+			x--
+		}
+		cur = y*m.cfg.Width + x
+	}
+	for y != dy {
+		if y < dy {
+			path = append(path, cur*4+dirSouth)
+			y++
+		} else {
+			path = append(path, cur*4+dirNorth)
+			y--
+		}
+		cur = y*m.cfg.Width + x
+	}
+	return path
+}
+
+// HopCount returns the Manhattan distance between nodes (diagnostics).
+func (m *Mesh) HopCount(src, dst int) int { return len(m.route(src, dst)) }
+
+// Send injects a packet. deliver is invoked (during a later Tick) when the
+// packet reaches dst. Zero-hop sends deliver after the router stage.
+func (m *Mesh) Send(src, dst, flits int, high bool, deliver func(cycle uint64)) {
+	if flits <= 0 {
+		flits = 1
+	}
+	p := &packet{path: m.route(src, dst), flits: flits, high: high,
+		sent: m.cycle, deliver: deliver}
+	m.stats.Packets++
+	m.stats.Flits += uint64(flits)
+	if len(p.path) == 0 {
+		m.pending = append(m.pending, pendingHop{p: p,
+			ready: m.cycle + uint64(m.cfg.RouterStage)})
+		return
+	}
+	m.enqueue(p)
+}
+
+func (m *Mesh) enqueue(p *packet) {
+	l := &m.links[p.path[0]]
+	if p.high || !m.cfg.CriticalPriority {
+		// Spread high-class packets over their VCs by hop parity (a cheap
+		// proxy for per-flow VC allocation).
+		v := len(p.path) % l.hiVCs
+		l.vcs[v] = append(l.vcs[v], p)
+		return
+	}
+	v := l.hiVCs + len(p.path)%(len(l.vcs)-l.hiVCs)
+	l.vcs[v] = append(l.vcs[v], p)
+}
+
+// Tick advances every link by one flit-cycle.
+func (m *Mesh) Tick(cycle uint64) {
+	m.cycle = cycle
+	m.stats.Cycles++
+
+	// Release packets whose router-stage delay elapsed.
+	if len(m.pending) > 0 {
+		rest := m.pending[:0]
+		for _, ph := range m.pending {
+			if ph.ready <= cycle {
+				m.advance(ph.p)
+			} else {
+				rest = append(rest, ph)
+			}
+		}
+		m.pending = rest
+	}
+
+	for i := range m.links {
+		l := &m.links[i]
+		if l.cur == nil {
+			// Weighted arbitration: the high class wins three of every four
+			// grants; the fourth goes to the low class so prefetch packets
+			// (whose upstream MSHRs wait on them) cannot starve outright —
+			// the guaranteed-forward-progress property real VC arbiters have.
+			l.arb++
+			if l.arb&3 == 0 && l.loLen() > 0 {
+				l.cur = l.popLo()
+			} else if l.hiLen() > 0 {
+				l.cur = l.popHi()
+			} else {
+				l.cur = l.popLo()
+			}
+			if l.cur == nil {
+				continue
+			}
+			l.busyLeft = l.cur.flits
+		}
+		m.stats.LinkBusy++
+		l.busyLeft--
+		if l.busyLeft == 0 {
+			p := l.cur
+			l.cur = nil
+			p.path = p.path[1:]
+			m.pending = append(m.pending, pendingHop{p: p,
+				ready: cycle + uint64(m.cfg.RouterStage)})
+		}
+	}
+}
+
+// advance moves a packet to its next link or delivers it.
+func (m *Mesh) advance(p *packet) {
+	if len(p.path) == 0 {
+		lat := m.cycle - p.sent
+		if p.high {
+			m.stats.HighLatency.Add(lat)
+		} else {
+			m.stats.LowLatency.Add(lat)
+		}
+		p.deliver(m.cycle)
+		return
+	}
+	m.enqueue(p)
+}

@@ -1,0 +1,144 @@
+package prefetch
+
+import "clip/internal/mem"
+
+// Bingo (Bakhshalipour et al., HPCA'19) is a spatial prefetcher that records
+// the footprint of 2KB regions and replays it on recurrence. It associates
+// each footprint with two events of different specificity:
+//
+//   - the long event "IP + Address" (an IP touching the same trigger address),
+//   - the short event "IP + Offset" (an IP touching the same offset in any
+//     region).
+//
+// Lookup prefers the long event and falls back to the short one, which is
+// Bingo's headline idea: don't correlate with a single event.
+type Bingo struct {
+	aggr
+	active  map[uint64]*bingoRegion // region id -> being-recorded footprint
+	activeQ []uint64
+	long    map[uint64]uint32 // (IP, full trigger addr) -> footprint bitmap
+	short   map[uint64]uint32 // (IP, offset) -> footprint bitmap
+	longQ   []uint64
+	shortQ  []uint64
+}
+
+type bingoRegion struct {
+	triggerIP   uint64
+	triggerAddr mem.Addr
+	bitmap      uint32
+	touches     int
+}
+
+const (
+	bingoRegionLines = 32 // 2KB regions
+	bingoActiveMax   = 64
+	bingoHistoryMax  = 2048
+)
+
+// NewBingo constructs an empty Bingo.
+func NewBingo() *Bingo {
+	return &Bingo{
+		active: map[uint64]*bingoRegion{},
+		long:   map[uint64]uint32{},
+		short:  map[uint64]uint32{},
+	}
+}
+
+// Name implements Prefetcher.
+func (b *Bingo) Name() string { return "bingo" }
+
+func longKey(ip uint64, addr mem.Addr) uint64 {
+	return mem.Mix64(ip<<32 ^ addr.LineID())
+}
+
+func shortKey(ip uint64, off int) uint64 {
+	return mem.Mix64(ip<<8 ^ uint64(off) ^ 0xb1690)
+}
+
+// Train implements Prefetcher.
+func (b *Bingo) Train(a Access) []Candidate {
+	rid := a.Addr.Region()
+	off := int(a.Addr.LineID() % bingoRegionLines)
+	regionBase := mem.Addr((a.Addr.LineID() - uint64(off)) << mem.LineShift)
+
+	if r, ok := b.active[rid]; ok {
+		// Region already being recorded: accumulate footprint.
+		if r.bitmap&(1<<off) == 0 {
+			r.bitmap |= 1 << off
+			r.touches++
+		}
+		return nil
+	}
+
+	// New region: commit the oldest if the tracker is full.
+	if len(b.active) >= bingoActiveMax {
+		old := b.activeQ[0]
+		b.activeQ = b.activeQ[1:]
+		b.commit(old)
+	}
+	b.active[rid] = &bingoRegion{
+		triggerIP: a.IP, triggerAddr: a.Addr, bitmap: 1 << off, touches: 1,
+	}
+	b.activeQ = append(b.activeQ, rid)
+
+	// Trigger access: predict the footprint from history.
+	fp, okLong := b.long[longKey(a.IP, a.Addr)]
+	if !okLong {
+		fp = b.short[shortKey(a.IP, off)]
+	}
+	if fp == 0 {
+		return nil
+	}
+	degree := degreeFor(8, b.Aggressiveness()) // footprints are bursty
+	var out []Candidate
+	for o := 0; o < bingoRegionLines && len(out) < degree; o++ {
+		if fp&(1<<o) == 0 || o == off {
+			continue
+		}
+		out = append(out, Candidate{
+			Addr:      regionBase + mem.Addr(o*mem.LineBytes),
+			TriggerIP: a.IP, FillLevel: mem.LevelL2,
+			Confidence: conf(okLong),
+		})
+	}
+	return out
+}
+
+func conf(long bool) float64 {
+	if long {
+		return 0.85
+	}
+	return 0.6
+}
+
+// commit stores a finished region's footprint under both events.
+func (b *Bingo) commit(rid uint64) {
+	r, ok := b.active[rid]
+	if !ok {
+		return
+	}
+	delete(b.active, rid)
+	if r.touches < 2 {
+		return // singleton regions teach nothing
+	}
+	lk := longKey(r.triggerIP, r.triggerAddr)
+	sk := shortKey(r.triggerIP, int(r.triggerAddr.LineID()%bingoRegionLines))
+	if _, exists := b.long[lk]; !exists {
+		if len(b.long) >= bingoHistoryMax {
+			old := b.longQ[0]
+			b.longQ = b.longQ[1:]
+			delete(b.long, old)
+		}
+		b.longQ = append(b.longQ, lk)
+	}
+	b.long[lk] = r.bitmap
+	if _, exists := b.short[sk]; !exists {
+		if len(b.short) >= bingoHistoryMax {
+			old := b.shortQ[0]
+			b.shortQ = b.shortQ[1:]
+			delete(b.short, old)
+		}
+		b.shortQ = append(b.shortQ, sk)
+	}
+	b.short[sk] = r.bitmap
+}

@@ -1,0 +1,128 @@
+package prefetch
+
+import (
+	"testing"
+
+	"clip/internal/mem"
+)
+
+func TestBertiTableEviction(t *testing.T) {
+	b := NewBerti()
+	// Touch more IPs than the table holds; the table must stay bounded and
+	// keep working for fresh IPs.
+	for ip := uint64(0); ip < bertiTableSize+32; ip++ {
+		for i := 0; i < 4; i++ {
+			b.Train(Access{IP: ip, Addr: mem.Addr(0x1000 + i*64), Cycle: uint64(i) * 300})
+		}
+	}
+	if len(b.table) > bertiTableSize {
+		t.Fatalf("Berti table grew to %d entries (cap %d)", len(b.table), bertiTableSize)
+	}
+	// A new IP still trains and eventually produces candidates.
+	got := feed(b, strideStream(0xFFFF, 0x900000, 1, 200))
+	if len(got) == 0 {
+		t.Fatal("Berti dead after eviction churn")
+	}
+}
+
+func TestBertiAgingFadesStaleDeltas(t *testing.T) {
+	b := NewBerti()
+	// Train delta 5, then switch the IP to delta 1 for a long time; delta 5
+	// must fade from the candidate mix.
+	ip := uint64(0x77)
+	feedOnly := func(stride int64, n int, startLine int64) {
+		line := startLine
+		for i := 0; i < n; i++ {
+			b.Train(Access{IP: ip, Addr: mem.Addr(uint64(line) << mem.LineShift),
+				Cycle: uint64(i) * 300})
+			line += stride
+		}
+	}
+	feedOnly(5, 300, 0x1000)
+	feedOnly(1, 6000, 0x900000>>mem.LineShift)
+	// Sample current candidates: the live delta must rank first.
+	cands := b.Train(Access{IP: ip, Addr: 0xA00000, Cycle: 10_000_000})
+	if len(cands) == 0 {
+		t.Fatal("no candidates after retraining")
+	}
+	top := int64(cands[0].Addr.LineID()) - int64(mem.Addr(0xA00000).LineID())
+	if top != 1 {
+		t.Fatalf("top delta = %d after aging, want the live delta 1", top)
+	}
+}
+
+func TestIPCPTableBounded(t *testing.T) {
+	p := NewIPCP()
+	for ip := uint64(0); ip < ipcpTableSize*2; ip++ {
+		p.Train(Access{IP: ip, Addr: mem.Addr(ip * 64), Cycle: ip})
+	}
+	if len(p.ip) > ipcpTableSize {
+		t.Fatalf("IPCP table grew to %d (cap %d)", len(p.ip), ipcpTableSize)
+	}
+}
+
+func TestStrideTableBounded(t *testing.T) {
+	s := NewStride()
+	for ip := uint64(0); ip < strideTableSize*2; ip++ {
+		s.Train(Access{IP: ip, Addr: mem.Addr(ip * 64)})
+	}
+	if len(s.table) > strideTableSize {
+		t.Fatalf("stride table grew to %d (cap %d)", len(s.table), strideTableSize)
+	}
+}
+
+func TestSPPPageTrackerBounded(t *testing.T) {
+	s := NewSPPPPF()
+	for page := uint64(0); page < sppPageMax*3; page++ {
+		s.Train(Access{IP: 1, Addr: mem.Addr(page * mem.PageBytes)})
+	}
+	if len(s.pages) > sppPageMax {
+		t.Fatalf("SPP page tracker grew to %d (cap %d)", len(s.pages), sppPageMax)
+	}
+}
+
+func TestSPPWeakestSlotReplacement(t *testing.T) {
+	s := NewSPPPPF()
+	sig := uint16(0x123)
+	// Fill the 4 delta slots, then hammer a 5th delta: it must displace the
+	// weakest, not be lost.
+	for i, d := range []int64{1, 2, 3, 4} {
+		for k := 0; k <= i; k++ { // varying strengths
+			s.learn(sig, d)
+		}
+	}
+	for k := 0; k < 10; k++ {
+		s.learn(sig, 9)
+	}
+	d, conf := s.lookup(sig)
+	if d != 9 {
+		t.Fatalf("dominant delta = %d (conf %v), want 9", d, conf)
+	}
+}
+
+func TestBingoActiveTrackerBounded(t *testing.T) {
+	b := NewBingo()
+	for r := 0; r < bingoActiveMax*3; r++ {
+		b.Train(Access{IP: 1, Addr: mem.Addr(r * 2048)})
+	}
+	if len(b.active) > bingoActiveMax {
+		t.Fatalf("Bingo active tracker grew to %d (cap %d)", len(b.active), bingoActiveMax)
+	}
+	if len(b.long) > bingoHistoryMax || len(b.short) > bingoHistoryMax {
+		t.Fatal("Bingo history tables unbounded")
+	}
+}
+
+func TestCandidatesAreLineAligned(t *testing.T) {
+	for _, name := range []string{"berti", "ipcp", "stride", "stream", "spppf", "bingo"} {
+		p, _ := New(name)
+		for _, c := range feed(p, strideStream(0x66, 0x800000, 1, 400)) {
+			if c.Addr != c.Addr.Line() {
+				t.Fatalf("%s produced unaligned candidate %#x", name, uint64(c.Addr))
+			}
+			if c.Addr == 0 {
+				t.Fatalf("%s produced null candidate", name)
+			}
+		}
+	}
+}

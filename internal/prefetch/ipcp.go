@@ -1,0 +1,196 @@
+package prefetch
+
+import "clip/internal/mem"
+
+// IPCP is the instruction pointer classifier prefetcher (Pakalapati & Panda,
+// ISCA'20). It classifies load IPs into three classes and dispatches to a
+// bouquet of per-class engines:
+//
+//   - CS (constant stride): high-confidence per-IP stride.
+//   - CPLX (complex): a delta-signature predictor for repeating non-constant
+//     stride sequences.
+//   - GS (global stream): region-density streaming detected across IPs.
+//
+// Priority on conflict: CS > CPLX > GS, as in the paper.
+type IPCP struct {
+	aggr
+	ip     map[uint64]*ipcpEntry
+	cplx   [ipcpCplxSize]cplxEntry
+	region map[uint64]*gsRegion
+	rr     []uint64
+}
+
+type ipcpEntry struct {
+	lastLine uint64
+	stride   int64
+	conf     int8
+	sig      uint16 // delta signature for CPLX
+}
+
+type cplxEntry struct {
+	delta int64
+	conf  int8
+}
+
+type gsRegion struct {
+	bitmap   uint64
+	lastOff  int
+	forward  int
+	backward int
+	touched  int
+}
+
+const (
+	ipcpTableSize  = 128
+	ipcpCplxSize   = 4096
+	ipcpCSConf     = 2
+	ipcpBaseDegree = 3
+	gsRegionMax    = 32
+	gsDenseThresh  = 12
+)
+
+// NewIPCP constructs the classifier with empty tables.
+func NewIPCP() *IPCP {
+	return &IPCP{ip: map[uint64]*ipcpEntry{}, region: map[uint64]*gsRegion{}}
+}
+
+// Name implements Prefetcher.
+func (p *IPCP) Name() string { return "ipcp" }
+
+// Train implements Prefetcher.
+func (p *IPCP) Train(a Access) []Candidate {
+	e := p.ip[a.IP]
+	line := a.Addr.LineID()
+	if e == nil {
+		if len(p.ip) >= ipcpTableSize {
+			old := p.rr[0]
+			p.rr = p.rr[1:]
+			delete(p.ip, old)
+		}
+		e = &ipcpEntry{lastLine: line}
+		p.ip[a.IP] = e
+		p.rr = append(p.rr, a.IP)
+		return p.trainGS(a)
+	}
+	delta := int64(line) - int64(e.lastLine)
+	e.lastLine = line
+	if delta == 0 {
+		return nil
+	}
+
+	// CS training.
+	if delta == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.conf--
+		if e.conf <= 0 {
+			e.stride = delta
+			e.conf = 1
+		}
+	}
+
+	// CPLX training: signature -> next delta.
+	idx := e.sig % ipcpCplxSize
+	ce := &p.cplx[idx]
+	if ce.delta == delta {
+		if ce.conf < 3 {
+			ce.conf++
+		}
+	} else {
+		ce.conf--
+		if ce.conf <= 0 {
+			ce.delta = delta
+			ce.conf = 1
+		}
+	}
+	e.sig = (e.sig<<3 ^ uint16(mem.Mix64(uint64(delta))&0x3f)) & 0xfff
+
+	degree := degreeFor(ipcpBaseDegree, p.Aggressiveness())
+
+	// CS class wins when confident.
+	if e.conf >= ipcpCSConf && e.stride != 0 {
+		var out []Candidate
+		for i := 1; i <= degree; i++ {
+			t := int64(line) + e.stride*int64(i)
+			if t <= 0 {
+				break
+			}
+			out = append(out, Candidate{
+				Addr:      mem.Addr(uint64(t) << mem.LineShift),
+				TriggerIP: a.IP, FillLevel: mem.LevelL1,
+				Confidence: 0.9,
+			})
+		}
+		return out
+	}
+
+	// CPLX class: follow the signature chain.
+	if ce.conf >= 2 && ce.delta != 0 {
+		t := int64(line) + ce.delta
+		if t > 0 {
+			return []Candidate{{
+				Addr:      mem.Addr(uint64(t) << mem.LineShift),
+				TriggerIP: a.IP, FillLevel: mem.LevelL2, Confidence: 0.6,
+			}}
+		}
+	}
+
+	return p.trainGS(a)
+}
+
+// trainGS detects dense sequential region activity across all IPs and
+// streams ahead of it.
+func (p *IPCP) trainGS(a Access) []Candidate {
+	rid := a.Addr.Region()
+	r := p.region[rid]
+	if r == nil {
+		if len(p.region) >= gsRegionMax {
+			// Drop an arbitrary-but-deterministic region: the smallest key.
+			var minK uint64 = ^uint64(0)
+			for k := range p.region {
+				if k < minK {
+					minK = k
+				}
+			}
+			delete(p.region, minK)
+		}
+		r = &gsRegion{lastOff: -1}
+		p.region[rid] = r
+	}
+	off := int(a.Addr.LineID() & 31) // 2KB region = 32 lines
+	if r.bitmap&(1<<off) == 0 {
+		r.bitmap |= 1 << off
+		r.touched++
+	}
+	if r.lastOff >= 0 {
+		if off > r.lastOff {
+			r.forward++
+		} else if off < r.lastOff {
+			r.backward++
+		}
+	}
+	r.lastOff = off
+	if r.touched < gsDenseThresh {
+		return nil
+	}
+	dir := int64(1)
+	if r.backward > r.forward {
+		dir = -1
+	}
+	degree := degreeFor(ipcpBaseDegree+1, p.Aggressiveness())
+	line := int64(a.Addr.LineID())
+	var out []Candidate
+	for i := 1; i <= degree; i++ {
+		t := line + dir*int64(i)
+		if t <= 0 {
+			break
+		}
+		out = append(out, Candidate{
+			Addr:      mem.Addr(uint64(t) << mem.LineShift),
+			TriggerIP: a.IP, FillLevel: mem.LevelL1, Confidence: 0.7,
+		})
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+// Package prefetch implements the data prefetchers the paper evaluates:
+// Berti (MICRO'22), IPCP (ISCA'20), Bingo (HPCA'19) and SPP-PPF (MICRO'16 +
+// ISCA'19), plus the classic IP-stride and streamer baselines that prefetch
+// throttlers were originally designed for.
+//
+// All prefetchers train on the demand access stream of the cache level they
+// are attached to (Berti/IPCP at L1D, Bingo/SPP-PPF at L2 in the paper) and
+// return candidate prefetch addresses from Train.
+package prefetch
+
+import (
+	"fmt"
+
+	"clip/internal/mem"
+)
+
+// Access is one demand access observed at the attach level.
+type Access struct {
+	IP    uint64
+	Addr  mem.Addr
+	Hit   bool
+	Cycle uint64
+}
+
+// Candidate is a prefetch the prefetcher wants issued.
+type Candidate struct {
+	Addr       mem.Addr
+	TriggerIP  uint64
+	FillLevel  mem.Level
+	Confidence float64
+}
+
+// Prefetcher is the common interface.
+type Prefetcher interface {
+	Name() string
+	// Train observes one demand access and returns zero or more candidates.
+	Train(a Access) []Candidate
+}
+
+// FeedbackSink is implemented by prefetchers that learn from usefulness
+// feedback (PPF's perceptron filter).
+type FeedbackSink interface {
+	Feedback(c Candidate, useful bool)
+}
+
+// Throttleable is implemented by prefetchers whose aggressiveness the
+// throttlers (FDP/HPAC/SPAC/NST) can adjust. Level ranges 1 (conservative)
+// to 5 (aggressive); 3 is the default.
+type Throttleable interface {
+	SetAggressiveness(level int)
+	Aggressiveness() int
+}
+
+// aggr is the shared aggressiveness knob.
+type aggr struct{ level int }
+
+func (a *aggr) SetAggressiveness(level int) {
+	if level < 1 {
+		level = 1
+	}
+	if level > 5 {
+		level = 5
+	}
+	a.level = level
+}
+
+func (a *aggr) Aggressiveness() int {
+	if a.level == 0 {
+		return 3
+	}
+	return a.level
+}
+
+// degreeFor maps aggressiveness to a prefetch degree given a base degree.
+func degreeFor(base, level int) int {
+	d := base + (level - 3)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// New constructs a prefetcher by name: "berti", "ipcp", "bingo", "spppf",
+// "stride", "stream", or "none" (nil-object that never prefetches).
+func New(name string) (Prefetcher, error) {
+	switch name {
+	case "berti":
+		return NewBerti(), nil
+	case "ipcp":
+		return NewIPCP(), nil
+	case "bingo":
+		return NewBingo(), nil
+	case "spppf":
+		return NewSPPPPF(), nil
+	case "stride":
+		return NewStride(), nil
+	case "stream":
+		return NewStream(), nil
+	case "none", "":
+		return None{}, nil
+	}
+	return nil, fmt.Errorf("prefetch: unknown prefetcher %q", name)
+}
+
+// Names lists the available prefetcher names.
+func Names() []string {
+	return []string{"berti", "ipcp", "bingo", "spppf", "stride", "stream", "none"}
+}
+
+// None never prefetches.
+type None struct{}
+
+// Name implements Prefetcher.
+func (None) Name() string { return "none" }
+
+// Train implements Prefetcher.
+func (None) Train(Access) []Candidate { return nil }

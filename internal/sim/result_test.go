@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+
+	"clip/internal/cache"
+)
+
+func TestResultDerivedMetrics(t *testing.T) {
+	r := &Result{}
+	r.IPC = []float64{1, 2, 3}
+	if r.MeanIPC() != 2 || r.SumIPC() != 6 {
+		t.Fatalf("mean %v sum %v", r.MeanIPC(), r.SumIPC())
+	}
+
+	// PrefetchAccuracy prefers L1 when it has fills, else L2.
+	r.L1 = cache.Stats{PFFills: 10, PFUseful: 8}
+	if acc := r.PrefetchAccuracy(); acc != 0.8 {
+		t.Fatalf("L1 accuracy %v", acc)
+	}
+	r.L1 = cache.Stats{}
+	r.L2 = cache.Stats{PFFills: 10, PFUseful: 5}
+	if acc := r.PrefetchAccuracy(); acc != 0.5 {
+		t.Fatalf("L2 fallback accuracy %v", acc)
+	}
+
+	// Lateness across levels.
+	r.L1 = cache.Stats{PFLate: 3, PFUseful: 1}
+	r.L2 = cache.Stats{PFLate: 1, PFUseful: 3}
+	if l := r.Lateness(); l != 0.5 {
+		t.Fatalf("lateness %v, want 0.5", l)
+	}
+}
+
+func TestTLBStatsDerived(t *testing.T) {
+	ts := tlbStats{Accesses: 10, DTLBHits: 9}
+	if ts.DTLBHitRate() != 0.9 {
+		t.Fatalf("hit rate %v", ts.DTLBHitRate())
+	}
+	var empty tlbStats
+	if empty.DTLBHitRate() != 0 {
+		t.Fatal("empty TLB stats should be 0")
+	}
+}
+
+func TestICacheStatsDerived(t *testing.T) {
+	s := ICacheStats{Fetches: 100, Misses: 5}
+	if hr := s.HitRate(); hr != 0.95 {
+		t.Fatalf("hit rate %v", hr)
+	}
+}

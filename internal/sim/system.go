@@ -1,0 +1,536 @@
+package sim
+
+import (
+	"fmt"
+
+	"clip/internal/cache"
+	"clip/internal/core"
+	"clip/internal/cpu"
+	"clip/internal/criticality"
+	"clip/internal/dram"
+	"clip/internal/hermes"
+	"clip/internal/mem"
+	"clip/internal/noc"
+	"clip/internal/prefetch"
+	"clip/internal/throttle"
+	"clip/internal/tlb"
+	"clip/internal/trace"
+)
+
+// System is one assembled simulation instance.
+type System struct {
+	cfg Config
+
+	cores []*cpu.Core
+	l1d   []*cache.Cache
+	l2    []*cache.Cache
+	llc   []*cache.Cache // one slice per core/node
+	mesh  *noc.Mesh
+	dram  *dram.DRAM
+
+	ports   []*corePort
+	icaches []*icache
+	tlbs    []*tlb.Hierarchy
+	dynClip *dynamicClip
+
+	pf        []prefetch.Prefetcher
+	clip      []*core.CLIP
+	critPred  []criticality.Predictor // per-core filter predictor (Fig 5)
+	scored    [][]scoredPredictor     // per-core observation predictors (Fig 4)
+	throttler []throttle.Throttler
+	hermes    []*hermes.Predictor
+
+	// dramPending holds DRAM responses until their DoneCycle.
+	dramPending []mem.Response
+	// llcRetry holds requests whose LLC slice refused them at NoC delivery.
+	llcRetry [][]mem.Request
+	// hermesBypass marks in-flight direct-to-DRAM loads: key core<<48^line.
+	hermesBypass map[uint64]int
+	// hermesHold delays bypassed fills by the on-chip portion Hermes still
+	// pays (tag/coherence checks, fill path): the bypass removes the cache
+	// *walk* from the DRAM access's start, not the chip from its end.
+	hermesHold []mem.Response
+
+	epochPrev []epochSnapshot
+
+	// pfGenerated counts prefetch candidates produced by the prefetcher;
+	// pfIssued counts those that survived filtering (Figure 16's ratio).
+	pfGenerated []uint64
+	pfIssued    []uint64
+
+	// pfQ is the per-core prefetch queue (ChampSim's PQ): filtered
+	// candidates wait here for cache port/queue space instead of being
+	// dropped on first refusal, sustaining prefetch pressure.
+	pfQ [][]pfEntry
+
+	cycle        uint64
+	measureStart uint64
+	attachL2     bool
+}
+
+type scoredPredictor struct {
+	pred  criticality.Predictor
+	score criticality.Score
+}
+
+// pfEntry is one queued prefetch and its injection cache.
+type pfEntry struct {
+	req  mem.Request
+	toL2 bool
+}
+
+type epochSnapshot struct {
+	pfFills, pfUseful, pfLate, pfPolluting, misses, retired uint64
+}
+
+// NewSystem builds and wires a system.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Cores()
+	s := &System{
+		cfg:          cfg,
+		mesh:         noc.MustNew(meshConfig(n, cfg.NoCCriticalPriority)),
+		dram:         dram.MustNew(cfg.dramConfig()),
+		llcRetry:     make([][]mem.Request, n),
+		pfQ:          make([][]pfEntry, n),
+		hermesBypass: map[uint64]int{},
+		epochPrev:    make([]epochSnapshot, n),
+		attachL2:     prefetchAttachL2(cfg.Prefetcher),
+	}
+
+	// DRAM responses are held until their DoneCycle, then routed to the
+	// owning LLC slice (or to L1 directly for Hermes bypass loads).
+	s.dram.OnResponse(func(r mem.Response) { s.dramPending = append(s.dramPending, r) })
+
+	// Build caches bottom-up per core.
+	for i := 0; i < n; i++ {
+		i := i
+		llcCfg := cache.Config{
+			Name: fmt.Sprintf("llc%d", i), Level: mem.LevelLLC,
+			Sets: cfg.LLC.Sets, Ways: cfg.LLC.Ways, Latency: cfg.LLC.Latency,
+			MSHRs: cfg.LLC.MSHRs, Policy: cfg.LLC.Policy, Ports: cfg.LLC.Ports,
+			InQ: cfg.LLC.InQ,
+		}
+		llc := cache.MustNew(llcCfg, s.dram)
+		// LLC responses travel the mesh back to the requesting core's L2.
+		llc.OnResponse(func(r mem.Response) {
+			dst := r.Req.Core
+			s.mesh.Send(i, dst, noc.FlitsPerData, s.packetHigh(r.Req), func(cy uint64) {
+				r2 := r
+				r2.DoneCycle = cy
+				s.l2[dst].Fill(r2)
+			})
+		})
+		s.llc = append(s.llc, llc)
+	}
+
+	for i := 0; i < n; i++ {
+		i := i
+		l2Cfg := cache.Config{
+			Name: fmt.Sprintf("l2-%d", i), Level: mem.LevelL2,
+			Sets: cfg.L2.Sets, Ways: cfg.L2.Ways, Latency: cfg.L2.Latency,
+			MSHRs: cfg.L2.MSHRs, Policy: cfg.L2.Policy, Ports: cfg.L2.Ports,
+			InQ: cfg.L2.InQ,
+		}
+		l2 := cache.MustNew(l2Cfg, &l2Lower{s: s, core: i})
+		l2.OnResponse(func(r mem.Response) { s.l1d[i].Fill(r) })
+		s.l2 = append(s.l2, l2)
+	}
+
+	for i := 0; i < n; i++ {
+		i := i
+		l1Cfg := cache.Config{
+			Name: fmt.Sprintf("l1d-%d", i), Level: mem.LevelL1,
+			Sets: cfg.L1D.Sets, Ways: cfg.L1D.Ways, Latency: cfg.L1D.Latency,
+			MSHRs: cfg.L1D.MSHRs, Policy: cfg.L1D.Policy, Ports: cfg.L1D.Ports,
+			InQ: cfg.L1D.InQ,
+		}
+		l1 := cache.MustNew(l1Cfg, &l1Lower{s: s, core: i})
+		l1.OnResponse(func(r mem.Response) {
+			if r.Req.ROBIndex >= 0 && r.Req.Core == i {
+				s.cores[i].CompleteLoad(r)
+			}
+		})
+		s.l1d = append(s.l1d, l1)
+	}
+
+	// Front-end models: per-core TLB hierarchy and L1I.
+	div := cfg.ScaleDivisor
+	if div < 1 {
+		div = 1
+	}
+	for i := 0; i < n; i++ {
+		var th *tlb.Hierarchy
+		if cfg.EnableTLB {
+			h, err := tlb.New(tlb.DefaultConfig(div))
+			if err != nil {
+				return nil, err
+			}
+			th = h
+		}
+		s.tlbs = append(s.tlbs, th)
+		s.ports = append(s.ports, &corePort{s: s, core: i, tlbs: th})
+		if cfg.EnableL1I {
+			// Table 3: 32KB 8-way L1I (512 lines), scaled like the L1D; a
+			// miss costs the on-chip round trip to where code resides.
+			sets := 64 / max(1, div/2)
+			if sets < 8 {
+				sets = 8
+			}
+			s.icaches = append(s.icaches, newICache(sets, 8,
+				cfg.L2.Latency+cfg.LLC.Latency))
+		} else {
+			s.icaches = append(s.icaches, nil)
+		}
+	}
+	if cfg.DynamicCLIP {
+		s.dynClip = &dynamicClip{active: true}
+	}
+
+	// Cores with their workloads.
+	scale := cfg.TraceScale()
+	for i := 0; i < n; i++ {
+		tcfg, err := trace.Lookup(cfg.Workload[i], scale)
+		if err != nil {
+			return nil, err
+		}
+		tcfg.Seed = mem.HashString(cfg.Workload[i]) ^ cfg.Seed ^ uint64(i)<<32
+		// SPEC-rate semantics: each core runs in a private address space.
+		tcfg.AddrOffset = mem.Addr(uint64(i+1) << 42)
+		gen, err := trace.New(tcfg)
+		if err != nil {
+			return nil, err
+		}
+		budget := cfg.WarmupInstr
+		if budget == 0 {
+			budget = cfg.InstrPerCore
+		}
+		c, err := cpu.New(i, cfg.CPU, gen, s.ports[i], budget)
+		if err != nil {
+			return nil, err
+		}
+		if ic := s.icaches[i]; ic != nil {
+			c.SetFetchChecker(ic.fetch)
+		}
+		s.cores = append(s.cores, c)
+	}
+
+	if err := s.attachMechanisms(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func meshConfig(nodes int, critPrio bool) noc.Config {
+	c := noc.DefaultConfig(nodes)
+	c.CriticalPriority = critPrio
+	return c
+}
+
+// packetHigh classifies a request into the NoC priority classes: demands and
+// CLIP-critical prefetches ride high.
+func (s *System) packetHigh(req mem.Request) bool {
+	if req.Type == mem.Prefetch {
+		return req.Critical
+	}
+	return true
+}
+
+// sliceOf maps a line to its LLC slice (address-interleaved).
+func (s *System) sliceOf(addr mem.Addr) int {
+	return int(mem.Mix64(addr.LineID()>>2) % uint64(len(s.llc)))
+}
+
+// l2Lower carries L2 misses over the mesh to the owning LLC slice.
+type l2Lower struct {
+	s    *System
+	core int
+}
+
+// Issue implements cache.Lower.
+func (l *l2Lower) Issue(req mem.Request) bool {
+	s := l.s
+	slice := s.sliceOf(req.Addr)
+	s.mesh.Send(l.core, slice, noc.FlitsPerAddr, s.packetHigh(req), func(cy uint64) {
+		if !s.llc[slice].Issue(req) {
+			s.llcRetry[slice] = append(s.llcRetry[slice], req)
+		}
+	})
+	return true
+}
+
+// l1Lower sits between L1D and L2; it implements the Hermes bypass.
+type l1Lower struct {
+	s    *System
+	core int
+}
+
+// Issue implements cache.Lower.
+func (l *l1Lower) Issue(req mem.Request) bool {
+	s := l.s
+	if h := s.hermesFor(l.core); h != nil && req.Type == mem.Load {
+		if h.PredictOffChip(req.IP, req.Addr) {
+			slice := s.sliceOf(req.Addr)
+			if !s.l2[l.core].Probe(req.Addr) && !s.llc[slice].Probe(req.Addr) {
+				// True off-chip: start the DRAM access now, skipping the
+				// on-chip walk (the paper's latency saving).
+				if s.dram.Issue(req) {
+					s.hermesBypass[bypassKey(l.core, req.Addr)]++
+					return true
+				}
+				return false
+			}
+			// Mispredicted probe: the real Hermes would have burned a DRAM
+			// read; model the wasted bandwidth with a low-priority read.
+			waste := req
+			waste.Type = mem.Prefetch
+			waste.ROBIndex = -1
+			s.dram.Issue(waste)
+		}
+	}
+	return s.l2[l.core].Issue(req)
+}
+
+func bypassKey(core int, addr mem.Addr) uint64 {
+	return uint64(core)<<48 ^ addr.LineID()
+}
+
+func (s *System) hermesFor(core int) *hermes.Predictor {
+	if s.hermes == nil {
+		return nil
+	}
+	return s.hermes[core]
+}
+
+// Tick advances the whole system one cycle.
+func (s *System) Tick() {
+	cy := s.cycle
+	for i, c := range s.cores {
+		c.Tick(cy)
+		s.ports[i].Tick(cy)
+		s.drainPFQ(i)
+		s.l1d[i].Tick(cy)
+		s.l2[i].Tick(cy)
+	}
+	if s.dynClip != nil {
+		s.dynClip.update(cy, s.dram.GlobalUtilization())
+	}
+	s.mesh.Tick(cy)
+	for i, l := range s.llc {
+		// Retry refused deliveries before new work.
+		if len(s.llcRetry[i]) > 0 {
+			rest := s.llcRetry[i][:0]
+			for _, req := range s.llcRetry[i] {
+				if !l.Issue(req) {
+					rest = append(rest, req)
+				}
+			}
+			s.llcRetry[i] = rest
+		}
+		l.Tick(cy)
+	}
+	s.dram.Tick(cy)
+	s.deliverDRAM(cy)
+	s.deliverHermesHeld(cy)
+	if s.throttler != nil {
+		s.tickThrottlers(cy)
+	}
+	s.cycle++
+}
+
+// drainPFQ issues queued prefetches while the target caches accept them
+// (up to two per cycle, the prefetcher's issue bandwidth).
+func (s *System) drainPFQ(i int) {
+	q := s.pfQ[i]
+	issued := 0
+	for len(q) > 0 && issued < 2 {
+		e := q[0]
+		target := s.l1d[i]
+		if e.toL2 {
+			target = s.l2[i]
+		}
+		if !target.TryIssue(e.req) {
+			break
+		}
+		q = q[1:]
+		issued++
+		s.pfIssued[i]++
+	}
+	s.pfQ[i] = q
+}
+
+// hermesFillPath is the on-chip latency a Hermes-accelerated fill still
+// pays on its way to the L1 (LLC+L2 fill pipeline and the return NoC hops);
+// the bypass only removes the serialized cache *walk* before DRAM.
+const hermesFillPath = 45
+
+// deliverHermesHeld completes bypassed fills whose on-chip path elapsed.
+func (s *System) deliverHermesHeld(cy uint64) {
+	if len(s.hermesHold) == 0 {
+		return
+	}
+	rest := s.hermesHold[:0]
+	for _, r := range s.hermesHold {
+		if r.DoneCycle > cy {
+			rest = append(rest, r)
+			continue
+		}
+		s.llc[s.sliceOf(r.Req.Addr)].Fill(r)
+		s.l2[r.Req.Core].Fill(r)
+		s.l1d[r.Req.Core].Fill(r)
+	}
+	s.hermesHold = rest
+}
+
+// deliverDRAM routes matured DRAM responses.
+func (s *System) deliverDRAM(cy uint64) {
+	if len(s.dramPending) == 0 {
+		return
+	}
+	rest := s.dramPending[:0]
+	for _, r := range s.dramPending {
+		if r.DoneCycle > cy {
+			rest = append(rest, r)
+			continue
+		}
+		key := bypassKey(r.Req.Core, r.Req.Addr)
+		if n, ok := s.hermesBypass[key]; ok && n > 0 && r.Req.Type == mem.Load {
+			if n == 1 {
+				delete(s.hermesBypass, key)
+			} else {
+				s.hermesBypass[key] = n - 1
+			}
+			// Bypass fill: hold it for the on-chip fill path Hermes still
+			// traverses, then wake the L1 MSHR and install copies.
+			held := r
+			held.DoneCycle = cy + hermesFillPath
+			s.hermesHold = append(s.hermesHold, held)
+			continue
+		}
+		s.llc[s.sliceOf(r.Req.Addr)].Fill(r)
+	}
+	s.dramPending = rest
+}
+
+// Finished reports whether every core retired its budget.
+func (s *System) Finished() bool {
+	for _, c := range s.cores {
+		if !c.Finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// resetStats zeroes all measurement counters at the warmup barrier.
+func (s *System) resetStats() {
+	for i := range s.cores {
+		s.cores[i].ResetStats()
+		*s.l1d[i].Stats() = cache.Stats{}
+		*s.l2[i].Stats() = cache.Stats{}
+		*s.llc[i].Stats() = cache.Stats{}
+		if s.clip != nil && s.clip[i] != nil {
+			*s.clip[i].Stats() = core.Stats{}
+		}
+		if s.scored != nil {
+			for j := range s.scored[i] {
+				s.scored[i][j].score = criticality.Score{}
+			}
+		}
+	}
+	*s.dram.Stats() = dram.Stats{}
+	*s.mesh.Stats() = noc.Stats{}
+	if s.dynClip != nil {
+		s.dynClip.resetCounters()
+	}
+	for i := range s.pfGenerated {
+		s.pfGenerated[i] = 0
+		s.pfIssued[i] = 0
+	}
+}
+
+// Run executes the configured simulation.
+func Run(cfg Config) (*Result, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = (cfg.WarmupInstr + cfg.InstrPerCore) * 300
+		if maxCycles < 2_000_000 {
+			maxCycles = 2_000_000
+		}
+	}
+
+	warmed := cfg.WarmupInstr == 0
+	for s.cycle < maxCycles {
+		s.Tick()
+		if !warmed && s.Finished() {
+			// Warmup barrier: zero counters, extend budgets.
+			warmed = true
+			s.resetStats()
+			s.measureStart = s.cycle
+			for _, c := range s.cores {
+				c.ExtendBudget(cfg.InstrPerCore)
+			}
+			continue
+		}
+		if warmed && s.Finished() {
+			break
+		}
+	}
+	return s.collect(), nil
+}
+
+// tickThrottlers runs the epoch controllers.
+func (s *System) tickThrottlers(cy uint64) {
+	epoch := s.cfg.ThrottleEpoch
+	if epoch == 0 {
+		epoch = 4096
+	}
+	if cy == 0 || cy%epoch != 0 {
+		return
+	}
+	for i, th := range s.throttler {
+		if th == nil {
+			continue
+		}
+		attach := s.l1d[i]
+		if s.attachL2 {
+			attach = s.l2[i]
+		}
+		st := attach.Stats()
+		prev := &s.epochPrev[i]
+		dFills := st.PFFills - prev.pfFills
+		dUseful := st.PFUseful - prev.pfUseful
+		dLate := st.PFLate - prev.pfLate
+		dPoll := st.PFPolluting - prev.pfPolluting
+		dMiss := st.DemandMisses - prev.misses
+		retired := s.cores[i].Stats().Retired
+		dRet := retired - prev.retired
+		prev.pfFills, prev.pfUseful, prev.pfLate = st.PFFills, st.PFUseful, st.PFLate
+		prev.pfPolluting, prev.misses, prev.retired = st.PFPolluting, st.DemandMisses, retired
+
+		m := throttle.Metrics{
+			BandwidthUtil: s.dram.GlobalUtilization(),
+			CoreIPC:       float64(dRet) / float64(epoch),
+		}
+		if dFills+dLate > 0 {
+			m.Accuracy = float64(dUseful+dLate) / float64(dFills+dLate)
+		}
+		if dUseful+dLate > 0 {
+			m.Lateness = float64(dLate) / float64(dUseful+dLate)
+		}
+		if dMiss > 0 {
+			m.Pollution = float64(dPoll) / float64(dMiss)
+		}
+		// Interference proxy: average DRAM queueing delay relative to a
+		// lightly-loaded controller.
+		qd := s.dram.Stats().QueueDelay.Mean()
+		m.OtherCoreSlow = qd / (qd + 200)
+		th.Adjust(m)
+	}
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders grouped horizontal bar charts in plain text — the harness's
+// stand-in for the paper's figures. Each Series is one legend entry; labels
+// are the x-axis groups (e.g. channel counts).
+type Chart struct {
+	Title  string
+	Series []*Series
+	// Baseline draws a reference mark at this value (1.0 for normalized
+	// weighted speedup); zero disables it.
+	Baseline float64
+	// Width is the bar area width in characters (default 40).
+	Width int
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(c.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	// Global scale.
+	maxV := c.Baseline
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+
+	nameW := 0
+	for _, s := range c.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+
+	// Group by label position: assume all series share the label sequence
+	// of the longest one.
+	var labels []string
+	for _, s := range c.Series {
+		if len(s.Labels) > len(labels) {
+			labels = s.Labels
+		}
+	}
+	baselineCol := -1
+	if c.Baseline > 0 {
+		baselineCol = int(math.Round(c.Baseline / maxV * float64(width)))
+	}
+	for li, label := range labels {
+		fmt.Fprintf(&b, "%s\n", label)
+		for _, s := range c.Series {
+			if li >= len(s.Values) {
+				continue
+			}
+			v := s.Values[li]
+			n := int(math.Round(v / maxV * float64(width)))
+			if n < 0 {
+				n = 0
+			}
+			bar := []rune(strings.Repeat("#", n) + strings.Repeat(" ", width-n+1))
+			if baselineCol >= 0 && baselineCol < len(bar) {
+				if bar[baselineCol] == ' ' {
+					bar[baselineCol] = '|'
+				}
+			}
+			fmt.Fprintf(&b, "  %-*s %s %.3f\n", nameW, s.Name, string(bar), v)
+		}
+	}
+	return b.String()
+}
+
+// Histogram accumulates values into log2-spaced buckets — cheap tail
+// visibility for latency distributions (P50/P95 estimates).
+type Histogram struct {
+	Buckets [32]uint64 // bucket i holds values in [2^i, 2^(i+1))
+	Count   uint64
+	Sum     uint64
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v uint64) {
+	b := 0
+	for x := v; x > 1 && b < len(h.Buckets)-1; x >>= 1 {
+		b++
+	}
+	h.Buckets[b]++
+	h.Count++
+	h.Sum += v
+}
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) as the upper bound of the
+// bucket containing it.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Count))
+	var acc uint64
+	for i, n := range h.Buckets {
+		acc += n
+		if acc > target {
+			return 1 << uint(i+1)
+		}
+	}
+	return 1 << 31
+}
+
+// String renders a compact distribution summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50<=%d p95<=%d p99<=%d",
+		h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99))
+}

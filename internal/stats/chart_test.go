@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersBarsAndBaseline(t *testing.T) {
+	s1 := &Series{Name: "berti"}
+	s1.Add("4ch", 0.8)
+	s1.Add("8ch", 1.2)
+	s2 := &Series{Name: "berti+clip"}
+	s2.Add("4ch", 1.0)
+	s2.Add("8ch", 1.1)
+	c := &Chart{Title: "fig", Series: []*Series{s1, s2}, Baseline: 1.0, Width: 20}
+	out := c.String()
+	for _, want := range []string{"fig", "4ch", "8ch", "berti", "berti+clip", "#", "|", "1.200"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The larger value draws the longer bar.
+	lines := strings.Split(out, "\n")
+	countHash := func(needle string) int {
+		for _, l := range lines {
+			if strings.Contains(l, needle) && strings.Contains(l, "#") {
+				return strings.Count(l, "#")
+			}
+		}
+		return -1
+	}
+	// berti at 4ch (0.8) vs clip at 4ch (1.0)
+	if countHash("berti ") >= countHash("berti+clip") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "x"}
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Add(10) // bucket ~[8,16)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1000) // tail
+	}
+	if h.Count != 100 {
+		t.Fatalf("count %d", h.Count)
+	}
+	if m := h.Mean(); m < 100 || m > 120 {
+		t.Fatalf("mean %v, want ~109", m)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 8 || p50 > 32 {
+		t.Fatalf("p50 %d outside the dominant bucket", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 512 {
+		t.Fatalf("p99 %d misses the tail", p99)
+	}
+	if !strings.Contains(h.String(), "n=100") {
+		t.Fatalf("summary: %s", h.String())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should be zero-valued")
+	}
+}
+
+func TestHistogramZeroAndHuge(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(1)
+	h.Add(1 << 40) // clamps to the last bucket
+	if h.Count != 3 {
+		t.Fatal("count wrong")
+	}
+	if h.Buckets[31] != 1 {
+		t.Fatal("huge value not clamped to last bucket")
+	}
+}

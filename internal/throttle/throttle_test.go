@@ -1,0 +1,127 @@
+package throttle
+
+import (
+	"testing"
+
+	"clip/internal/prefetch"
+)
+
+type knob struct{ level int }
+
+func (k *knob) SetAggressiveness(l int) {
+	if l < 1 {
+		l = 1
+	}
+	if l > 5 {
+		l = 5
+	}
+	k.level = l
+}
+func (k *knob) Aggressiveness() int {
+	if k.level == 0 {
+		return 3
+	}
+	return k.level
+}
+
+var _ prefetch.Throttleable = (*knob)(nil)
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		th, err := New(name, &knob{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if th.Name() != name {
+			t.Fatalf("Name %q != %q", th.Name(), name)
+		}
+	}
+	if _, err := New("xyz", &knob{}); err == nil {
+		t.Fatal("unknown throttler accepted")
+	}
+}
+
+func TestFDPThrottlesInaccurate(t *testing.T) {
+	k := &knob{}
+	th, _ := New("fdp", k)
+	for i := 0; i < 5; i++ {
+		th.Adjust(Metrics{Accuracy: 0.2})
+	}
+	if k.Aggressiveness() != 1 {
+		t.Fatalf("level %d, want 1 after repeated low accuracy", k.Aggressiveness())
+	}
+}
+
+func TestFDPBoostsAccurateLate(t *testing.T) {
+	k := &knob{}
+	th, _ := New("fdp", k)
+	for i := 0; i < 5; i++ {
+		th.Adjust(Metrics{Accuracy: 0.9, Lateness: 0.5})
+	}
+	if k.Aggressiveness() != 5 {
+		t.Fatalf("level %d, want 5 for accurate-but-late", k.Aggressiveness())
+	}
+}
+
+func TestFDPHoldsOnGoodBehaviour(t *testing.T) {
+	k := &knob{}
+	th, _ := New("fdp", k)
+	before := k.Aggressiveness()
+	th.Adjust(Metrics{Accuracy: 0.9, Lateness: 0.05, Pollution: 0.0})
+	if k.Aggressiveness() != before {
+		t.Fatal("level changed despite healthy metrics")
+	}
+}
+
+func TestHPACGlobalOverride(t *testing.T) {
+	k := &knob{}
+	th, _ := New("hpac", k)
+	// Saturated bandwidth + interference: hard throttle even with decent
+	// local accuracy signals.
+	th.Adjust(Metrics{Accuracy: 0.5, BandwidthUtil: 0.95, OtherCoreSlow: 0.3})
+	if k.Aggressiveness() >= 3 {
+		t.Fatalf("level %d, want < 3 after global override", k.Aggressiveness())
+	}
+}
+
+func TestHPACFallsBackToFDP(t *testing.T) {
+	k := &knob{}
+	th, _ := New("hpac", k)
+	th.Adjust(Metrics{Accuracy: 0.9, Lateness: 0.5, BandwidthUtil: 0.2})
+	if k.Aggressiveness() != 4 {
+		t.Fatalf("level %d, want 4 (local FDP rule)", k.Aggressiveness())
+	}
+}
+
+func TestSPACHillClimbs(t *testing.T) {
+	k := &knob{}
+	th, _ := New("spac", k)
+	// Rising utility: keep climbing in the same direction.
+	th.Adjust(Metrics{CoreIPC: 1.0})
+	th.Adjust(Metrics{CoreIPC: 1.2})
+	up := k.Aggressiveness()
+	if up <= 3 {
+		t.Fatalf("level %d, want > 3 while utility rises", up)
+	}
+	// Utility collapse: the very next epoch reverses direction.
+	th.Adjust(Metrics{CoreIPC: 0.4})
+	if k.Aggressiveness() >= up {
+		t.Fatalf("level %d did not back off after utility drop", k.Aggressiveness())
+	}
+}
+
+func TestNSTReactsToLateness(t *testing.T) {
+	k := &knob{}
+	th, _ := New("nst", k)
+	th.Adjust(Metrics{Lateness: 0.5, Accuracy: 0.9})
+	if k.Aggressiveness() != 2 {
+		t.Fatalf("level %d, want 2 after late epoch", k.Aggressiveness())
+	}
+	// Three timely epochs grow back one step.
+	for i := 0; i < 3; i++ {
+		th.Adjust(Metrics{Lateness: 0.05, Accuracy: 0.9})
+	}
+	if k.Aggressiveness() != 3 {
+		t.Fatalf("level %d, want 3 after recovery", k.Aggressiveness())
+	}
+}

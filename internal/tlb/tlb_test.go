@@ -1,0 +1,116 @@
+package tlb
+
+import (
+	"testing"
+
+	"clip/internal/mem"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if (Config{Entries: 0, Ways: 4}).Validate() == nil {
+		t.Fatal("zero entries accepted")
+	}
+	if (Config{Entries: 65, Ways: 4}).Validate() == nil {
+		t.Fatal("non-divisible geometry accepted")
+	}
+	if (Config{Entries: 24, Ways: 4}).Validate() == nil {
+		t.Fatal("non-pow2 sets accepted")
+	}
+	if (Config{Entries: 64, Ways: 4}).Validate() != nil {
+		t.Fatal("valid geometry rejected")
+	}
+}
+
+func TestDefaultConfigScales(t *testing.T) {
+	full := DefaultConfig(1)
+	if full.DTLB.Entries != 64 || full.STLB.Entries != 2048 {
+		t.Fatalf("full-scale config wrong: %+v", full)
+	}
+	scaled := DefaultConfig(8)
+	if scaled.DTLB.Entries != full.DTLB.Entries {
+		t.Fatal("DTLB must not scale: it covers concurrent streams, not reach")
+	}
+	if scaled.STLB.Entries >= full.STLB.Entries {
+		t.Fatal("STLB did not scale down")
+	}
+	if err := scaled.DTLB.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := scaled.STLB.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstAccessWalksThenHits(t *testing.T) {
+	h := MustNew(DefaultConfig(1))
+	addr := mem.Addr(0x123456)
+	if d := h.Translate(addr); d == 0 {
+		t.Fatal("first access should walk")
+	}
+	if d := h.Translate(addr); d != 0 {
+		t.Fatalf("second access delayed %d cycles; DTLB should hit", d)
+	}
+	s := h.Stats()
+	if s.Walks != 1 || s.DTLBHits != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestSTLBBacksDTLB(t *testing.T) {
+	cfg := DefaultConfig(1)
+	h := MustNew(cfg)
+	// Touch enough distinct pages to overflow the 64-entry DTLB but not the
+	// 2048-entry STLB, then revisit the first page: STLB hit (8 cycles).
+	for i := 0; i < 512; i++ {
+		h.Translate(mem.Addr(i * mem.PageBytes))
+	}
+	d := h.Translate(mem.Addr(0))
+	if d != cfg.STLB.Latency {
+		t.Fatalf("revisit delay %d, want STLB latency %d", d, cfg.STLB.Latency)
+	}
+}
+
+func TestWalkCostIncludesSTLBLatency(t *testing.T) {
+	cfg := DefaultConfig(1)
+	h := MustNew(cfg)
+	d := h.Translate(0x9999000)
+	if d != cfg.STLB.Latency+cfg.WalkLatency {
+		t.Fatalf("walk delay %d, want %d", d, cfg.STLB.Latency+cfg.WalkLatency)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// Single-set (fully associative) 2-way DTLB: every page shares the set,
+	// so touching pages 0,2,4 must evict the least-recently-used page 0
+	// while 2 and 4 survive.
+	h := MustNew(HierarchyConfig{
+		DTLB:        Config{Entries: 2, Ways: 2, Latency: 1},
+		STLB:        Config{Entries: 64, Ways: 4, Latency: 8},
+		WalkLatency: 50,
+	})
+	for _, p := range []uint64{0, 2, 4} {
+		h.Translate(mem.Addr(p * mem.PageBytes))
+	}
+	if d := h.Translate(mem.Addr(2 * mem.PageBytes)); d != 0 {
+		t.Fatalf("page 2 should still be in DTLB, delay %d", d)
+	}
+	if d := h.Translate(mem.Addr(4 * mem.PageBytes)); d != 0 {
+		t.Fatalf("page 4 should still be in DTLB, delay %d", d)
+	}
+	if d := h.Translate(mem.Addr(0)); d == 0 {
+		t.Fatal("page 0 should have been evicted from the DTLB")
+	}
+}
+
+func TestDTLBHitRateOnLoop(t *testing.T) {
+	h := MustNew(DefaultConfig(1))
+	// A loop over 8 pages: after the cold pass everything hits.
+	for pass := 0; pass < 100; pass++ {
+		for p := 0; p < 8; p++ {
+			h.Translate(mem.Addr(p * mem.PageBytes))
+		}
+	}
+	if hr := h.Stats().DTLBHitRate(); hr < 0.98 {
+		t.Fatalf("loop DTLB hit rate %v < 0.98", hr)
+	}
+}

@@ -1,0 +1,565 @@
+// Package trace provides deterministic synthetic workload generators that
+// stand in for the SPEC CPU2017 / GAP / CloudSuite / CVP SimPoint traces the
+// paper evaluates on (the real traces are multi-GB artifacts we cannot ship).
+//
+// A generator emits a decoded instruction stream with stable instruction
+// pointers, per-IP memory access patterns, and control flow. The patterns are
+// chosen so that the statistics CLIP's mechanism (and every baseline) keys on
+// are reproduced: which IPs are spatially regular (prefetchable), which loads
+// stall the ROB head, how criticality correlates with branch history, and how
+// memory-intensive the workload is relative to the cache hierarchy.
+package trace
+
+import (
+	"fmt"
+
+	"clip/internal/mem"
+)
+
+// Op classifies an instruction for the core timing model.
+type Op uint8
+
+const (
+	OpALU Op = iota
+	OpLoad
+	OpStore
+	OpBranch
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpALU:
+		return "alu"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBranch:
+		return "branch"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Instr is one decoded instruction handed to the core model.
+type Instr struct {
+	IP    uint64
+	Op    Op
+	Addr  mem.Addr // data address for loads/stores
+	Taken bool     // actual outcome for branches
+
+	// ExecLat is the execution latency in cycles for non-memory work.
+	ExecLat uint8
+
+	// DependsOnPrevLoad serialises this load behind the youngest older load
+	// (pointer chasing). Chained loads cannot overlap, killing MLP and making
+	// their misses highly critical.
+	DependsOnPrevLoad bool
+}
+
+// Generator produces an endless deterministic instruction stream.
+type Generator interface {
+	// Next returns the next instruction. The stream never ends; workloads
+	// are replayed until every core finishes its instruction budget.
+	Next() Instr
+	// Name identifies the workload (paper trace name).
+	Name() string
+}
+
+// PatternClass describes the memory behaviour of one static load site.
+type PatternClass uint8
+
+const (
+	// PatStream walks line addresses with a constant per-IP delta —
+	// perfectly learnable by delta prefetchers (Berti, IPCP-CS).
+	PatStream PatternClass = iota
+	// PatMultiStride cycles through a small set of deltas — learnable with
+	// moderate accuracy (spatial prefetchers do better than pure stride).
+	PatMultiStride
+	// PatChase performs dependent pointer chasing through a shuffled ring —
+	// unpredictable addresses, serialised by data dependence.
+	PatChase
+	// PatIrregular gathers from random lines in the footprint with no
+	// dependence chain (GAP-style gather) — unpredictable but MLP-friendly.
+	PatIrregular
+	// PatMixed is branch-correlated: when the guarding branch is taken the
+	// site streams (cache-friendly); when not taken it gathers from the far
+	// footprint (miss, critical). Criticality is dynamic and follows control
+	// flow — the behaviour CLIP's critical signature captures and IP-only
+	// predictors cannot.
+	PatMixed
+)
+
+func (p PatternClass) String() string {
+	switch p {
+	case PatStream:
+		return "stream"
+	case PatMultiStride:
+		return "multistride"
+	case PatChase:
+		return "chase"
+	case PatIrregular:
+		return "irregular"
+	case PatMixed:
+		return "mixed"
+	}
+	return fmt.Sprintf("PatternClass(%d)", uint8(p))
+}
+
+// SiteSpec configures a group of static load sites in the loop body.
+type SiteSpec struct {
+	Class PatternClass
+	// StrideLines for PatStream; the delta set for PatMultiStride is derived
+	// from it. Defaults to 1.
+	StrideLines int64
+	// Weight is the number of distinct load IPs instantiated with this
+	// behaviour (real loops have one load IP per array walked), which also
+	// sets the class's dynamic frequency.
+	Weight int
+}
+
+// Config fully describes a synthetic benchmark.
+type Config struct {
+	Name string
+	Seed uint64
+
+	// Sites lists the static load sites of the hot loop.
+	Sites []SiteSpec
+
+	// FootprintLines is the number of distinct cache lines the irregular/
+	// chase/mixed sites roam over; relative to the LLC it sets the MPKI.
+	FootprintLines uint64
+
+	// StreamRegionLines bounds the collective footprint of all streaming
+	// sites (each site wraps within its share) before wrapping. Zero means
+	// the streams share FootprintLines.
+	StreamRegionLines uint64
+
+	// LoadFrac / StoreFrac / BranchFrac are dynamic instruction fractions;
+	// the remainder is ALU work.
+	LoadFrac, StoreFrac, BranchFrac float64
+
+	// BranchMispredictRate is the app-intrinsic misprediction probability
+	// for non-pattern branches.
+	BranchMispredictRate float64
+
+	// MixedTakenProb is the probability the guard branch of a PatMixed site
+	// is taken (stream direction).
+	MixedTakenProb float64
+
+	// ChaseChainFrac: fraction of chase-site loads marked dependent on the
+	// previous load (1.0 = fully serialised list traversal).
+	ChaseChainFrac float64
+
+	// ExecLatMean is the mean ALU latency (cycles).
+	ExecLatMean int
+
+	// IPFootprint scales the number of distinct basic blocks; CloudSuite/CVP
+	// use large values so criticality tables alias (paper §4.3).
+	IPFootprint int
+
+	// PhasePeriod, when nonzero, alternates between the primary body and a
+	// secondary low-memory body every PhasePeriod instructions, exercising
+	// CLIP's APC phase detection.
+	PhasePeriod uint64
+
+	// AddrOffset shifts the whole data address space; the simulator gives
+	// each core a distinct offset so SPEC-rate mixes do not share data.
+	AddrOffset mem.Addr
+
+	// WordsPerLine is how many consecutive accesses a streaming site makes
+	// within one cache line before advancing. The default of 16 calibrates
+	// streaming workloads to SPEC-like L1 line-touch rates (~20 new lines
+	// per kilo-instruction); real code revisits a line's words across loop
+	// iterations, not just the 8 sequential elements. Chase/irregular sites
+	// always touch a line once, like pointer dereferences.
+	WordsPerLine int
+}
+
+// Validate reports configuration errors early.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("trace: config needs a name")
+	}
+	if len(c.Sites) == 0 {
+		return fmt.Errorf("trace %s: no load sites", c.Name)
+	}
+	if c.LoadFrac <= 0 || c.LoadFrac+c.StoreFrac+c.BranchFrac >= 1 {
+		return fmt.Errorf("trace %s: bad instruction fractions", c.Name)
+	}
+	if c.FootprintLines == 0 {
+		return fmt.Errorf("trace %s: zero footprint", c.Name)
+	}
+	return nil
+}
+
+// siteState is the runtime state of one load site.
+type siteState struct {
+	spec       SiteSpec
+	ip         uint64
+	guardIP    uint64 // branch IP guarding a PatMixed site
+	base       mem.Addr
+	cursor     uint64 // line offset within region for streams
+	deltaIdx   int
+	deltas     []int64
+	chaseAt    uint64 // current position for chase sites
+	takenState bool   // last guard outcome
+	wordRep    int    // accesses made to the current line (word reuse)
+	rowLeft    int    // lines until the stream's next row/plane boundary
+}
+
+// gen implements Generator.
+type gen struct {
+	cfg  Config
+	rng  *mem.PRNG
+	prog []progSlot // the unrolled loop body
+	pc   int
+	emit uint64 // instructions emitted
+
+	sites     []siteState
+	farBase   mem.Addr
+	chaseTab  []uint32 // shuffled successor table for chase sites
+	siteLines uint64   // per-stream-site region share
+
+	inAltPhase bool
+}
+
+// progSlot is one slot of the synthetic loop body.
+type progSlot struct {
+	op      Op
+	site    int  // load site index for loads; -1 otherwise
+	isGuard bool // branch slot that guards the following mixed site
+	guarded int  // site index whose behaviour this guard controls
+	ip      uint64
+	execLat uint8
+	// storeSite: stores reuse site addressing (write the line just loaded).
+	storeSite int
+}
+
+// New constructs a Generator from cfg. The construction is deterministic in
+// cfg.Seed and cfg.Name.
+func New(cfg Config) (Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = mem.HashString(cfg.Name)
+	}
+	g := &gen{cfg: cfg, rng: mem.NewPRNG(seed)}
+	g.buildSites()
+	g.buildProgram()
+	return g, nil
+}
+
+// MustNew is New but panics on config errors; for registry-internal use.
+func MustNew(cfg Config) Generator {
+	g, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *gen) Name() string { return g.cfg.Name }
+
+const (
+	ipBase     = 0x400000 // synthetic text segment
+	dataBase   = 0x10000000
+	farOffset  = 0x40000000 // far footprint for irregular accesses
+	chaseScale = 4          // chase table entries = footprint/chaseScale
+)
+
+func (g *gen) buildSites() {
+	g.farBase = mem.Addr(farOffset)
+	// Chase successor table: a shuffled ring so traversal order is a random
+	// permutation (defeats spatial prefetching) but deterministic.
+	n := int(g.cfg.FootprintLines / chaseScale)
+	if n < 16 {
+		n = 16
+	}
+	g.chaseTab = make([]uint32, n)
+	for i := range g.chaseTab {
+		g.chaseTab[i] = uint32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := g.rng.Intn(i + 1)
+		g.chaseTab[i], g.chaseTab[j] = g.chaseTab[j], g.chaseTab[i]
+	}
+
+	// Each SiteSpec expands into Weight distinct sites: separate load IPs
+	// walking separate regions, like the per-array loads of a real loop.
+	ipStride := uint64(16)
+	idx := 0
+	for _, spec := range g.cfg.Sites {
+		w := spec.Weight
+		if w <= 0 {
+			w = 1
+		}
+		for k := 0; k < w; k++ {
+			// Load IPs sit compactly in the loop body like real code (two
+			// instruction slots per site: the load and its guard).
+			st := siteState{
+				spec: spec,
+				ip:   ipBase + uint64(idx)*8,
+				base: mem.Addr(dataBase + uint64(idx)*0x1000000),
+			}
+			stride := spec.StrideLines
+			if stride == 0 {
+				stride = 1
+			}
+			switch spec.Class {
+			case PatMultiStride:
+				st.deltas = []int64{stride, stride * 2, stride, stride * 3}
+			default:
+				st.deltas = []int64{stride}
+			}
+			st.guardIP = st.ip + 4
+			st.chaseAt = uint64(g.rng.Intn(len(g.chaseTab)))
+			g.sites = append(g.sites, st)
+			idx++
+		}
+	}
+	_ = ipStride
+	// Streaming sites share the stream footprint; each wraps in its slice.
+	streamers := 0
+	for _, st := range g.sites {
+		switch st.spec.Class {
+		case PatStream, PatMultiStride, PatMixed:
+			streamers++
+		}
+	}
+	total := g.cfg.StreamRegionLines
+	if total == 0 {
+		total = g.cfg.FootprintLines
+	}
+	if streamers > 0 {
+		g.siteLines = total / uint64(streamers)
+	}
+	if g.siteLines < 256 {
+		g.siteLines = 256
+	}
+	for i := range g.sites {
+		g.sites[i].cursor = uint64(i*977) % g.siteLines // desync streams
+	}
+}
+
+// buildProgram unrolls one loop body. Slots get stable IPs so every dynamic
+// execution of a slot reuses the same instruction pointer.
+func (g *gen) buildProgram() {
+	// One load slot per expanded site per body iteration.
+	loadSlots := len(g.sites)
+	bodyLen := int(float64(loadSlots) / g.cfg.LoadFrac)
+	if bodyLen < loadSlots+2 {
+		bodyLen = loadSlots + 2
+	}
+	storeSlots := int(g.cfg.StoreFrac * float64(bodyLen))
+	branchSlots := int(g.cfg.BranchFrac * float64(bodyLen))
+
+	ipBlocks := g.cfg.IPFootprint
+	if ipBlocks < 1 {
+		ipBlocks = 1
+	}
+
+	var prog []progSlot
+	nextIP := uint64(ipBase + 0x100000)
+	takeIP := func() uint64 {
+		ip := nextIP
+		nextIP += 4
+		return ip
+	}
+	execLat := func() uint8 {
+		m := g.cfg.ExecLatMean
+		if m <= 0 {
+			m = 1
+		}
+		l := 1 + g.rng.Intn(2*m)
+		if l > 250 {
+			l = 250
+		}
+		return uint8(l)
+	}
+
+	// Replicate the body across ipBlocks blocks so large-IP-footprint
+	// workloads (CloudSuite/CVP) have thousands of distinct load IPs.
+	for blk := 0; blk < ipBlocks; blk++ {
+		siteIdx := 0
+		loadsPlaced, storesPlaced, branchesPlaced := 0, 0, 0
+		for slot := 0; slot < bodyLen; slot++ {
+			switch {
+			case loadsPlaced < loadSlots && slot%max(1, bodyLen/loadSlots) == 0:
+				si := g.pickSite(&siteIdx)
+				// Mixed sites get a guard branch immediately before.
+				if g.sites[si].spec.Class == PatMixed {
+					prog = append(prog, progSlot{
+						op: OpBranch, site: -1, isGuard: true, guarded: si,
+						ip: g.sites[si].guardIP + uint64(blk)*0x100000,
+					})
+				}
+				prog = append(prog, progSlot{
+					op: OpLoad, site: si,
+					ip: g.sites[si].ip + uint64(blk)*0x100000,
+				})
+				loadsPlaced++
+			case storesPlaced < storeSlots && slot%max(1, bodyLen/(storeSlots+1)) == 1:
+				prog = append(prog, progSlot{
+					op: OpStore, site: -1, storeSite: storesPlaced % len(g.sites),
+					ip: takeIP(),
+				})
+				storesPlaced++
+			case branchesPlaced < branchSlots && slot%max(1, bodyLen/(branchSlots+1)) == 2:
+				prog = append(prog, progSlot{op: OpBranch, site: -1, guarded: -1, ip: takeIP()})
+				branchesPlaced++
+			default:
+				prog = append(prog, progSlot{op: OpALU, site: -1, ip: takeIP(), execLat: execLat()})
+			}
+		}
+		// Loop back-edge branch.
+		prog = append(prog, progSlot{op: OpBranch, site: -1, guarded: -1, ip: takeIP()})
+	}
+	g.prog = prog
+}
+
+// pickSite round-robins over the expanded sites.
+func (g *gen) pickSite(cursor *int) int {
+	i := *cursor % len(g.sites)
+	*cursor++
+	return i
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Next implements Generator.
+func (g *gen) Next() Instr {
+	ins := g.next()
+	if ins.Addr != 0 {
+		ins.Addr += g.cfg.AddrOffset
+	}
+	return ins
+}
+
+func (g *gen) next() Instr {
+	slot := g.prog[g.pc]
+	g.pc++
+	if g.pc == len(g.prog) {
+		g.pc = 0
+	}
+	g.emit++
+
+	if g.cfg.PhasePeriod > 0 {
+		phase := (g.emit / g.cfg.PhasePeriod) % 2
+		g.inAltPhase = phase == 1
+	}
+
+	ins := Instr{IP: slot.ip, Op: slot.op, ExecLat: slot.execLat}
+	if ins.ExecLat == 0 {
+		ins.ExecLat = 1
+	}
+
+	switch slot.op {
+	case OpBranch:
+		if slot.isGuard {
+			st := &g.sites[slot.guarded]
+			st.takenState = g.rng.Bool(g.cfg.MixedTakenProb)
+			ins.Taken = st.takenState
+		} else {
+			// Loop-style branch: mostly taken with occasional app-intrinsic
+			// "hard" outcomes at the configured rate.
+			ins.Taken = !g.rng.Bool(g.cfg.BranchMispredictRate)
+		}
+	case OpLoad:
+		st := &g.sites[slot.site]
+		ins.Addr, ins.DependsOnPrevLoad = g.loadAddr(st)
+	case OpStore:
+		st := &g.sites[slot.storeSite%len(g.sites)]
+		// Stores write near the site's last address (read-modify-write).
+		ins.Addr = st.base + mem.Addr(st.cursor*mem.LineBytes)
+	}
+	return ins
+}
+
+// loadAddr advances site state and returns the access address.
+func (g *gen) loadAddr(st *siteState) (mem.Addr, bool) {
+	// In the alternate phase the workload turns cache-resident: every site
+	// reuses a tiny region (drops MPKI, shifts APC).
+	if g.inAltPhase {
+		st.cursor = (st.cursor + 1) % 32
+		return st.base + mem.Addr(st.cursor*mem.LineBytes), false
+	}
+	switch st.spec.Class {
+	case PatStream:
+		return g.streamAddr(st), false
+	case PatMultiStride:
+		if st.wordRep+1 < g.wordsPerLine() {
+			st.wordRep++
+		} else {
+			st.wordRep = 0
+			d := st.deltas[st.deltaIdx]
+			st.deltaIdx = (st.deltaIdx + 1) % len(st.deltas)
+			st.cursor = wrapAdd(st.cursor, d, g.regionLines())
+		}
+		return st.base + mem.Addr(st.cursor*mem.LineBytes) + mem.Addr(st.wordRep*8), false
+	case PatChase:
+		st.chaseAt = uint64(g.chaseTab[st.chaseAt%uint64(len(g.chaseTab))])
+		addr := g.farBase + mem.Addr((st.chaseAt*chaseScale%g.cfg.FootprintLines)*mem.LineBytes)
+		dep := g.rng.Bool(g.cfg.ChaseChainFrac)
+		return addr, dep
+	case PatIrregular:
+		line := g.rng.Uint64() % g.cfg.FootprintLines
+		return g.farBase + mem.Addr(line*mem.LineBytes), false
+	case PatMixed:
+		if st.takenState {
+			return g.streamAddr(st), false
+		}
+		line := g.rng.Uint64() % g.cfg.FootprintLines
+		return g.farBase + mem.Addr(line*mem.LineBytes), true
+	}
+	return st.base, false
+}
+
+func (g *gen) regionLines() uint64 { return g.siteLines }
+
+func (g *gen) wordsPerLine() int {
+	if g.cfg.WordsPerLine > 0 {
+		return g.cfg.WordsPerLine
+	}
+	return 16
+}
+
+func (g *gen) streamAddr(st *siteState) mem.Addr {
+	// Sequential word accesses reuse the line before advancing by the delta,
+	// like real streaming code walking 8-byte elements.
+	if st.wordRep+1 < g.wordsPerLine() {
+		st.wordRep++
+	} else {
+		st.wordRep = 0
+		// Row/plane boundaries: stencil-style code streams a row of the
+		// array, then jumps to the next row at a far offset. The jump makes
+		// the last few delta-prefetches of each row overrun the boundary,
+		// which is what caps real stream-prefetch accuracy near the paper's
+		// 83% for Berti.
+		if st.rowLeft <= 0 {
+			st.rowLeft = 16 + g.rng.Intn(32)
+			st.cursor = g.rng.Uint64() % g.regionLines()
+		} else {
+			st.rowLeft--
+			d := st.deltas[0]
+			st.cursor = wrapAdd(st.cursor, d, g.regionLines())
+		}
+	}
+	return st.base + mem.Addr(st.cursor*mem.LineBytes) + mem.Addr(st.wordRep*8)
+}
+
+func wrapAdd(cur uint64, delta int64, mod uint64) uint64 {
+	v := int64(cur) + delta
+	m := int64(mod)
+	v %= m
+	if v < 0 {
+		v += m
+	}
+	return uint64(v)
+}

@@ -1,0 +1,425 @@
+package trace
+
+import (
+	"testing"
+
+	"clip/internal/mem"
+)
+
+var testScale = Scale{LLCLinesPerCore: 2048}
+
+func testConfig() Config {
+	return Config{
+		Name: "unit",
+		Sites: []SiteSpec{
+			{Class: PatStream, StrideLines: 1, Weight: 2},
+			{Class: PatChase, Weight: 1},
+			{Class: PatMixed, StrideLines: 1, Weight: 1},
+		},
+		FootprintLines: 4096, LoadFrac: 0.3, StoreFrac: 0.1, BranchFrac: 0.1,
+		BranchMispredictRate: 0.05, MixedTakenProb: 0.5, ChaseChainFrac: 0.8,
+		ExecLatMean: 2,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := good
+	bad.Name = ""
+	if bad.Validate() == nil {
+		t.Fatal("empty name accepted")
+	}
+	bad = good
+	bad.Sites = nil
+	if bad.Validate() == nil {
+		t.Fatal("no sites accepted")
+	}
+	bad = good
+	bad.LoadFrac = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero load frac accepted")
+	}
+	bad = good
+	bad.LoadFrac, bad.StoreFrac, bad.BranchFrac = 0.5, 0.4, 0.3
+	if bad.Validate() == nil {
+		t.Fatal("fractions over 1 accepted")
+	}
+	bad = good
+	bad.FootprintLines = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero footprint accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := MustNew(testConfig())
+	b := MustNew(testConfig())
+	for i := 0; i < 5000; i++ {
+		ia, ib := a.Next(), b.Next()
+		if ia != ib {
+			t.Fatalf("streams diverged at %d: %+v vs %+v", i, ia, ib)
+		}
+	}
+}
+
+func TestGeneratorInstructionMix(t *testing.T) {
+	g := MustNew(testConfig())
+	const n = 50000
+	var loads, stores, branches int
+	for i := 0; i < n; i++ {
+		switch g.Next().Op {
+		case OpLoad:
+			loads++
+		case OpStore:
+			stores++
+		case OpBranch:
+			branches++
+		}
+	}
+	lf := float64(loads) / n
+	if lf < 0.2 || lf > 0.4 {
+		t.Errorf("load fraction %v far from configured 0.3", lf)
+	}
+	if stores == 0 || branches == 0 {
+		t.Errorf("missing stores (%d) or branches (%d)", stores, branches)
+	}
+}
+
+func TestStableIPsPerSite(t *testing.T) {
+	g := MustNew(testConfig())
+	ipAddrs := map[uint64]map[mem.Addr]bool{}
+	for i := 0; i < 20000; i++ {
+		ins := g.Next()
+		if ins.Op != OpLoad {
+			continue
+		}
+		if ipAddrs[ins.IP] == nil {
+			ipAddrs[ins.IP] = map[mem.Addr]bool{}
+		}
+		ipAddrs[ins.IP][ins.Addr.Line()] = true
+	}
+	if len(ipAddrs) == 0 || len(ipAddrs) > 16 {
+		t.Fatalf("expected a small stable set of load IPs, got %d", len(ipAddrs))
+	}
+	// Every load IP should touch multiple lines (the pattern advances).
+	for ip, addrs := range ipAddrs {
+		if len(addrs) < 2 {
+			t.Errorf("IP %#x stuck on %d line(s)", ip, len(addrs))
+		}
+	}
+}
+
+func TestStreamSiteIsSequential(t *testing.T) {
+	cfg := Config{
+		Name:           "stream-only",
+		Sites:          []SiteSpec{{Class: PatStream, StrideLines: 1, Weight: 1}},
+		FootprintLines: 4096, LoadFrac: 0.3, ExecLatMean: 1,
+	}
+	g := MustNew(cfg)
+	var prev mem.Addr
+	var seen, sequential, transitions int
+	for i := 0; i < 40000 && seen < 2000; i++ {
+		ins := g.Next()
+		if ins.Op != OpLoad {
+			continue
+		}
+		if seen > 0 {
+			delta := int64(ins.Addr.LineID()) - int64(prev.LineID())
+			switch delta {
+			case 0:
+				// word reuse within the line
+			case 1:
+				sequential++
+				transitions++
+			default:
+				transitions++ // row/plane boundary jump
+			}
+		}
+		prev = ins.Addr
+		seen++
+	}
+	if seen < 2000 {
+		t.Fatal("too few loads observed")
+	}
+	// Streams must be dominated by +1 line transitions, with occasional
+	// row-boundary jumps (the realism knob that caps prefetch accuracy).
+	frac := float64(sequential) / float64(transitions)
+	if frac < 0.85 || frac >= 1.0 {
+		t.Fatalf("sequential fraction %v outside (0.85, 1.0): boundaries missing or dominant", frac)
+	}
+}
+
+func TestChaseLoadsAreDependent(t *testing.T) {
+	cfg := Config{
+		Name:           "chase-only",
+		Sites:          []SiteSpec{{Class: PatChase, Weight: 1}},
+		FootprintLines: 4096, LoadFrac: 0.3, ChaseChainFrac: 1.0, ExecLatMean: 1,
+	}
+	g := MustNew(cfg)
+	var loads, deps int
+	for i := 0; i < 5000; i++ {
+		ins := g.Next()
+		if ins.Op == OpLoad {
+			loads++
+			if ins.DependsOnPrevLoad {
+				deps++
+			}
+		}
+	}
+	if loads == 0 || deps != loads {
+		t.Fatalf("chase chain frac 1.0: %d/%d dependent", deps, loads)
+	}
+}
+
+func TestMixedSiteFollowsGuardBranch(t *testing.T) {
+	cfg := Config{
+		Name:           "mixed-only",
+		Sites:          []SiteSpec{{Class: PatMixed, StrideLines: 1, Weight: 1}},
+		FootprintLines: 1 << 16, LoadFrac: 0.3, MixedTakenProb: 0.5, ExecLatMean: 1,
+	}
+	g := MustNew(cfg)
+	var lastGuardTaken, haveGuard bool
+	var streamNear, farWhenNotTaken, violations int
+	for i := 0; i < 30000; i++ {
+		ins := g.Next()
+		switch ins.Op {
+		case OpBranch:
+			lastGuardTaken, haveGuard = ins.Taken, true
+		case OpLoad:
+			if !haveGuard {
+				continue
+			}
+			far := uint64(ins.Addr) >= farOffset
+			if lastGuardTaken && far {
+				violations++
+			}
+			if lastGuardTaken && !far {
+				streamNear++
+			}
+			if !lastGuardTaken && far {
+				farWhenNotTaken++
+			}
+			haveGuard = false
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("%d taken-guard loads went to the far footprint", violations)
+	}
+	if streamNear == 0 || farWhenNotTaken == 0 {
+		t.Fatalf("mixed site degenerate: near=%d far=%d", streamNear, farWhenNotTaken)
+	}
+}
+
+func TestPhaseChangeReducesFootprint(t *testing.T) {
+	cfg := testConfig()
+	cfg.PhasePeriod = 10000
+	g := MustNew(cfg)
+	countFar := func(n int) int {
+		far := 0
+		for i := 0; i < n; i++ {
+			ins := g.Next()
+			if ins.Op == OpLoad && uint64(ins.Addr) >= farOffset {
+				far++
+			}
+		}
+		return far
+	}
+	phase0 := countFar(10000)
+	phase1 := countFar(10000)
+	if phase1 >= phase0/4 {
+		t.Fatalf("alternate phase not cache-resident: far loads %d -> %d", phase0, phase1)
+	}
+}
+
+func TestRegistryAllNamesConstructible(t *testing.T) {
+	for _, name := range AllNames() {
+		cfg, err := Lookup(name, testScale)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+		g := MustNew(cfg)
+		for i := 0; i < 100; i++ {
+			g.Next()
+		}
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	if _, err := Lookup("not-a-trace", testScale); err == nil {
+		t.Fatal("unknown trace accepted")
+	}
+}
+
+func TestSpecListHas45Entries(t *testing.T) {
+	if len(SpecHomogeneous45) != 45 {
+		t.Fatalf("SPEC homogeneous list has %d entries, want 45", len(SpecHomogeneous45))
+	}
+	seen := map[string]bool{}
+	for _, n := range SpecHomogeneous45 {
+		if seen[n] {
+			t.Fatalf("duplicate trace %s", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestSimpointsOfSameFamilyDiffer(t *testing.T) {
+	a := MustNew(MustLookup("605.mcf_s-1554B", testScale))
+	b := MustNew(MustLookup("605.mcf_s-994B", testScale))
+	diff := false
+	for i := 0; i < 2000; i++ {
+		if a.Next() != b.Next() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("two mcf simpoints produced identical streams")
+	}
+}
+
+func TestCVPHasLargeIPFootprint(t *testing.T) {
+	g := MustNew(MustLookup("server_013", testScale))
+	ips := map[uint64]bool{}
+	for i := 0; i < 60000; i++ {
+		ins := g.Next()
+		if ins.Op == OpLoad {
+			ips[ins.IP] = true
+		}
+	}
+	spec := MustNew(MustLookup("619.lbm_s-2676B", testScale))
+	specIPs := map[uint64]bool{}
+	for i := 0; i < 60000; i++ {
+		ins := spec.Next()
+		if ins.Op == OpLoad {
+			specIPs[ins.IP] = true
+		}
+	}
+	if len(ips) <= 4*len(specIPs) {
+		t.Fatalf("CVP IP footprint (%d) should dwarf lbm's (%d)", len(ips), len(specIPs))
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpALU: "alu", OpLoad: "load", OpStore: "store", OpBranch: "branch",
+	} {
+		if op.String() != want {
+			t.Errorf("Op %d = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestWrapAddNeverNegative(t *testing.T) {
+	for _, d := range []int64{-5, -1, 0, 1, 7} {
+		cur := uint64(3)
+		for i := 0; i < 100; i++ {
+			cur = wrapAdd(cur, d, 16)
+			if cur >= 16 {
+				t.Fatalf("wrapAdd escaped range: %d", cur)
+			}
+		}
+	}
+}
+
+func TestSimpointJitterVariesIntensity(t *testing.T) {
+	a := MustLookup("605.mcf_s-1554B", testScale)
+	b := MustLookup("605.mcf_s-994B", testScale)
+	if a.FootprintLines == b.FootprintLines {
+		t.Fatal("simpoints of one family should differ in footprint")
+	}
+	// Jitter must stay bounded: same family, same order of magnitude.
+	ratio := float64(a.FootprintLines) / float64(b.FootprintLines)
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("jitter too wild: ratio %v", ratio)
+	}
+	// Deterministic.
+	a2 := MustLookup("605.mcf_s-1554B", testScale)
+	if a.FootprintLines != a2.FootprintLines || a.LoadFrac != a2.LoadFrac {
+		t.Fatal("jitter not deterministic")
+	}
+}
+
+func TestJitterKeepsConfigsValid(t *testing.T) {
+	for _, name := range SpecHomogeneous45 {
+		cfg := MustLookup(name, testScale)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestWrfHasPhaseBehaviour(t *testing.T) {
+	cfg := MustLookup("621.wrf_s-6673B", testScale)
+	if cfg.PhasePeriod == 0 {
+		t.Fatal("wrf should alternate phases (registry models its physics phases)")
+	}
+	g := MustNew(cfg)
+	countFar := func(n int) int {
+		far := 0
+		for i := 0; i < n; i++ {
+			ins := g.Next()
+			if ins.Op == OpLoad && uint64(ins.Addr)&^(uint64(1)<<63) >= farOffset {
+				far++
+			}
+		}
+		return far
+	}
+	// Memory intensity should differ between the two phases.
+	a := countFar(int(cfg.PhasePeriod))
+	b := countFar(int(cfg.PhasePeriod))
+	if a == b {
+		t.Fatalf("phases indistinguishable: %d vs %d far loads", a, b)
+	}
+}
+
+func TestStoresShareSiteAddressSpace(t *testing.T) {
+	g := MustNew(testConfig())
+	loadLines := map[uint64]bool{}
+	var storeAddrs []mem.Addr
+	for i := 0; i < 30000; i++ {
+		ins := g.Next()
+		switch ins.Op {
+		case OpLoad:
+			loadLines[ins.Addr.LineID()] = true
+		case OpStore:
+			storeAddrs = append(storeAddrs, ins.Addr)
+		}
+	}
+	if len(storeAddrs) == 0 {
+		t.Fatal("no stores")
+	}
+	// Stores write near site cursors: a majority should land on lines the
+	// loads also touch (read-modify-write behaviour).
+	hits := 0
+	for _, a := range storeAddrs {
+		if loadLines[a.LineID()] {
+			hits++
+		}
+	}
+	if float64(hits)/float64(len(storeAddrs)) < 0.3 {
+		t.Fatalf("stores disjoint from load footprint: %d/%d", hits, len(storeAddrs))
+	}
+}
+
+func TestAddrOffsetIsolation(t *testing.T) {
+	a := testConfig()
+	b := testConfig()
+	b.AddrOffset = 1 << 42
+	ga, gb := MustNew(a), MustNew(b)
+	for i := 0; i < 2000; i++ {
+		ia, ib := ga.Next(), gb.Next()
+		if ia.Op == OpLoad && ib.Op == OpLoad {
+			if ib.Addr != ia.Addr+1<<42 {
+				t.Fatalf("offset not applied uniformly: %#x vs %#x",
+					uint64(ia.Addr), uint64(ib.Addr))
+			}
+		}
+	}
+}

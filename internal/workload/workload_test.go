@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"testing"
+
+	"clip/internal/sim"
+)
+
+func template() sim.Config {
+	cfg := sim.DefaultConfig(4, 2, 8)
+	cfg.InstrPerCore = 4000
+	cfg.WarmupInstr = 1000
+	return cfg
+}
+
+func TestHomogeneousMixes(t *testing.T) {
+	all := Homogeneous(8, 0)
+	if len(all) != 45 {
+		t.Fatalf("expected 45 mixes, got %d", len(all))
+	}
+	for _, m := range all {
+		if len(m.Benchmarks) != 8 {
+			t.Fatalf("%s has %d cores", m.Name, len(m.Benchmarks))
+		}
+		for _, b := range m.Benchmarks {
+			if b != m.Benchmarks[0] {
+				t.Fatalf("%s not homogeneous", m.Name)
+			}
+		}
+	}
+	if got := Homogeneous(4, 5); len(got) != 5 {
+		t.Fatalf("limit ignored: %d", len(got))
+	}
+}
+
+func TestHeterogeneousMixesDeterministic(t *testing.T) {
+	a := Heterogeneous(10, 8, 42)
+	b := Heterogeneous(10, 8, 42)
+	if len(a) != 10 {
+		t.Fatalf("got %d mixes", len(a))
+	}
+	for i := range a {
+		for c := range a[i].Benchmarks {
+			if a[i].Benchmarks[c] != b[i].Benchmarks[c] {
+				t.Fatal("mixes not deterministic")
+			}
+		}
+	}
+	// Different seeds differ.
+	c := Heterogeneous(10, 8, 43)
+	same := true
+	for i := range a {
+		for j := range a[i].Benchmarks {
+			if a[i].Benchmarks[j] != c[i].Benchmarks[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestHeterogeneousUsesGAP(t *testing.T) {
+	mixes := Heterogeneous(20, 8, 7)
+	foundGAP := false
+	for _, m := range mixes {
+		for _, b := range m.Benchmarks {
+			if b == "pr-twitter" || b == "bfs-web" || b == "bc-road" ||
+				b == "cc-twitter" || b == "sssp-road" {
+				foundGAP = true
+			}
+		}
+	}
+	if !foundGAP {
+		t.Fatal("no GAP traces drawn in 160 samples")
+	}
+}
+
+func TestCloudCVPMixes(t *testing.T) {
+	mixes := CloudCVP(4, 0)
+	if len(mixes) != 15 {
+		t.Fatalf("expected 15 CloudSuite+CVP mixes, got %d", len(mixes))
+	}
+}
+
+func TestAloneIPCCached(t *testing.T) {
+	r := NewRunner(template())
+	a1, err := r.AloneIPC("619.lbm_s-2676B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 <= 0 {
+		t.Fatalf("alone IPC %v", a1)
+	}
+	a2, _ := r.AloneIPC("619.lbm_s-2676B")
+	if a1 != a2 {
+		t.Fatal("cache returned different value")
+	}
+}
+
+func TestNormalizedWSBaselineIsOne(t *testing.T) {
+	r := NewRunner(template())
+	mix := homogeneousMix("619.lbm_s-2676B", 4)
+	ws, _, _, err := r.NormalizedWS(mix, Variant{Name: "no-pf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws < 0.99 || ws > 1.01 {
+		t.Fatalf("no-PF normalized to itself = %v, want 1.0", ws)
+	}
+}
+
+func TestNormalizedWSVariant(t *testing.T) {
+	r := NewRunner(template())
+	mix := homogeneousMix("603.bwaves_s-1740B", 4)
+	ws, varRes, baseRes, err := r.NormalizedWS(mix, Variant{
+		Name:   "berti",
+		Mutate: func(c *sim.Config) { c.Prefetcher = "berti" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws <= 0 {
+		t.Fatalf("normalized WS %v", ws)
+	}
+	if varRes.PFGenerated == 0 {
+		t.Fatal("variant did not prefetch")
+	}
+	if baseRes.PFGenerated != 0 {
+		t.Fatal("baseline prefetched")
+	}
+}
