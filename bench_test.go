@@ -9,10 +9,17 @@
 package clip
 
 import (
+	"flag"
 	"testing"
 
 	"clip/internal/experiments"
+	"clip/internal/runner"
 )
+
+// benchWorkers bounds concurrent simulations per benchmarked experiment
+// (0 = GOMAXPROCS). Reported figure values are identical for any setting;
+// only wall-clock changes: `go test -bench=Fig01 -workers 1`.
+var benchWorkers = flag.Int("workers", 0, "concurrent simulations per benchmarked experiment (0 = GOMAXPROCS)")
 
 // benchScale keeps each figure benchmark in the seconds range.
 func benchScale() Scale {
@@ -20,6 +27,7 @@ func benchScale() Scale {
 		Cores: 8, InstrPerCore: 8000, Warmup: 2000, CacheDiv: 8,
 		HomMixes: 2, HetMixes: 1, CloudMixes: 2,
 		Channels: []int{8}, Seed: 1,
+		Workers: *benchWorkers,
 	}
 }
 
@@ -33,6 +41,9 @@ func runFig(b *testing.B, name string, metrics ...string) {
 	}
 	var rep *Report
 	for i := 0; i < b.N; i++ {
+		// Drop the process-wide run cache so every iteration simulates
+		// (otherwise iterations 2..N would time cache lookups).
+		runner.ResetShared()
 		rep, err = e.Run(benchScale())
 		if err != nil {
 			b.Fatal(err)

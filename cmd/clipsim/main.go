@@ -7,15 +7,20 @@
 //	clipsim -experiment fig9
 //	clipsim -experiment all -cores 8 -instructions 30000 -hom 8 -het 5
 //	clipsim -experiment fig1 -channels 4,8,16,32,64 -full
+//	clipsim -experiment fig9 -workers 1 -cpuprofile cpu.out -memprofile mem.out
 //
 // Each experiment prints the same rows/series the corresponding paper figure
-// or table reports, at the configured scale.
+// or table reports, at the configured scale. Independent simulations within
+// one experiment run concurrently across -workers goroutines; reports are
+// byte-identical for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -23,7 +28,9 @@ import (
 	"clip/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		exp      = flag.String("experiment", "", "experiment to run (or \"all\")")
@@ -36,8 +43,41 @@ func main() {
 		cloud    = flag.Int("cloud", 0, "override CloudSuite/CVP mix count")
 		channels = flag.String("channels", "", "comma-separated paper channel counts (e.g. 4,8,16)")
 		seed     = flag.Uint64("seed", 0, "override workload seed")
+		workers  = flag.Int("workers", 0, "concurrent simulations per experiment (0 = GOMAXPROCS); results are identical for any value")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -47,7 +87,7 @@ func main() {
 		if *exp == "" && !*list {
 			fmt.Println("\nrun one with -experiment <name> (or \"all\")")
 		}
-		return
+		return 0
 	}
 
 	sc := experiments.Quick()
@@ -75,13 +115,14 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	sc.Workers = *workers
 	if *channels != "" {
 		var chs []int
 		for _, part := range strings.Split(*channels, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || v <= 0 {
 				fmt.Fprintf(os.Stderr, "bad channel count %q\n", part)
-				os.Exit(2)
+				return 2
 			}
 			chs = append(chs, v)
 		}
@@ -95,7 +136,7 @@ func main() {
 		e, err := experiments.Lookup(*exp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		entries = []experiments.Entry{e}
 	}
@@ -105,8 +146,9 @@ func main() {
 		rep, err := e.Run(sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("%s\n(%s in %.1fs)\n\n", rep, e.Name, time.Since(t0).Seconds())
 	}
+	return 0
 }

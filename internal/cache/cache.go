@@ -142,8 +142,8 @@ type Cache struct {
 	policy Policy
 	lower  Lower
 
-	inQ     []queued
-	wbQ     []mem.Request
+	inQ     mem.Ring[queued]
+	wbQ     mem.Ring[mem.Request]
 	mshrs   []mshr
 	mshrCnt int
 
@@ -207,7 +207,7 @@ func (c *Cache) OnPFEvict(f func(trigger uint64, addr mem.Addr)) { c.onPFEvict =
 // queue is full — except prefetches, which are dropped instead of retried,
 // matching the paper's "dropped and not allocated to the MSHR" semantics.
 func (c *Cache) Issue(req mem.Request) bool {
-	if len(c.inQ) >= c.cfg.InQ {
+	if c.inQ.Len() >= c.cfg.InQ {
 		if req.Type == mem.Prefetch && !req.Owned {
 			c.trace("issue-drop-pf", req)
 			c.stats.PFDropped++
@@ -221,7 +221,7 @@ func (c *Cache) Issue(req mem.Request) bool {
 		req.FillLevel = mem.LevelL1
 	}
 	// The request arrives next cycle; the tag lookup then takes Latency.
-	c.inQ = append(c.inQ, queued{req: req, ready: c.cycle + 1 + c.cfg.Latency})
+	c.inQ.Push(queued{req: req, ready: c.cycle + 1 + c.cfg.Latency})
 	return true
 }
 
@@ -229,7 +229,7 @@ func (c *Cache) Issue(req mem.Request) bool {
 // the input queue is full so the caller (the per-core prefetch queue) can
 // hold the request and retry, modelling ChampSim's PQ.
 func (c *Cache) TryIssue(req mem.Request) bool {
-	if len(c.inQ) >= c.cfg.InQ {
+	if c.inQ.Len() >= c.cfg.InQ {
 		return false
 	}
 	return c.Issue(req)
@@ -263,7 +263,7 @@ func (c *Cache) MSHRInUse() int {
 func (c *Cache) MSHRFree() int { return c.cfg.MSHRs - c.MSHRInUse() }
 
 // InQLen returns the input queue occupancy.
-func (c *Cache) InQLen() int { return len(c.inQ) }
+func (c *Cache) InQLen() int { return c.inQ.Len() }
 
 // DebugMSHRs lists occupied MSHR line addresses with waiter counts and ages.
 func (c *Cache) DebugMSHRs(now uint64) string {
@@ -280,8 +280,8 @@ func (c *Cache) DebugMSHRs(now uint64) string {
 // DebugInQ summarises queued request types.
 func (c *Cache) DebugInQ() string {
 	out := ""
-	for i := range c.inQ {
-		out += fmt.Sprintf("%d", int(c.inQ[i].req.Type))
+	for i := 0; i < c.inQ.Len(); i++ {
+		out += fmt.Sprintf("%d", int(c.inQ.At(i).req.Type))
 	}
 	return out
 }
@@ -311,19 +311,19 @@ func (c *Cache) Tick(cycle uint64) {
 }
 
 func (c *Cache) drainWritebacks() {
-	for len(c.wbQ) > 0 {
-		if c.lower == nil || !c.lower.Issue(c.wbQ[0]) {
+	for c.wbQ.Len() > 0 {
+		if c.lower == nil || !c.lower.Issue(*c.wbQ.Front()) {
 			return
 		}
-		c.wbQ = c.wbQ[1:]
+		c.wbQ.PopFront()
 		c.stats.Writebacks++
 	}
 }
 
 func (c *Cache) process() {
 	ports := c.cfg.Ports
-	for ports > 0 && len(c.inQ) > 0 {
-		q := &c.inQ[0]
+	for ports > 0 && c.inQ.Len() > 0 {
+		q := c.inQ.Front()
 		if q.ready > c.cycle {
 			return // head not ready; FIFO models lookup pipeline
 		}
@@ -332,7 +332,7 @@ func (c *Cache) process() {
 		if !c.lookup(q.req, first) {
 			return // structural stall (MSHR full / lower busy): head blocks
 		}
-		c.inQ = c.inQ[1:]
+		c.inQ.PopFront()
 		ports--
 	}
 }
@@ -472,8 +472,9 @@ func (c *Cache) lookup(req mem.Request, first bool) bool {
 	}
 	c.trace("mshr-alloc", req)
 	m := &c.mshrs[idx]
+	// Reuse the retired entry's waiter backing array (cleared on release).
 	*m = mshr{valid: true, lineAddr: req.Addr.Line(), firstCycle: c.cycle,
-		isPrefetch: req.Type == mem.Prefetch, pfReq: req}
+		isPrefetch: req.Type == mem.Prefetch, pfReq: req, waiters: m.waiters}
 	if req.Type != mem.Prefetch {
 		m.waiters = append(m.waiters, waiter{req: req, arrived: c.cycle})
 	} else {
@@ -528,7 +529,7 @@ func (c *Cache) Fill(resp mem.Response) {
 			})
 		}
 		m.valid = false
-		m.waiters = nil
+		m.waiters = m.waiters[:0]
 		return
 	}
 	// No MSHR (e.g. a prefetch filled below our allocation point): install
@@ -599,7 +600,7 @@ func (c *Cache) install(req mem.Request, dirty bool) {
 		if victim.dirty {
 			// Reconstruct victim address from set+tag.
 			vLine := victim.tag<<uint(log2(c.cfg.Sets)) | uint64(set)
-			c.wbQ = append(c.wbQ, mem.Request{
+			c.wbQ.Push(mem.Request{
 				Addr: mem.Addr(vLine << mem.LineShift),
 				Type: mem.Writeback, Core: req.Core, IssueCycle: c.cycle,
 			})

@@ -216,6 +216,14 @@ func New(id int, cfg Config, gen trace.Generator, port MemoryPort, budget uint64
 		bp:           NewPerceptron(),
 		wheel:        make([][]wheelEntry, wheelSize),
 	}
+	// Carve every wheel bucket out of one flat allocation with a few entries
+	// of capacity; buckets are drained to [:0] each revolution, so the
+	// common case never allocates again (a bucket that outgrows its slice
+	// simply escapes to its own backing array).
+	backing := make([]wheelEntry, wheelSize*wheelBucketCap)
+	for i := range c.wheel {
+		c.wheel[i] = backing[i*wheelBucketCap : i*wheelBucketCap : (i+1)*wheelBucketCap]
+	}
 	return c, nil
 }
 
@@ -283,6 +291,10 @@ func (c *Core) Tick(cycle uint64) {
 // wheelSize bounds the scheduling horizon; ALU latencies are <= 250 plus
 // headroom, so 512 slots suffice.
 const wheelSize = 512
+
+// wheelBucketCap is the pre-allocated per-bucket capacity (few completions
+// share one cycle in practice).
+const wheelBucketCap = 4
 
 // schedule files a completion event for slot at cycle `at`.
 func (c *Core) schedule(slot int, at uint64) {

@@ -8,8 +8,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 
 	"clip/internal/core"
+	"clip/internal/runner"
 	"clip/internal/sim"
 	"clip/internal/stats"
 	"clip/internal/workload"
@@ -30,6 +32,11 @@ type Scale struct {
 	// Channels lists the paper channel counts to sweep (for 64 cores).
 	Channels []int
 	Seed     uint64
+	// Workers bounds the experiment engine's concurrently executing
+	// simulations (0 = runtime.GOMAXPROCS(0)). Reports are byte-identical
+	// for any worker count: jobs are enumerated and assembled in a fixed
+	// order, and every simulation is deterministic in its configuration.
+	Workers int
 }
 
 // Quick is the bench-friendly scale: a representative subset of mixes.
@@ -208,44 +215,139 @@ func dspatchVariant(pf string) workload.Variant {
 	}}
 }
 
-// runnerCache shares Runner instances (and with them alone-IPC and baseline
-// caches) across variants of one experiment, keyed by paper channel count.
-type runnerCache struct {
-	sc      Scale
+// engine schedules one experiment's simulations across a bounded worker
+// pool. Figure drivers submit every (mix, variant, channels) job up front —
+// meanWS/normWS/runMix return futures immediately — then call wait once and
+// assemble the report from the futures in a fixed order. Completion order
+// therefore never influences the output: a Report built with Workers=1 is
+// byte-identical to one built with Workers=N.
+//
+// Runner instances (and with them alone-IPC and per-mix baseline memos) are
+// shared across variants of one experiment, keyed by paper channel count;
+// raw runs additionally dedup across experiments through the process-wide
+// run cache (internal/runner).
+type engine struct {
+	sc   Scale
+	pool *runner.Pool
+	fail *firstErr
+
+	mu      sync.Mutex
 	runners map[int]*workload.Runner
 }
 
-func newRunnerCache(sc Scale) *runnerCache {
-	return &runnerCache{sc: sc, runners: map[int]*workload.Runner{}}
+// firstErr records the first failure among concurrently executing jobs.
+type firstErr struct {
+	mu  sync.Mutex
+	err error
 }
 
-func (rc *runnerCache) at(paperCh int) *workload.Runner {
-	if r, ok := rc.runners[paperCh]; ok {
+func (f *firstErr) set(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstErr) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+func newEngine(sc Scale) *engine {
+	return &engine{sc: sc, pool: runner.NewPool(sc.Workers),
+		fail: &firstErr{}, runners: map[int]*workload.Runner{}}
+}
+
+// sub derives an engine for a modified scale (different core count, say)
+// sharing the worker pool and error sink but not the runner templates.
+func (e *engine) sub(sc Scale) *engine {
+	return &engine{sc: sc, pool: e.pool, fail: e.fail,
+		runners: map[int]*workload.Runner{}}
+}
+
+// at returns the shared Runner for a paper channel count.
+func (e *engine) at(paperCh int) *workload.Runner {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r, ok := e.runners[paperCh]; ok {
 		return r
 	}
-	r := workload.NewRunner(template(rc.sc, paperCh))
-	rc.runners[paperCh] = r
+	r := workload.NewRunner(template(e.sc, paperCh))
+	e.runners[paperCh] = r
 	return r
 }
 
-// mean runs a variant over mixes at one paper channel count and returns the
-// mean normalized weighted speedup.
-func (rc *runnerCache) mean(paperCh int, mixes []workload.Mix, v workload.Variant) (float64, error) {
-	r := rc.at(paperCh)
-	var vals []float64
-	for _, m := range mixes {
-		ws, _, _, err := r.NormalizedWS(m, v)
-		if err != nil {
-			return 0, err
-		}
-		vals = append(vals, ws)
-	}
-	return stats.Mean(vals), nil
+// wait blocks until every submitted job finished and returns the first
+// error, if any. Futures must only be read after wait returns nil.
+func (e *engine) wait() error {
+	e.pool.Wait()
+	return e.fail.get()
 }
 
-// meanNormWS is the one-shot form used where no sharing is possible.
-func meanNormWS(sc Scale, paperCh int, mixes []workload.Mix, v workload.Variant) (float64, error) {
-	return newRunnerCache(sc).mean(paperCh, mixes, v)
+// wsMean is the future of a mean normalized weighted speedup over a mix
+// list; one job per mix fills its slot, the mean is taken in mix order.
+type wsMean struct{ vals []float64 }
+
+func (f *wsMean) value() float64 { return stats.Mean(f.vals) }
+
+// meanWS submits one NormalizedWS job per mix at one paper channel count.
+func (e *engine) meanWS(paperCh int, mixes []workload.Mix, v workload.Variant) *wsMean {
+	f := &wsMean{vals: make([]float64, len(mixes))}
+	r := e.at(paperCh)
+	for i, m := range mixes {
+		e.pool.Go(func() {
+			ws, _, _, err := r.NormalizedWS(m, v)
+			if err != nil {
+				e.fail.set(err)
+				return
+			}
+			f.vals[i] = ws
+		})
+	}
+	return f
+}
+
+// normRun is the future of one NormalizedWS call (per-mix figures need the
+// raw variant/baseline results, not just the ratio).
+type normRun struct {
+	ws              float64
+	varRes, baseRes *sim.Result
+}
+
+func (e *engine) normWS(paperCh int, m workload.Mix, v workload.Variant) *normRun {
+	f := &normRun{}
+	r := e.at(paperCh)
+	e.pool.Go(func() {
+		ws, varRes, baseRes, err := r.NormalizedWS(m, v)
+		if err != nil {
+			e.fail.set(err)
+			return
+		}
+		f.ws, f.varRes, f.baseRes = ws, varRes, baseRes
+	})
+	return f
+}
+
+// mixRun is the future of one RunMix call.
+type mixRun struct {
+	res *sim.Result
+	ws  float64
+}
+
+func (e *engine) runMix(paperCh int, m workload.Mix, v workload.Variant) *mixRun {
+	f := &mixRun{}
+	r := e.at(paperCh)
+	e.pool.Go(func() {
+		res, ws, err := r.RunMix(m, v)
+		if err != nil {
+			e.fail.set(err)
+			return
+		}
+		f.res, f.ws = res, ws
+	})
+	return f
 }
 
 // Registry of all experiments for the CLI.

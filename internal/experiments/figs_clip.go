@@ -10,22 +10,27 @@ import (
 // shape: CLIP lifts every prefetcher; largest gain with Berti.
 func Fig9(sc Scale) (*Report, error) {
 	rep := newReport("fig9", "CLIP with the four prefetchers at 8 channels (normalized WS)")
-	for _, part := range []struct {
+	parts := []struct {
 		label string
 		mixes []workload.Mix
-	}{{"hom", homMixes(sc)}, {"het", hetMixes(sc)}} {
-		rc := newRunnerCache(sc)
+	}{{"hom", homMixes(sc)}, {"het", hetMixes(sc)}}
+	e := newEngine(sc)
+	means := map[string]*wsMean{}
+	for _, part := range parts {
+		for _, pf := range paperPrefetchers {
+			means[part.label+"."+pf] = e.meanWS(8, part.mixes, pfVariant(pf))
+			means[part.label+"."+pf+"+clip"] = e.meanWS(8, part.mixes, clipVariant(pf))
+		}
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
+	for _, part := range parts {
 		tb := &stats.Table{Title: "fig9-" + part.label,
 			Headers: []string{"prefetcher", "alone", "with CLIP"}}
 		for _, pf := range paperPrefetchers {
-			alone, err := rc.mean(8, part.mixes, pfVariant(pf))
-			if err != nil {
-				return nil, err
-			}
-			with, err := rc.mean(8, part.mixes, clipVariant(pf))
-			if err != nil {
-				return nil, err
-			}
+			alone := means[part.label+"."+pf].value()
+			with := means[part.label+"."+pf+"+clip"].value()
 			tb.AddRow(pf, alone, with)
 			rep.Values[part.label+"."+pf] = alone
 			rep.Values[part.label+"."+pf+"+clip"] = with
@@ -36,21 +41,24 @@ func Fig9(sc Scale) (*Report, error) {
 }
 
 // perMix runs Berti and Berti+CLIP per homogeneous mix at 8 channels and
-// hands each mix's results to visit.
+// hands each mix's results to visit, in mix order. All simulations are
+// submitted up front and run concurrently.
 func perMix(sc Scale, visit func(mix string, berti, clip *mixOutcome)) error {
-	r := workload.NewRunner(template(sc, 8))
-	for _, m := range homMixes(sc) {
-		wsB, resB, _, err := r.NormalizedWS(m, pfVariant("berti"))
-		if err != nil {
-			return err
-		}
-		wsC, resC, _, err := r.NormalizedWS(m, clipVariant("berti"))
-		if err != nil {
-			return err
-		}
+	mixes := homMixes(sc)
+	e := newEngine(sc)
+	bs := make([]*normRun, len(mixes))
+	cs := make([]*normRun, len(mixes))
+	for i, m := range mixes {
+		bs[i] = e.normWS(8, m, pfVariant("berti"))
+		cs[i] = e.normWS(8, m, clipVariant("berti"))
+	}
+	if err := e.wait(); err != nil {
+		return err
+	}
+	for i, m := range mixes {
 		visit(m.Name,
-			&mixOutcome{ws: wsB, res: resB},
-			&mixOutcome{ws: wsC, res: resC})
+			&mixOutcome{ws: bs[i].ws, res: bs[i].varRes},
+			&mixOutcome{ws: cs[i].ws, res: cs[i].varRes})
 	}
 	return nil
 }
@@ -137,19 +145,34 @@ func Fig12(sc Scale) (*Report, error) {
 	return rep, nil
 }
 
+// clipPerMixRuns submits one RunMix job per homogeneous mix at 8 channels
+// for a variant and waits (shared shape of Figures 13-15).
+func clipPerMixRuns(sc Scale, v workload.Variant) ([]workload.Mix, []*mixRun, error) {
+	mixes := homMixes(sc)
+	e := newEngine(sc)
+	futs := make([]*mixRun, len(mixes))
+	for i, m := range mixes {
+		futs[i] = e.runMix(8, m, v)
+	}
+	if err := e.wait(); err != nil {
+		return nil, nil, err
+	}
+	return mixes, futs, nil
+}
+
 // Fig13 reproduces Figure 13: CLIP's per-mix critical-load prediction
 // accuracy against the best prior predictor. Expected shape: CLIP >90% on
 // most mixes; the best prior predictor far below.
 func Fig13(sc Scale) (*Report, error) {
 	rep := newReport("fig13", "critical-load prediction accuracy per mix")
 	tb := &stats.Table{Title: "fig13", Headers: []string{"mix", "clip", "best-prior"}}
-	r := workload.NewRunner(template(sc, 8))
+	mixes, futs, err := clipPerMixRuns(sc, scoredClipVariant())
+	if err != nil {
+		return nil, err
+	}
 	var cs, ps []float64
-	for _, m := range homMixes(sc) {
-		res, _, err := r.RunMix(m, scoredClipVariant())
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range mixes {
+		res := futs[i].res
 		clipAcc := res.Clip.PredictionAccuracy()
 		best := 0.0
 		for _, s := range res.PredScores {
@@ -174,14 +197,13 @@ func Fig13(sc Scale) (*Report, error) {
 func Fig14(sc Scale) (*Report, error) {
 	rep := newReport("fig14", "critical-load prediction coverage per mix")
 	tb := &stats.Table{Title: "fig14", Headers: []string{"mix", "coverage"}}
-	r := workload.NewRunner(template(sc, 8))
+	mixes, futs, err := clipPerMixRuns(sc, clipVariant("berti"))
+	if err != nil {
+		return nil, err
+	}
 	var cov []float64
-	for _, m := range homMixes(sc) {
-		res, _, err := r.RunMix(m, clipVariant("berti"))
-		if err != nil {
-			return nil, err
-		}
-		c := res.Clip.PredictionCoverage()
+	for i, m := range mixes {
+		c := futs[i].res.Clip.PredictionCoverage()
 		tb.AddRow(m.Name, c)
 		cov = append(cov, c)
 	}
@@ -197,13 +219,13 @@ func Fig14(sc Scale) (*Report, error) {
 func Fig15(sc Scale) (*Report, error) {
 	rep := newReport("fig15", "critical IPs selected by CLIP (static/dynamic)")
 	tb := &stats.Table{Title: "fig15", Headers: []string{"mix", "static", "dynamic"}}
-	r := workload.NewRunner(template(sc, 8))
+	mixes, futs, err := clipPerMixRuns(sc, clipVariant("berti"))
+	if err != nil {
+		return nil, err
+	}
 	var st, dy []float64
-	for _, m := range homMixes(sc) {
-		res, _, err := r.RunMix(m, clipVariant("berti"))
-		if err != nil {
-			return nil, err
-		}
+	for i, m := range mixes {
+		res := futs[i].res
 		tb.AddRow(m.Name, res.ClipStaticIPs, res.ClipDynamicIPs)
 		st = append(st, res.ClipStaticIPs)
 		dy = append(dy, res.ClipDynamicIPs)

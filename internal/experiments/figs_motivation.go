@@ -24,16 +24,22 @@ func Fig2(sc Scale) (*Report, error) {
 
 func figPrefetchersVsChannels(sc Scale, name string, mixes []workload.Mix) (*Report, error) {
 	rep := newReport(name, "normalized weighted speedup vs paper channel count")
-	rc := newRunnerCache(sc)
+	e := newEngine(sc)
+	means := map[string]*wsMean{}
+	for _, pf := range paperPrefetchers {
+		for _, ch := range sc.Channels {
+			means[pf+"@"+chLabel(ch)] = e.meanWS(ch, mixes, pfVariant(pf))
+		}
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
 	tb := &stats.Table{Title: name, Headers: append([]string{"prefetcher"}, chLabels(sc.Channels)...)}
 	for _, pf := range paperPrefetchers {
 		ser := &stats.Series{Name: pf}
 		row := []interface{}{pf}
 		for _, ch := range sc.Channels {
-			ws, err := rc.mean(ch, mixes, pfVariant(pf))
-			if err != nil {
-				return nil, err
-			}
+			ws := means[pf+"@"+chLabel(ch)].value()
 			ser.Add(chLabel(ch), ws)
 			row = append(row, ws)
 			rep.Values[pf+"@"+chLabel(ch)] = ws
@@ -83,18 +89,24 @@ func fmtInt(v int) string {
 func Fig3(sc Scale) (*Report, error) {
 	rep := newReport("fig3", "demand miss latency with Berti / no-PF, by level")
 	mixes := append(homMixes(sc), hetMixes(sc)...)
+	e := newEngine(sc)
+	runs := make([][]*normRun, len(sc.Channels))
+	for ci, ch := range sc.Channels {
+		runs[ci] = make([]*normRun, len(mixes))
+		for mi, m := range mixes {
+			runs[ci][mi] = e.normWS(ch, m, pfVariant("berti"))
+		}
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
 	tb := &stats.Table{Title: "fig3", Headers: []string{"channels", "L1", "L2", "LLC"}}
-	for _, ch := range sc.Channels {
-		r := workload.NewRunner(template(sc, ch))
+	for ci, ch := range sc.Channels {
 		var l1r, l2r, l3r []float64
-		for _, m := range mixes {
-			_, varRes, baseRes, err := r.NormalizedWS(m, pfVariant("berti"))
-			if err != nil {
-				return nil, err
-			}
-			l1r = append(l1r, ratioOr1(varRes.L1.DemandMissLatency.Mean(), baseRes.L1.DemandMissLatency.Mean()))
-			l2r = append(l2r, ratioOr1(varRes.L2.DemandMissLatency.Mean(), baseRes.L2.DemandMissLatency.Mean()))
-			l3r = append(l3r, ratioOr1(varRes.LLC.DemandMissLatency.Mean(), baseRes.LLC.DemandMissLatency.Mean()))
+		for _, f := range runs[ci] {
+			l1r = append(l1r, ratioOr1(f.varRes.L1.DemandMissLatency.Mean(), f.baseRes.L1.DemandMissLatency.Mean()))
+			l2r = append(l2r, ratioOr1(f.varRes.L2.DemandMissLatency.Mean(), f.baseRes.L2.DemandMissLatency.Mean()))
+			l3r = append(l3r, ratioOr1(f.varRes.LLC.DemandMissLatency.Mean(), f.baseRes.LLC.DemandMissLatency.Mean()))
 		}
 		tb.AddRow(chLabel(ch), stats.Mean(l1r), stats.Mean(l2r), stats.Mean(l3r))
 		rep.Values["L2@"+chLabel(ch)] = stats.Mean(l2r)
@@ -117,30 +129,32 @@ func ratioOr1(a, b float64) float64 {
 func Fig4(sc Scale) (*Report, error) {
 	rep := newReport("fig4", "prior predictor accuracy/coverage under Berti")
 	mixes := append(homMixes(sc), hetMixes(sc)...)
+	scored := workload.Variant{
+		Name: "berti+score",
+		Mutate: func(c *sim.Config) {
+			c.Prefetcher = "berti"
+			c.ScorePredictors = true
+		},
+	}
+	e := newEngine(sc)
+	futs := make([]*mixRun, len(mixes))
+	for i, m := range mixes {
+		futs[i] = e.runMix(8, m, scored)
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
 	agg := map[string]*criticality.Score{}
 	for _, name := range criticality.Names() {
 		agg[name] = &criticality.Score{}
 	}
-	for _, ch := range []int{8} {
-		r := workload.NewRunner(template(sc, ch))
-		for _, m := range mixes {
-			res, _, err := r.RunMix(m, workload.Variant{
-				Name: "berti+score",
-				Mutate: func(c *sim.Config) {
-					c.Prefetcher = "berti"
-					c.ScorePredictors = true
-				},
-			})
-			if err != nil {
-				return nil, err
-			}
-			for name, sc2 := range res.PredScores {
-				a := agg[name]
-				a.TruePos += sc2.TruePos
-				a.FalsePos += sc2.FalsePos
-				a.FalseNeg += sc2.FalseNeg
-				a.TrueNeg += sc2.TrueNeg
-			}
+	for _, f := range futs {
+		for name, sc2 := range f.res.PredScores {
+			a := agg[name]
+			a.TruePos += sc2.TruePos
+			a.FalsePos += sc2.FalsePos
+			a.FalseNeg += sc2.FalseNeg
+			a.TrueNeg += sc2.TrueNeg
 		}
 	}
 	tb := &stats.Table{Title: "fig4", Headers: []string{"predictor", "accuracy", "coverage"}}
@@ -159,59 +173,54 @@ func Fig4(sc Scale) (*Report, error) {
 // predictor rescues Berti at low bandwidth.
 func Fig5(sc Scale) (*Report, error) {
 	rep := newReport("fig5", "Berti with prior criticality predictors (normalized WS)")
-	for _, part := range []struct {
-		label string
-		mixes []workload.Mix
-	}{{"hom", homMixes(sc)}, {"het", hetMixes(sc)}} {
-		rc := newRunnerCache(sc)
-		tb := &stats.Table{Title: "fig5-" + part.label,
-			Headers: append([]string{"variant"}, chLabels(sc.Channels)...)}
-		variants := []workload.Variant{pfVariant("berti")}
-		for _, p := range criticality.Names() {
-			variants = append(variants, critVariant("berti", p))
-		}
-		for _, v := range variants {
-			row := []interface{}{v.Name}
-			for _, ch := range sc.Channels {
-				ws, err := rc.mean(ch, part.mixes, v)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, ws)
-				rep.Values[part.label+"."+v.Name+"@"+chLabel(ch)] = ws
-			}
-			tb.AddRow(row...)
-		}
-		rep.Tables = append(rep.Tables, tb)
+	variants := []workload.Variant{pfVariant("berti")}
+	for _, p := range criticality.Names() {
+		variants = append(variants, critVariant("berti", p))
 	}
-	return rep, nil
+	return fillVariantsByChannels(rep, sc, "fig5", variants)
 }
 
 // Fig6 reproduces Figure 6: Berti under the four throttlers across channel
 // counts. Expected shape: marginal improvements, slowdown remains.
 func Fig6(sc Scale) (*Report, error) {
 	rep := newReport("fig6", "Berti with prefetch throttlers (normalized WS)")
-	throttlers := []string{"fdp", "hpac", "spac", "nst"}
-	for _, part := range []struct {
+	variants := []workload.Variant{pfVariant("berti")}
+	for _, th := range []string{"fdp", "hpac", "spac", "nst"} {
+		variants = append(variants, throttleVariant("berti", th))
+	}
+	return fillVariantsByChannels(rep, sc, "fig6", variants)
+}
+
+// fillVariantsByChannels runs a variant list over the hom and het mix sets at
+// every channel count and fills one table per part (Figures 5, 6 and 21 all
+// share this shape). All jobs across both parts run on one engine.
+func fillVariantsByChannels(rep *Report, sc Scale, name string, variants []workload.Variant) (*Report, error) {
+	parts := []struct {
 		label string
 		mixes []workload.Mix
-	}{{"hom", homMixes(sc)}, {"het", hetMixes(sc)}} {
-		rc := newRunnerCache(sc)
-		tb := &stats.Table{Title: "fig6-" + part.label,
-			Headers: append([]string{"variant"}, chLabels(sc.Channels)...)}
-		variants := []workload.Variant{pfVariant("berti")}
-		for _, th := range throttlers {
-			variants = append(variants, throttleVariant("berti", th))
+	}{{"hom", homMixes(sc)}, {"het", hetMixes(sc)}}
+	e := newEngine(sc)
+	means := map[string]*wsMean{}
+	for _, part := range parts {
+		for _, v := range variants {
+			for _, ch := range sc.Channels {
+				means[part.label+"."+v.Name+"@"+chLabel(ch)] = e.meanWS(ch, part.mixes, v)
+			}
 		}
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
+	for _, part := range parts {
+		tb := &stats.Table{Title: name + "-" + part.label,
+			Headers: append([]string{"variant"}, chLabels(sc.Channels)...)}
 		for _, v := range variants {
 			row := []interface{}{v.Name}
 			for _, ch := range sc.Channels {
-				ws, err := rc.mean(ch, part.mixes, v)
-				if err != nil {
-					return nil, err
-				}
+				key := part.label + "." + v.Name + "@" + chLabel(ch)
+				ws := means[key].value()
 				row = append(row, ws)
-				rep.Values[part.label+"."+v.Name+"@"+chLabel(ch)] = ws
+				rep.Values[key] = ws
 			}
 			tb.AddRow(row...)
 		}

@@ -27,16 +27,23 @@ func scoredClipVariant() workload.Variant {
 func Fig17(sc Scale) (*Report, error) {
 	rep := newReport("fig17", "CloudSuite/CVP workloads (normalized WS)")
 	mixes := workload.CloudCVP(sc.Cores, sc.CloudMixes)
-	rc := newRunnerCache(sc)
+	variants := []workload.Variant{pfVariant("berti"), clipVariant("berti")}
+	e := newEngine(sc)
+	means := map[string]*wsMean{}
+	for _, v := range variants {
+		for _, ch := range sc.Channels {
+			means[v.Name+"@"+chLabel(ch)] = e.meanWS(ch, mixes, v)
+		}
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
 	tb := &stats.Table{Title: "fig17",
 		Headers: append([]string{"variant"}, chLabels(sc.Channels)...)}
-	for _, v := range []workload.Variant{pfVariant("berti"), clipVariant("berti")} {
+	for _, v := range variants {
 		row := []interface{}{v.Name}
 		for _, ch := range sc.Channels {
-			ws, err := rc.mean(ch, mixes, v)
-			if err != nil {
-				return nil, err
-			}
+			ws := means[v.Name+"@"+chLabel(ch)].value()
 			row = append(row, ws)
 			rep.Values[v.Name+"@"+chLabel(ch)] = ws
 		}
@@ -52,14 +59,19 @@ func Fig17(sc Scale) (*Report, error) {
 func Fig18(sc Scale) (*Report, error) {
 	rep := newReport("fig18", "CLIP table size sensitivity (normalized WS at 8 channels)")
 	mixes := append(homMixes(sc), hetMixes(sc)...)
-	rc := newRunnerCache(sc)
-	tb := &stats.Table{Title: "fig18", Headers: []string{"scale", "normalized WS"}}
-	for _, f := range []float64{0.25, 0.5, 1, 2, 4} {
+	factors := []float64{0.25, 0.5, 1, 2, 4}
+	e := newEngine(sc)
+	means := make([]*wsMean, len(factors))
+	for i, f := range factors {
 		cc := core.DefaultConfig().Scale(f)
-		ws, err := rc.mean(8, mixes, clipVariantCfg("berti", cc))
-		if err != nil {
-			return nil, err
-		}
+		means[i] = e.meanWS(8, mixes, clipVariantCfg("berti", cc))
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
+	tb := &stats.Table{Title: "fig18", Headers: []string{"scale", "normalized WS"}}
+	for i, f := range factors {
+		ws := means[i].value()
 		tb.AddRow(f, ws)
 		rep.Values[fmtFloat(f)] = ws
 	}
@@ -96,25 +108,33 @@ func Fig20(sc Scale) (*Report, error) {
 
 func figClipVsChannels(sc Scale, name string, mixes []workload.Mix) (*Report, error) {
 	rep := newReport(name, "prefetcher and prefetcher+CLIP vs channels (normalized WS)")
-	rc := newRunnerCache(sc)
+	var variants []workload.Variant
+	for _, pf := range paperPrefetchers {
+		variants = append(variants, pfVariant(pf), clipVariant(pf))
+	}
+	e := newEngine(sc)
+	means := map[string]*wsMean{}
+	for _, v := range variants {
+		for _, ch := range sc.Channels {
+			means[v.Name+"@"+chLabel(ch)] = e.meanWS(ch, mixes, v)
+		}
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
 	tb := &stats.Table{Title: name,
 		Headers: append([]string{"variant"}, chLabels(sc.Channels)...)}
-	for _, pf := range paperPrefetchers {
-		for _, v := range []workload.Variant{pfVariant(pf), clipVariant(pf)} {
-			ser := &stats.Series{Name: v.Name}
-			row := []interface{}{v.Name}
-			for _, ch := range sc.Channels {
-				ws, err := rc.mean(ch, mixes, v)
-				if err != nil {
-					return nil, err
-				}
-				ser.Add(chLabel(ch), ws)
-				row = append(row, ws)
-				rep.Values[v.Name+"@"+chLabel(ch)] = ws
-			}
-			rep.Series = append(rep.Series, ser)
-			tb.AddRow(row...)
+	for _, v := range variants {
+		ser := &stats.Series{Name: v.Name}
+		row := []interface{}{v.Name}
+		for _, ch := range sc.Channels {
+			ws := means[v.Name+"@"+chLabel(ch)].value()
+			ser.Add(chLabel(ch), ws)
+			row = append(row, ws)
+			rep.Values[v.Name+"@"+chLabel(ch)] = ws
 		}
+		rep.Series = append(rep.Series, ser)
+		tb.AddRow(row...)
 	}
 	rep.Tables = append(rep.Tables, tb)
 	return rep, nil
@@ -129,28 +149,7 @@ func Fig21(sc Scale) (*Report, error) {
 		pfVariant("berti"), hermesVariant("berti"),
 		dspatchVariant("berti"), clipVariant("berti"),
 	}
-	for _, part := range []struct {
-		label string
-		mixes []workload.Mix
-	}{{"hom", homMixes(sc)}, {"het", hetMixes(sc)}} {
-		rc := newRunnerCache(sc)
-		tb := &stats.Table{Title: "fig21-" + part.label,
-			Headers: append([]string{"variant"}, chLabels(sc.Channels)...)}
-		for _, v := range variants {
-			row := []interface{}{v.Name}
-			for _, ch := range sc.Channels {
-				ws, err := rc.mean(ch, part.mixes, v)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, ws)
-				rep.Values[part.label+"."+v.Name+"@"+chLabel(ch)] = ws
-			}
-			tb.AddRow(row...)
-		}
-		rep.Tables = append(rep.Tables, tb)
-	}
-	return rep, nil
+	return fillVariantsByChannels(rep, sc, "fig21", variants)
 }
 
 // Table2 reproduces Table 2: CLIP's per-core storage budget.
@@ -175,25 +174,32 @@ func Table2() (*Report, error) {
 // (paper: <7%).
 func Energy(sc Scale) (*Report, error) {
 	rep := newReport("energy", "dynamic memory-hierarchy energy: CLIP vs Berti")
-	tb := &stats.Table{Title: "energy",
-		Headers: []string{"mixes", "berti (uJ)", "berti+clip (uJ)", "reduction"}}
-	for _, part := range []struct {
+	parts := []struct {
 		label string
 		mixes []workload.Mix
-	}{{"hom", homMixes(sc)}, {"het", hetMixes(sc)}} {
-		r := workload.NewRunner(template(sc, 8))
+	}{{"hom", homMixes(sc)}, {"het", hetMixes(sc)}}
+	e := newEngine(sc)
+	type pair struct{ b, c *mixRun }
+	futs := make([][]pair, len(parts))
+	for pi, part := range parts {
+		futs[pi] = make([]pair, len(part.mixes))
+		for mi, m := range part.mixes {
+			futs[pi][mi] = pair{
+				b: e.runMix(8, m, pfVariant("berti")),
+				c: e.runMix(8, m, clipVariant("berti")),
+			}
+		}
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
+	tb := &stats.Table{Title: "energy",
+		Headers: []string{"mixes", "berti (uJ)", "berti+clip (uJ)", "reduction"}}
+	for pi, part := range parts {
 		var eb, ec []float64
-		for _, m := range part.mixes {
-			resB, _, err := r.RunMix(m, pfVariant("berti"))
-			if err != nil {
-				return nil, err
-			}
-			resC, _, err := r.RunMix(m, clipVariant("berti"))
-			if err != nil {
-				return nil, err
-			}
-			eb = append(eb, resB.Energy.Total())
-			ec = append(ec, resC.Energy.Total())
+		for _, p := range futs[pi] {
+			eb = append(eb, p.b.res.Energy.Total())
+			ec = append(ec, p.c.res.Energy.Total())
 		}
 		mb, mc := stats.Mean(eb), stats.Mean(ec)
 		red := 1 - stats.SafeDiv(mc, mb)
@@ -205,22 +211,30 @@ func Energy(sc Scale) (*Report, error) {
 }
 
 // SensCores reproduces the §5.2 core-count sensitivity: CLIP's benefit at a
-// fixed cores-per-channel ratio across core counts.
+// fixed cores-per-channel ratio across core counts. Each core count needs
+// its own templates (sub-engine); all jobs share one worker pool.
 func SensCores(sc Scale) (*Report, error) {
 	rep := newReport("sens-cores", "CLIP benefit across core counts (8-channel-equivalent ratio)")
-	tb := &stats.Table{Title: "sens-cores", Headers: []string{"cores", "berti", "berti+clip"}}
-	for _, cores := range []int{4, 8, 16} {
+	coreCounts := []int{4, 8, 16}
+	e := newEngine(sc)
+	type pair struct{ b, c *wsMean }
+	futs := make([]pair, len(coreCounts))
+	for i, cores := range coreCounts {
 		s2 := sc
 		s2.Cores = cores
+		se := e.sub(s2)
 		mixes := homMixes(s2)
-		b, err := meanNormWS(s2, 8, mixes, pfVariant("berti"))
-		if err != nil {
-			return nil, err
+		futs[i] = pair{
+			b: se.meanWS(8, mixes, pfVariant("berti")),
+			c: se.meanWS(8, mixes, clipVariant("berti")),
 		}
-		c, err := meanNormWS(s2, 8, mixes, clipVariant("berti"))
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
+	tb := &stats.Table{Title: "sens-cores", Headers: []string{"cores", "berti", "berti+clip"}}
+	for i, cores := range coreCounts {
+		b, c := futs[i].b.value(), futs[i].c.value()
 		tb.AddRow(cores, b, c)
 		rep.Values[fmtInt(cores)+".berti"] = b
 		rep.Values[fmtInt(cores)+".clip"] = c
@@ -234,36 +248,44 @@ func SensCores(sc Scale) (*Report, error) {
 // slowdown worsens with smaller LLCs; CLIP's protection grows.
 func SensLLC(sc Scale) (*Report, error) {
 	rep := newReport("sens-llc", "LLC capacity sweep at 8 channels (normalized WS)")
-	tb := &stats.Table{Title: "sens-llc", Headers: []string{"llc-sets", "berti", "berti+clip"}}
 	base := template(sc, 8)
+	mixes := homMixes(sc)
+	e := newEngine(sc)
+	type pt struct {
+		sets int
+		b, c *wsMean
+	}
+	var pts []pt
 	for _, mult := range []float64{0.25, 0.5, 1, 2} {
 		sets := int(float64(base.LLC.Sets) * mult)
 		p := 1
 		for p*2 <= sets {
 			p *= 2
 		}
-		mixes := homMixes(sc)
-		run := func(v workload.Variant) (float64, error) {
+		wrap := func(v workload.Variant) workload.Variant {
 			inner := v.Mutate
-			v2 := workload.Variant{Name: v.Name, Mutate: func(c *sim.Config) {
+			return workload.Variant{Name: v.Name, Mutate: func(c *sim.Config) {
 				c.LLC.Sets = p
 				if inner != nil {
 					inner(c)
 				}
 			}}
-			return meanNormWS(sc, 8, mixes, v2)
 		}
-		b, err := run(pfVariant("berti"))
-		if err != nil {
-			return nil, err
-		}
-		c, err := run(clipVariant("berti"))
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(p, b, c)
-		rep.Values[fmtInt(p)+".berti"] = b
-		rep.Values[fmtInt(p)+".clip"] = c
+		pts = append(pts, pt{
+			sets: p,
+			b:    e.meanWS(8, mixes, wrap(pfVariant("berti"))),
+			c:    e.meanWS(8, mixes, wrap(clipVariant("berti"))),
+		})
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
+	tb := &stats.Table{Title: "sens-llc", Headers: []string{"llc-sets", "berti", "berti+clip"}}
+	for _, p := range pts {
+		b, c := p.b.value(), p.c.value()
+		tb.AddRow(p.sets, b, c)
+		rep.Values[fmtInt(p.sets)+".berti"] = b
+		rep.Values[fmtInt(p.sets)+".clip"] = c
 	}
 	rep.Tables = append(rep.Tables, tb)
 	return rep, nil
@@ -278,21 +300,28 @@ func AblationSignature(sc Scale) (*Report, error) {
 	full := core.DefaultConfig()
 	ipOnly := core.DefaultConfig()
 	ipOnly.UseSignature = false
-	tb := &stats.Table{Title: "ablation-signature",
-		Headers: []string{"variant", "normWS@8ch", "pred accuracy"}}
-	for _, v := range []struct {
+	variants := []struct {
 		name string
 		cfg  core.Config
-	}{{"signature", full}, {"ip-only", ipOnly}} {
-		r := workload.NewRunner(template(sc, 8))
+	}{{"signature", full}, {"ip-only", ipOnly}}
+	e := newEngine(sc)
+	futs := make([][]*normRun, len(variants))
+	for vi, v := range variants {
+		futs[vi] = make([]*normRun, len(mixes))
+		for mi, m := range mixes {
+			futs[vi][mi] = e.normWS(8, m, clipVariantCfg("berti", v.cfg))
+		}
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
+	tb := &stats.Table{Title: "ablation-signature",
+		Headers: []string{"variant", "normWS@8ch", "pred accuracy"}}
+	for vi, v := range variants {
 		var ws, acc []float64
-		for _, m := range mixes {
-			w, res, _, err := r.NormalizedWS(m, clipVariantCfg("berti", v.cfg))
-			if err != nil {
-				return nil, err
-			}
-			ws = append(ws, w)
-			acc = append(acc, res.Clip.PredictionAccuracy())
+		for _, f := range futs[vi] {
+			ws = append(ws, f.ws)
+			acc = append(acc, f.varRes.Clip.PredictionAccuracy())
 		}
 		tb.AddRow(v.name, stats.Mean(ws), stats.Mean(acc))
 		rep.Values[v.name+".ws"] = stats.Mean(ws)
@@ -310,16 +339,21 @@ func AblationStages(sc Scale) (*Report, error) {
 	mixes := homMixes(sc)
 	stage1 := core.DefaultConfig()
 	stage1.UseAccuracyStage = false
-	rc := newRunnerCache(sc)
-	tb := &stats.Table{Title: "ablation-stages", Headers: []string{"variant", "normWS@8ch"}}
-	for _, v := range []struct {
+	variants := []struct {
 		name string
 		cfg  core.Config
-	}{{"two-stage", core.DefaultConfig()}, {"criticality-only", stage1}} {
-		ws, err := rc.mean(8, mixes, clipVariantCfg("berti", v.cfg))
-		if err != nil {
-			return nil, err
-		}
+	}{{"two-stage", core.DefaultConfig()}, {"criticality-only", stage1}}
+	e := newEngine(sc)
+	means := make([]*wsMean, len(variants))
+	for i, v := range variants {
+		means[i] = e.meanWS(8, mixes, clipVariantCfg("berti", v.cfg))
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
+	tb := &stats.Table{Title: "ablation-stages", Headers: []string{"variant", "normWS@8ch"}}
+	for i, v := range variants {
+		ws := means[i].value()
 		tb.AddRow(v.name, ws)
 		rep.Values[v.name] = ws
 	}
@@ -332,26 +366,32 @@ func AblationStages(sc Scale) (*Report, error) {
 func AblationThresholds(sc Scale) (*Report, error) {
 	rep := newReport("ablation-thresholds", "hit-rate and criticality-count thresholds")
 	mixes := homMixes(sc)
-	rc := newRunnerCache(sc)
-	tb := &stats.Table{Title: "ablation-thresholds", Headers: []string{"knob", "value", "normWS@8ch"}}
-	for _, hr := range []float64{0.8, 0.9, 1.0} {
+	hitRates := []float64{0.8, 0.9, 1.0}
+	critCounts := []uint8{1, 2, 3}
+	e := newEngine(sc)
+	hrMeans := make([]*wsMean, len(hitRates))
+	for i, hr := range hitRates {
 		cc := core.DefaultConfig()
 		cc.HitRateThreshold = hr
-		ws, err := rc.mean(8, mixes, clipVariantCfg("berti", cc))
-		if err != nil {
-			return nil, err
-		}
+		hrMeans[i] = e.meanWS(8, mixes, clipVariantCfg("berti", cc))
+	}
+	ccMeans := make([]*wsMean, len(critCounts))
+	for i, cnt := range critCounts {
+		cc := core.DefaultConfig()
+		cc.CritCountThreshold = cnt
+		ccMeans[i] = e.meanWS(8, mixes, clipVariantCfg("berti", cc))
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
+	tb := &stats.Table{Title: "ablation-thresholds", Headers: []string{"knob", "value", "normWS@8ch"}}
+	for i, hr := range hitRates {
+		ws := hrMeans[i].value()
 		tb.AddRow("hit-rate", hr, ws)
 		rep.Values["hitrate."+fmtFloat(hr)] = ws
 	}
-	for _, cnt := range []uint8{1, 2, 3} {
-		cc := core.DefaultConfig()
-		cc.CritCountThreshold = cnt
-		ws, err := rc.mean(8, mixes, clipVariantCfg("berti", cc))
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow("crit-count", cnt, ws)
+	for i, cnt := range critCounts {
+		tb.AddRow("crit-count", cnt, ccMeans[i].value())
 	}
 	rep.Tables = append(rep.Tables, tb)
 	return rep, nil
@@ -362,7 +402,6 @@ func AblationThresholds(sc Scale) (*Report, error) {
 func AblationPriority(sc Scale) (*Report, error) {
 	rep := newReport("ablation-priority", "criticality-conscious NoC/DRAM on vs off")
 	mixes := homMixes(sc)
-	tb := &stats.Table{Title: "ablation-priority", Headers: []string{"variant", "normWS@8ch"}}
 	off := workload.Variant{Name: "clip-noprio", Mutate: func(c *sim.Config) {
 		c.Prefetcher = "berti"
 		cc := core.DefaultConfig()
@@ -370,12 +409,18 @@ func AblationPriority(sc Scale) (*Report, error) {
 		c.NoCCriticalPriority = false
 		c.DRAMCriticalPriority = false
 	}}
-	rc := newRunnerCache(sc)
-	for _, v := range []workload.Variant{clipVariant("berti"), off} {
-		ws, err := rc.mean(8, mixes, v)
-		if err != nil {
-			return nil, err
-		}
+	variants := []workload.Variant{clipVariant("berti"), off}
+	e := newEngine(sc)
+	means := make([]*wsMean, len(variants))
+	for i, v := range variants {
+		means[i] = e.meanWS(8, mixes, v)
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
+	tb := &stats.Table{Title: "ablation-priority", Headers: []string{"variant", "normWS@8ch"}}
+	for i, v := range variants {
+		ws := means[i].value()
 		tb.AddRow(v.Name, ws)
 		rep.Values[v.Name] = ws
 	}
@@ -390,22 +435,29 @@ func AblationPriority(sc Scale) (*Report, error) {
 func AblationDynamic(sc Scale) (*Report, error) {
 	rep := newReport("ablation-dynamic", "static vs dynamic CLIP across channels")
 	mixes := homMixes(sc)
-	rc := newRunnerCache(sc)
 	dyn := workload.Variant{Name: "berti+dynclip", Mutate: func(c *sim.Config) {
 		c.Prefetcher = "berti"
 		cc := core.DefaultConfig()
 		c.CLIP = &cc
 		c.DynamicCLIP = true
 	}}
+	variants := []workload.Variant{pfVariant("berti"), clipVariant("berti"), dyn}
+	e := newEngine(sc)
+	means := map[string]*wsMean{}
+	for _, v := range variants {
+		for _, ch := range sc.Channels {
+			means[v.Name+"@"+chLabel(ch)] = e.meanWS(ch, mixes, v)
+		}
+	}
+	if err := e.wait(); err != nil {
+		return nil, err
+	}
 	tb := &stats.Table{Title: "ablation-dynamic",
 		Headers: append([]string{"variant"}, chLabels(sc.Channels)...)}
-	for _, v := range []workload.Variant{pfVariant("berti"), clipVariant("berti"), dyn} {
+	for _, v := range variants {
 		row := []interface{}{v.Name}
 		for _, ch := range sc.Channels {
-			ws, err := rc.mean(ch, mixes, v)
-			if err != nil {
-				return nil, err
-			}
+			ws := means[v.Name+"@"+chLabel(ch)].value()
 			row = append(row, ws)
 			rep.Values[v.Name+"@"+chLabel(ch)] = ws
 		}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"clip/internal/runner"
+	"clip/internal/sim"
+	"clip/internal/workload"
+)
+
+// TestReportDeterministicAcrossWorkerCounts is the engine's core guarantee:
+// the same Scale (and Seed) produces byte-identical reports no matter how
+// many workers race over the jobs. The shared run cache is dropped between
+// runs so the second run really recomputes every simulation.
+func TestReportDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, name := range []string{"fig9", "fig10"} {
+		e, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := micro()
+		sc.Workers = 1
+		runner.ResetShared()
+		seq, err := e.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Workers = 8
+		runner.ResetShared()
+		par, err := e.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.String() != par.String() {
+			t.Errorf("%s: Workers=1 and Workers=8 reports differ:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s",
+				name, seq.String(), par.String())
+		}
+		if !reflect.DeepEqual(seq.Values, par.Values) {
+			t.Errorf("%s: headline values differ: %v vs %v", name, seq.Values, par.Values)
+		}
+	}
+}
+
+// TestEngineSharesBaselinesAcrossVariants checks the dedup guarantee: two
+// variants over the same mixes share alone-IPC and no-prefetch baseline
+// simulations instead of re-running them.
+func TestEngineSharesBaselinesAcrossVariants(t *testing.T) {
+	runner.ResetShared()
+	sc := micro()
+	sc.Workers = 4
+	e := newEngine(sc)
+	mixes := homMixes(sc)[:2]
+	a := e.meanWS(8, mixes, pfVariant("berti"))
+	b := e.meanWS(8, mixes, pfVariant("stride"))
+	if err := e.wait(); err != nil {
+		t.Fatal(err)
+	}
+	if a.value() <= 0 || b.value() <= 0 {
+		t.Fatalf("degenerate means: %v %v", a.value(), b.value())
+	}
+	st := runner.Shared().Stats()
+	// Per mix: 1 alone (homogeneous: one benchmark), 1 baseline, 2 variants.
+	// The two baselines and two alones must NOT be duplicated per variant.
+	want := uint64(len(mixes)) * 4
+	if st.Executions != want {
+		t.Fatalf("executed %d simulations, want %d (baselines/alone runs duplicated?)", st.Executions, want)
+	}
+}
+
+// TestEnginePropagatesErrors checks that a failing job surfaces through
+// wait() instead of being lost on a worker goroutine.
+func TestEnginePropagatesErrors(t *testing.T) {
+	sc := micro()
+	sc.Workers = 2
+	e := newEngine(sc)
+	bogus := workload.Variant{Name: "bogus", Mutate: func(c *sim.Config) {
+		c.Prefetcher = "no-such-prefetcher"
+	}}
+	_ = e.meanWS(8, homMixes(sc)[:1], bogus)
+	if err := e.wait(); err == nil {
+		t.Fatal("invalid prefetcher did not surface an error")
+	}
+}

@@ -1,0 +1,65 @@
+package mem
+
+// Ring is a growable FIFO queue backed by a circular buffer. The zero value
+// is ready to use.
+//
+// The simulator's hot loops previously drained queues with the append/reslice
+// idiom (q = q[1:]), which retains the dead head of the backing array and
+// reallocates on every refill; a Ring reuses its buffer indefinitely, so a
+// queue that reaches steady state stops allocating entirely.
+type Ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len returns the number of queued elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Push appends v to the back of the queue.
+func (r *Ring[T]) Push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// PopFront removes and returns the front element. It zeroes the vacated slot
+// so popped elements do not pin referenced memory.
+func (r *Ring[T]) PopFront() T {
+	if r.n == 0 {
+		panic("mem: PopFront on empty Ring")
+	}
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// Front returns a pointer to the front element (valid until the next Push or
+// PopFront).
+func (r *Ring[T]) Front() *T { return r.At(0) }
+
+// At returns a pointer to the i-th element from the front.
+func (r *Ring[T]) At(i int) *T {
+	if i < 0 || i >= r.n {
+		panic("mem: Ring index out of range")
+	}
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// grow doubles the buffer (power-of-two sizes keep the index math mask-based).
+func (r *Ring[T]) grow() {
+	c := len(r.buf) * 2
+	if c == 0 {
+		c = 8
+	}
+	buf := make([]T, c)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = buf, 0
+}

@@ -1,0 +1,105 @@
+package mem
+
+import "testing"
+
+func TestRingFIFO(t *testing.T) {
+	var r Ring[int]
+	if r.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for i := 0; i < 100; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("len %d", r.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.PopFront(); got != i {
+			t.Fatalf("pop %d, want %d", got, i)
+		}
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	var r Ring[int]
+	next, expect := 0, 0
+	// Interleave pushes and pops so the head walks around the buffer many
+	// times at small occupancy — the pattern the simulator's queues follow.
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 3; i++ {
+			r.Push(next)
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			if got := r.PopFront(); got != expect {
+				t.Fatalf("round %d: pop %d, want %d", round, got, expect)
+			}
+			expect++
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("len %d after balanced rounds", r.Len())
+	}
+}
+
+func TestRingFrontAndAt(t *testing.T) {
+	var r Ring[string]
+	r.Push("a")
+	r.Push("b")
+	r.Push("c")
+	if *r.Front() != "a" {
+		t.Fatalf("front %q", *r.Front())
+	}
+	if *r.At(2) != "c" {
+		t.Fatalf("at(2) %q", *r.At(2))
+	}
+	*r.Front() = "A" // mutable head, used for in-place bookkeeping
+	if got := r.PopFront(); got != "A" {
+		t.Fatalf("pop %q", got)
+	}
+	if *r.At(1) != "c" {
+		t.Fatalf("at(1) after pop %q", *r.At(1))
+	}
+}
+
+func TestRingPanics(t *testing.T) {
+	var r Ring[int]
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("PopFront", func() { r.PopFront() })
+	r.Push(1)
+	mustPanic("At", func() { r.At(1) })
+}
+
+func TestRingDoesNotReallocateAtSteadyState(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 16; i++ {
+		r.Push(i)
+	}
+	for r.Len() > 0 {
+		r.PopFront()
+	}
+	before := testingAllocs(func() {
+		for round := 0; round < 100; round++ {
+			for i := 0; i < 16; i++ {
+				r.Push(i)
+			}
+			for r.Len() > 0 {
+				r.PopFront()
+			}
+		}
+	})
+	if before > 0 {
+		t.Fatalf("steady-state ring allocated %v times", before)
+	}
+}
+
+func testingAllocs(f func()) float64 {
+	return testing.AllocsPerRun(10, f)
+}

@@ -14,6 +14,7 @@ package noc
 import (
 	"fmt"
 
+	"clip/internal/mem"
 	"clip/internal/stats"
 )
 
@@ -80,7 +81,7 @@ type packet struct {
 type link struct {
 	// vcs[0..hiVCs) carry the high class round-robin; the rest the low
 	// class. With CriticalPriority off, every packet uses vcs[0].
-	vcs      [][]*packet
+	vcs      []mem.Ring[*packet]
 	hiVCs    int
 	rrHi     int // round-robin cursor over high VCs
 	rrLo     int
@@ -92,7 +93,7 @@ type link struct {
 func (l *link) hiLen() int {
 	n := 0
 	for v := 0; v < l.hiVCs; v++ {
-		n += len(l.vcs[v])
+		n += l.vcs[v].Len()
 	}
 	return n
 }
@@ -100,7 +101,7 @@ func (l *link) hiLen() int {
 func (l *link) loLen() int {
 	n := 0
 	for v := l.hiVCs; v < len(l.vcs); v++ {
-		n += len(l.vcs[v])
+		n += l.vcs[v].Len()
 	}
 	return n
 }
@@ -109,11 +110,9 @@ func (l *link) loLen() int {
 func (l *link) popHi() *packet {
 	for i := 0; i < l.hiVCs; i++ {
 		v := (l.rrHi + i) % l.hiVCs
-		if len(l.vcs[v]) > 0 {
-			p := l.vcs[v][0]
-			l.vcs[v] = l.vcs[v][1:]
+		if l.vcs[v].Len() > 0 {
 			l.rrHi = (v + 1) % l.hiVCs
-			return p
+			return l.vcs[v].PopFront()
 		}
 	}
 	return nil
@@ -127,11 +126,9 @@ func (l *link) popLo() *packet {
 	}
 	for i := 0; i < nLo; i++ {
 		v := l.hiVCs + (l.rrLo+i)%nLo
-		if len(l.vcs[v]) > 0 {
-			p := l.vcs[v][0]
-			l.vcs[v] = l.vcs[v][1:]
+		if l.vcs[v].Len() > 0 {
 			l.rrLo = (v - l.hiVCs + 1) % nLo
-			return p
+			return l.vcs[v].PopFront()
 		}
 	}
 	return nil
@@ -168,7 +165,7 @@ func New(cfg Config) (*Mesh, error) {
 	// node*4+dir with dir: 0=east 1=west 2=north 3=south.
 	m := &Mesh{cfg: cfg, links: make([]link, cfg.Width*cfg.Height*4)}
 	for i := range m.links {
-		m.links[i].vcs = make([][]*packet, cfg.VCs)
+		m.links[i].vcs = make([]mem.Ring[*packet], cfg.VCs)
 		m.links[i].hiVCs = hiVCs
 	}
 	return m, nil
@@ -198,14 +195,15 @@ const (
 	dirSouth
 )
 
-// route computes the XY path from src to dst as a list of link ids.
+// route computes the XY path from src to dst as a list of link ids, sized
+// exactly to the Manhattan distance.
 func (m *Mesh) route(src, dst int) []int {
 	if src == dst {
 		return nil
 	}
-	var path []int
 	x, y := m.nodeXY(src)
 	dx, dy := m.nodeXY(dst)
+	path := make([]int, 0, absInt(dx-x)+absInt(dy-y))
 	cur := src
 	for x != dx {
 		if x < dx {
@@ -228,6 +226,13 @@ func (m *Mesh) route(src, dst int) []int {
 		cur = y*m.cfg.Width + x
 	}
 	return path
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // HopCount returns the Manhattan distance between nodes (diagnostics).
@@ -257,11 +262,11 @@ func (m *Mesh) enqueue(p *packet) {
 		// Spread high-class packets over their VCs by hop parity (a cheap
 		// proxy for per-flow VC allocation).
 		v := len(p.path) % l.hiVCs
-		l.vcs[v] = append(l.vcs[v], p)
+		l.vcs[v].Push(p)
 		return
 	}
 	v := l.hiVCs + len(p.path)%(len(l.vcs)-l.hiVCs)
-	l.vcs[v] = append(l.vcs[v], p)
+	l.vcs[v].Push(p)
 }
 
 // Tick advances every link by one flit-cycle.

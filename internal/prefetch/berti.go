@@ -1,7 +1,7 @@
 package prefetch
 
 import (
-	"sort"
+	"slices"
 
 	"clip/internal/mem"
 )
@@ -22,7 +22,18 @@ type Berti struct {
 	// until measurements accumulate).
 	latencyEst uint64
 
-	evictRR []uint64 // round-robin eviction order
+	evictRR mem.Ring[uint64] // round-robin eviction order
+
+	// Per-call scratch buffers: Train runs on every demand access, so its
+	// ranking and output slices are reused across calls (the Prefetcher
+	// contract says the returned slice is valid until the next Train).
+	scratchTop []bertiScored
+	scratchOut []Candidate
+}
+
+type bertiScored struct {
+	delta    int64
+	coverage float64
 }
 
 type bertiEntry struct {
@@ -68,7 +79,7 @@ func (b *Berti) Train(a Access) []Candidate {
 		}
 		e = &bertiEntry{deltas: map[int64]*bertiDelta{}}
 		b.table[a.IP] = e
-		b.evictRR = append(b.evictRR, a.IP)
+		b.evictRR.Push(a.IP)
 	}
 	line := a.Addr.LineID()
 	e.accesses++
@@ -106,32 +117,37 @@ func (b *Berti) Train(a Access) []Candidate {
 		return nil
 	}
 
-	// Rank deltas by coverage.
-	type scored struct {
-		delta    int64
-		coverage float64
-	}
-	var top []scored
+	// Rank deltas by coverage. The comparator is a total order (coverage
+	// desc, delta asc), so the ranking is deterministic despite the map feed.
+	top := b.scratchTop[:0]
 	for d, bd := range e.deltas {
 		cov := float64(bd.timelyHits) / float64(e.accesses)
 		if cov >= bertiLoCoverage {
-			top = append(top, scored{d, cov})
+			top = append(top, bertiScored{d, cov})
 		}
 	}
+	b.scratchTop = top
 	if len(top) == 0 {
 		return nil
 	}
-	sort.Slice(top, func(i, j int) bool {
-		if top[i].coverage != top[j].coverage {
-			return top[i].coverage > top[j].coverage
+	slices.SortFunc(top, func(a, b bertiScored) int {
+		switch {
+		case a.coverage > b.coverage:
+			return -1
+		case a.coverage < b.coverage:
+			return 1
+		case a.delta < b.delta:
+			return -1
+		case a.delta > b.delta:
+			return 1
 		}
-		return top[i].delta < top[j].delta
+		return 0
 	})
 	degree := degreeFor(bertiBaseDegree, b.Aggressiveness())
 	if len(top) > degree {
 		top = top[:degree]
 	}
-	var out []Candidate
+	out := b.scratchOut[:0]
 	for _, s := range top {
 		fill := mem.LevelL2
 		if s.coverage >= bertiHiCoverage {
@@ -159,6 +175,7 @@ func (b *Berti) Train(a Access) []Candidate {
 		}
 		e.accesses /= 2
 	}
+	b.scratchOut = out
 	return out
 }
 
@@ -174,10 +191,8 @@ func (b *Berti) ObserveMissLatency(lat uint64) {
 }
 
 func (b *Berti) evictOne() {
-	if len(b.evictRR) == 0 {
+	if b.evictRR.Len() == 0 {
 		return
 	}
-	ip := b.evictRR[0]
-	b.evictRR = b.evictRR[1:]
-	delete(b.table, ip)
+	delete(b.table, b.evictRR.PopFront())
 }

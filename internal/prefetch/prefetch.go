@@ -34,6 +34,9 @@ type Candidate struct {
 type Prefetcher interface {
 	Name() string
 	// Train observes one demand access and returns zero or more candidates.
+	// The returned slice is only valid until the next Train call —
+	// implementations may reuse its backing array as scratch space; callers
+	// must consume (or copy) the candidates before training again.
 	Train(a Access) []Candidate
 }
 

@@ -1,0 +1,96 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"clip/internal/sim"
+)
+
+// Fingerprint returns a canonical byte representation of a simulation
+// configuration: two configs describing the same simulation (including
+// pointer-held sub-configs like CLIP) fingerprint identically, and any field
+// change produces a different fingerprint. sim.Config is a pure data struct
+// with only exported fields, which JSON serializes completely and
+// deterministically (struct order, not map order).
+func Fingerprint(cfg *sim.Config) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// sim.Config holds only strings, numbers, bools, slices and struct
+		// pointers; marshaling cannot fail unless the struct gains an
+		// unserializable field, which must not happen silently.
+		panic(fmt.Sprintf("runner: config not fingerprintable: %v", err))
+	}
+	return string(b)
+}
+
+// CacheStats counts cache traffic. Executions is the number of sim.Run calls
+// actually performed — the dedup guarantee tests assert on it.
+type CacheStats struct {
+	Executions uint64 // simulations actually run
+	Hits       uint64 // served from memory (or by waiting on an in-flight run)
+}
+
+// Cache memoizes simulation results by configuration fingerprint with
+// singleflight semantics: concurrent requests for the same configuration
+// perform one simulation, and any figure re-running a byte-identical
+// configuration (the cross-figure baseline overlap) gets the stored result.
+//
+// Results are shared pointers and must be treated as immutable by callers —
+// which the whole repository already does: a sim.Result is only ever read
+// after Run returns.
+type Cache struct {
+	runs  Memo[string, *sim.Result]
+	execs atomic.Uint64
+	hits  atomic.Uint64
+}
+
+// NewCache builds an empty cache.
+func NewCache() *Cache { return &Cache{} }
+
+// Run returns the result of simulating cfg, executing the simulation only if
+// no byte-identical configuration has run (or is running) before.
+func (c *Cache) Run(cfg sim.Config) (*sim.Result, error) {
+	key := Fingerprint(&cfg)
+	executed := false
+	res, err := c.runs.Do(key, func() (*sim.Result, error) {
+		executed = true
+		c.execs.Add(1)
+		return sim.Run(cfg)
+	})
+	if !executed {
+		c.hits.Add(1)
+	}
+	return res, err
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{Executions: c.execs.Load(), Hits: c.hits.Load()}
+}
+
+// Len returns the number of distinct configurations cached or in flight.
+func (c *Cache) Len() int { return c.runs.Len() }
+
+// shared is the process-wide cache used when no explicit cache is chosen.
+var (
+	sharedMu sync.Mutex
+	shared   = NewCache()
+)
+
+// Shared returns the process-wide run cache.
+func Shared() *Cache {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	return shared
+}
+
+// ResetShared discards the process-wide cache (tests use this to force
+// recomputation; long-lived sweeps can use it to bound memory).
+func ResetShared() {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	shared = NewCache()
+}

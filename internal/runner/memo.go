@@ -1,0 +1,51 @@
+package runner
+
+import "sync"
+
+// memoEntry is one computed (or in-flight) value.
+type memoEntry[V any] struct {
+	ready chan struct{} // closed when val/err are set
+	val   V
+	err   error
+}
+
+// Memo is a concurrency-safe, singleflight-deduplicated memo table: the
+// first caller of Do for a key computes the value while every concurrent
+// caller for the same key blocks until that computation finishes; later
+// callers get the memoized result without blocking. Errors are memoized too
+// (the compute functions here are deterministic in their key, so retrying
+// cannot succeed).
+//
+// The zero value is ready to use.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+// Do returns the memoized value for key, computing it with fn exactly once
+// no matter how many goroutines ask concurrently.
+func (mo *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	mo.mu.Lock()
+	if mo.m == nil {
+		mo.m = map[K]*memoEntry[V]{}
+	}
+	if e, ok := mo.m[key]; ok {
+		mo.mu.Unlock()
+		<-e.ready
+		return e.val, e.err
+	}
+	e := &memoEntry[V]{ready: make(chan struct{})}
+	mo.m[key] = e
+	mo.mu.Unlock()
+
+	e.val, e.err = fn()
+	close(e.ready)
+	return e.val, e.err
+}
+
+// Len returns the number of memoized (or in-flight) keys.
+func (mo *Memo[K, V]) Len() int {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return len(mo.m)
+}

@@ -16,13 +16,6 @@ import (
 	"clip/internal/trace"
 )
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // CacheGeom sizes one cache level.
 type CacheGeom struct {
 	Sets, Ways int

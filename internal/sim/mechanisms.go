@@ -179,10 +179,10 @@ func (s *System) onAccess(i int, attach *cache.Cache, ev cache.AccessEvent) {
 		if s.attachL2 && fill < mem.LevelL2 {
 			fill = mem.LevelL2 // an L2 prefetcher cannot fill L1
 		}
-		if len(s.pfQ[i]) >= 16 {
+		if s.pfQ[i].Len() >= 16 {
 			continue // PQ full: candidate dropped
 		}
-		s.pfQ[i] = append(s.pfQ[i], pfEntry{
+		s.pfQ[i].Push(pfEntry{
 			req: mem.Request{
 				Addr: c.Addr.Line(), IP: c.TriggerIP, TriggerIP: c.TriggerIP,
 				Core: i, Type: mem.Prefetch, FillLevel: fill,

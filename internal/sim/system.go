@@ -43,7 +43,7 @@ type System struct {
 	// dramPending holds DRAM responses until their DoneCycle.
 	dramPending []mem.Response
 	// llcRetry holds requests whose LLC slice refused them at NoC delivery.
-	llcRetry [][]mem.Request
+	llcRetry []mem.Ring[mem.Request]
 	// hermesBypass marks in-flight direct-to-DRAM loads: key core<<48^line.
 	hermesBypass map[uint64]int
 	// hermesHold delays bypassed fills by the on-chip portion Hermes still
@@ -61,7 +61,7 @@ type System struct {
 	// pfQ is the per-core prefetch queue (ChampSim's PQ): filtered
 	// candidates wait here for cache port/queue space instead of being
 	// dropped on first refusal, sustaining prefetch pressure.
-	pfQ [][]pfEntry
+	pfQ []mem.Ring[pfEntry]
 
 	cycle        uint64
 	measureStart uint64
@@ -93,8 +93,8 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg:          cfg,
 		mesh:         noc.MustNew(meshConfig(n, cfg.NoCCriticalPriority)),
 		dram:         dram.MustNew(cfg.dramConfig()),
-		llcRetry:     make([][]mem.Request, n),
-		pfQ:          make([][]pfEntry, n),
+		llcRetry:     make([]mem.Ring[mem.Request], n),
+		pfQ:          make([]mem.Ring[pfEntry], n),
 		hermesBypass: map[uint64]int{},
 		epochPrev:    make([]epochSnapshot, n),
 		attachL2:     prefetchAttachL2(cfg.Prefetcher),
@@ -255,7 +255,7 @@ func (l *l2Lower) Issue(req mem.Request) bool {
 	slice := s.sliceOf(req.Addr)
 	s.mesh.Send(l.core, slice, noc.FlitsPerAddr, s.packetHigh(req), func(cy uint64) {
 		if !s.llc[slice].Issue(req) {
-			s.llcRetry[slice] = append(s.llcRetry[slice], req)
+			s.llcRetry[slice].Push(req)
 		}
 	})
 	return true
@@ -319,15 +319,13 @@ func (s *System) Tick() {
 	}
 	s.mesh.Tick(cy)
 	for i, l := range s.llc {
-		// Retry refused deliveries before new work.
-		if len(s.llcRetry[i]) > 0 {
-			rest := s.llcRetry[i][:0]
-			for _, req := range s.llcRetry[i] {
-				if !l.Issue(req) {
-					rest = append(rest, req)
-				}
+		// Retry refused deliveries (in arrival order) before new work;
+		// refused requests rotate to the back, preserving relative order.
+		for n := s.llcRetry[i].Len(); n > 0; n-- {
+			req := s.llcRetry[i].PopFront()
+			if !l.Issue(req) {
+				s.llcRetry[i].Push(req)
 			}
-			s.llcRetry[i] = rest
 		}
 		l.Tick(cy)
 	}
@@ -341,12 +339,13 @@ func (s *System) Tick() {
 }
 
 // drainPFQ issues queued prefetches while the target caches accept them
-// (up to two per cycle, the prefetcher's issue bandwidth).
+// (up to two per cycle, the prefetcher's issue bandwidth). The queue is a
+// ring, so draining reuses the buffer instead of resizing the head away.
 func (s *System) drainPFQ(i int) {
-	q := s.pfQ[i]
+	q := &s.pfQ[i]
 	issued := 0
-	for len(q) > 0 && issued < 2 {
-		e := q[0]
+	for q.Len() > 0 && issued < 2 {
+		e := q.Front()
 		target := s.l1d[i]
 		if e.toL2 {
 			target = s.l2[i]
@@ -354,11 +353,10 @@ func (s *System) drainPFQ(i int) {
 		if !target.TryIssue(e.req) {
 			break
 		}
-		q = q[1:]
+		q.PopFront()
 		issued++
 		s.pfIssued[i]++
 	}
-	s.pfQ[i] = q
 }
 
 // hermesFillPath is the on-chip latency a Hermes-accelerated fill still

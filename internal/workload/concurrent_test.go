@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"clip/internal/runner"
+	"clip/internal/sim"
+)
+
+// TestRunnerConcurrentMemoization hammers one Runner from many goroutines
+// asking for the same normalized weighted speedup. The singleflight memos
+// must collapse the work to one alone-IPC run, one baseline run and one
+// variant run — and every caller must read identical values. Run under
+// `go test -race` this also proves the Runner's concurrency safety.
+func TestRunnerConcurrentMemoization(t *testing.T) {
+	r := NewRunner(template())
+	r.Cache = runner.NewCache() // private cache so executions are countable
+	mix := homogeneousMix("619.lbm_s-2676B", 4)
+	berti := Variant{Name: "berti", Mutate: func(c *sim.Config) { c.Prefetcher = "berti" }}
+
+	const callers = 8
+	ws := make([]float64, callers)
+	res := make([]*sim.Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w, varRes, _, err := r.NormalizedWS(mix, berti)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ws[i] = w
+			res[i] = varRes
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < callers; i++ {
+		if ws[i] != ws[0] {
+			t.Fatalf("caller %d got WS %v, caller 0 got %v", i, ws[i], ws[0])
+		}
+		if res[i] != res[0] {
+			t.Fatal("concurrent callers received different result objects")
+		}
+	}
+	st := r.Cache.Stats()
+	// Homogeneous mix: one distinct benchmark -> one alone run, plus the
+	// no-prefetch baseline and the berti variant. Anything above 3 means a
+	// baseline or alone-IPC simulation was duplicated despite the memos.
+	if st.Executions != 3 {
+		t.Fatalf("executed %d simulations, want 3 (alone, baseline, variant)", st.Executions)
+	}
+}
+
+// TestRunnerAloneIPCSingleflight checks the alone-IPC memo directly: many
+// concurrent callers, one simulation.
+func TestRunnerAloneIPCSingleflight(t *testing.T) {
+	r := NewRunner(template())
+	r.Cache = runner.NewCache()
+	const callers = 16
+	vals := make([]float64, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := r.AloneIPC("605.mcf_s-1554B")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			vals[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if vals[i] != vals[0] {
+			t.Fatalf("caller %d got %v, caller 0 got %v", i, vals[i], vals[0])
+		}
+	}
+	if st := r.Cache.Stats(); st.Executions != 1 {
+		t.Fatalf("executed %d simulations for one alone-IPC, want 1", st.Executions)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"clip/internal/mem"
+	"clip/internal/runner"
 	"clip/internal/sim"
 	"clip/internal/stats"
 	"clip/internal/trace"
@@ -83,13 +84,26 @@ type Variant struct {
 
 // Runner executes mixes against a template configuration and converts raw
 // results into the paper's normalized weighted speedup. Alone-mode IPCs (the
-// denominator of weighted speedup) are cached per benchmark.
+// denominator of weighted speedup) and per-mix no-prefetch baselines are
+// memoized with singleflight semantics, so a Runner is safe for concurrent
+// use by the parallel experiment engine: two workers asking for the same
+// baseline wait on one simulation instead of duplicating it.
+//
+// Raw simulation runs additionally flow through a fingerprint-keyed run
+// cache (Cache; the process-wide runner.Shared() by default), so
+// byte-identical configurations — which different figures re-run constantly,
+// baselines above all — execute exactly once per process. Results coming out
+// of a Runner are therefore shared and must be treated as read-only.
 type Runner struct {
 	// Template is the base configuration; Workload is overwritten per mix.
 	Template sim.Config
 
-	alone    map[string]float64
-	baseline map[string]baseEntry
+	// Cache dedups and memoizes raw simulation runs across Runners and
+	// figures. Nil selects the process-wide shared cache.
+	Cache *runner.Cache
+
+	alone    runner.Memo[string, float64]
+	baseline runner.Memo[string, baseEntry]
 }
 
 type baseEntry struct {
@@ -99,42 +113,47 @@ type baseEntry struct {
 
 // NewRunner wraps a template configuration.
 func NewRunner(template sim.Config) *Runner {
-	return &Runner{Template: template,
-		alone: map[string]float64{}, baseline: map[string]baseEntry{}}
+	return &Runner{Template: template}
+}
+
+func (r *Runner) cache() *runner.Cache {
+	if r.Cache != nil {
+		return r.Cache
+	}
+	return runner.Shared()
 }
 
 // AloneIPC returns the benchmark's IPC running alone on the full system (all
 // channels, no co-runners, no prefetching) — the weighted-speedup baseline.
+// Concurrent callers for the same benchmark share one simulation.
 func (r *Runner) AloneIPC(bench string) (float64, error) {
-	if v, ok := r.alone[bench]; ok {
-		return v, nil
-	}
-	cfg := r.Template
-	cfg.Workload = []string{bench}
-	cfg.Prefetcher = "none"
-	cfg.CLIP = nil
-	cfg.CritPredictor = ""
-	cfg.Throttler = ""
-	cfg.Hermes = false
-	cfg.DSPatch = false
-	res, err := sim.Run(cfg)
-	if err != nil {
-		return 0, err
-	}
-	ipc := res.IPC[0]
-	r.alone[bench] = ipc
-	return ipc, nil
+	return r.alone.Do(bench, func() (float64, error) {
+		cfg := r.Template
+		cfg.Workload = []string{bench}
+		cfg.Prefetcher = "none"
+		cfg.CLIP = nil
+		cfg.CritPredictor = ""
+		cfg.Throttler = ""
+		cfg.Hermes = false
+		cfg.DSPatch = false
+		res, err := r.cache().Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.IPC[0], nil
+	})
 }
 
 // RunMix executes one mix under a variant and returns the raw result plus
-// its weighted speedup.
+// its weighted speedup. The result is shared with other callers of the same
+// configuration and must not be mutated.
 func (r *Runner) RunMix(mix Mix, v Variant) (*sim.Result, float64, error) {
 	cfg := r.Template
 	cfg.Workload = append([]string{}, mix.Benchmarks...)
 	if v.Mutate != nil {
 		v.Mutate(&cfg)
 	}
-	res, err := sim.Run(cfg)
+	res, err := r.cache().Run(cfg)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -151,16 +170,18 @@ func (r *Runner) RunMix(mix Mix, v Variant) (*sim.Result, float64, error) {
 
 // NormalizedWS runs baseline (no prefetching) and the variant on a mix and
 // returns WS(variant)/WS(no-PF) — the y-axis of Figures 1, 2, 5, 6, 9, 10,
-// 17, 19, 20 and 21.
+// 17, 19, 20 and 21. The per-mix baseline is computed once per Runner no
+// matter how many variants (or concurrent workers) ask for it.
 func (r *Runner) NormalizedWS(mix Mix, v Variant) (float64, *sim.Result, *sim.Result, error) {
-	be, ok := r.baseline[mix.Name]
-	if !ok {
+	be, err := r.baseline.Do(mix.Name, func() (baseEntry, error) {
 		baseRes, baseWS, err := r.RunMix(mix, Variant{Name: "no-pf"})
 		if err != nil {
-			return 0, nil, nil, err
+			return baseEntry{}, err
 		}
-		be = baseEntry{res: baseRes, ws: baseWS}
-		r.baseline[mix.Name] = be
+		return baseEntry{res: baseRes, ws: baseWS}, nil
+	})
+	if err != nil {
+		return 0, nil, nil, err
 	}
 	varRes, varWS, err := r.RunMix(mix, v)
 	if err != nil {
