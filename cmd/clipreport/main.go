@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"clip/internal/experiments"
 )
@@ -34,6 +33,10 @@ func main() {
 		instr  = flag.Uint64("instructions", 16000, "instructions per core")
 		warmup = flag.Uint64("warmup", 4000, "warmup instructions per core")
 		cores  = flag.Int("cores", 8, "simulated cores")
+		// Reports must be byte-identical across runs of the same
+		// configuration, so the generation timestamp is an explicit input
+		// rather than a wall-clock read (e.g. -stamp "$(date -u +%FT%TZ)").
+		stamp = flag.String("stamp", "", "timestamp to embed in the report header (omitted when empty)")
 	)
 	flag.Parse()
 
@@ -55,8 +58,12 @@ func main() {
 	}
 
 	if !*asJSON {
-		fmt.Printf("# CLIP reproduction report\n\ngenerated %s · %d cores · %d+%d instructions/core · %d hom / %d het mixes\n\n",
-			time.Now().Format(time.RFC3339), sc.Cores, sc.Warmup, sc.InstrPerCore,
+		generated := ""
+		if *stamp != "" {
+			generated = "generated " + *stamp + " · "
+		}
+		fmt.Printf("# CLIP reproduction report\n\n%s%d cores · %d+%d instructions/core · %d hom / %d het mixes\n\n",
+			generated, sc.Cores, sc.Warmup, sc.InstrPerCore,
 			sc.HomMixes, sc.HetMixes)
 	}
 

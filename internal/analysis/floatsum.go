@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatSum flags order-sensitive floating-point accumulation inside map-range
+// bodies. Float addition is commutative but not associative, so `sum += v`
+// over randomized map order yields run-dependent low bits — the nastiest
+// maporder false-negative, because such loops look like commutative
+// reductions and tempt an //clipvet:orderfree annotation. FloatSum therefore
+// fires even on orderfree-annotated loops: sort the keys instead, or — when
+// bit-drift is genuinely acceptable — annotate //clipvet:floatorder.
+var FloatSum = &Analyzer{
+	Name: "floatsum",
+	Doc: "flags float accumulation in map-range bodies (not excused by " +
+		"//clipvet:orderfree; use //clipvet:floatorder if drift is acceptable)",
+	Run: runFloatSum,
+}
+
+func runFloatSum(pass *Pass) error {
+	if !IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	reported := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.HasDirective(rs.Pos(), "floatorder") {
+				return true
+			}
+			ast.Inspect(rs.Body, func(inner ast.Node) bool {
+				as, ok := inner.(*ast.AssignStmt)
+				if !ok || reported[as.Pos()] {
+					return true
+				}
+				if acc, target := floatAccumulation(pass.TypesInfo, as); acc {
+					if pass.HasDirective(as.Pos(), "floatorder") {
+						return true
+					}
+					reported[as.Pos()] = true
+					pass.Reportf(as.Pos(),
+						"float accumulation into %s inside a map-range body is "+
+							"order-sensitive (float addition is not associative); sort "+
+							"the map keys, or annotate //clipvet:floatorder if "+
+							"last-bit drift is acceptable", target)
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// floatAccumulation reports whether as accumulates into a float target:
+// either `x op= expr` or `x = x op expr` with x of floating type.
+func floatAccumulation(info *types.Info, as *ast.AssignStmt) (bool, string) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false, ""
+	}
+	lhs := as.Lhs[0]
+	if !isFloat(info.TypeOf(lhs)) {
+		return false, ""
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true, types.ExprString(lhs)
+	case token.ASSIGN:
+		be, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !ok {
+			return false, ""
+		}
+		switch be.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return false, ""
+		}
+		want := types.ExprString(lhs)
+		if types.ExprString(be.X) == want || types.ExprString(be.Y) == want {
+			return true, want
+		}
+	}
+	return false, ""
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if t == nil {
+			return false
+		}
+		b, ok = t.Underlying().(*types.Basic)
+		if !ok {
+			return false
+		}
+	}
+	return b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `for range` over map values in deterministic packages. Go
+// randomizes map iteration order per run, so any map-range whose body is not
+// a commutative reduction makes figure output depend on the run — exactly
+// the class of bug the byte-identical-reports guarantee forbids. Loops whose
+// bodies are provably order-free carry a //clipvet:orderfree annotation with
+// a one-line justification; everything else must collect and sort keys.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flags range-over-map in deterministic packages unless annotated " +
+		"//clipvet:orderfree",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.HasDirective(rs.Pos(), "orderfree") {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s: iteration order is randomized and breaks "+
+					"byte-identical reports; sort collected keys, or annotate the loop "+
+					"//clipvet:orderfree with a justification if the body is a "+
+					"commutative reduction", types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}

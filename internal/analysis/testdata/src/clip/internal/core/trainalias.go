@@ -1,0 +1,33 @@
+// Package core exercises the trainalias analyzer: retaining Train's scratch
+// []Candidate in struct fields, package variables, or composite literals is
+// flagged; locals and element copies are fine.
+package core
+
+import "clip/internal/prefetch"
+
+type owner struct {
+	pf    *prefetch.IPCP
+	cands []prefetch.Candidate
+}
+
+var retained []prefetch.Candidate
+
+type holder struct{ c []prefetch.Candidate }
+
+func (o *owner) retainers(a prefetch.Access, iface prefetch.Prefetcher) holder {
+	o.cands = o.pf.Train(a)         // want "scratch \\[\\]Candidate stored in struct field o.cands"
+	retained = o.pf.Train(a)        // want "scratch \\[\\]Candidate stored in package variable retained"
+	o.cands = iface.Train(a)        // want "scratch \\[\\]Candidate stored in struct field o.cands"
+	return holder{c: o.pf.Train(a)} // want "scratch \\[\\]Candidate stored in a composite literal"
+}
+
+func (o *owner) consumers(a prefetch.Access) int {
+	cands := o.pf.Train(a)                  // local: consumed before the next Train call
+	o.cands = append(o.cands[:0], cands...) // copies the elements out: fine
+	n := len(cands)
+	for _, c := range o.pf.Train(a) { // immediate consumption: fine
+		_ = c
+		n++
+	}
+	return n
+}

@@ -1,0 +1,26 @@
+// Package cpu exercises the wallclock analyzer: trigger on ambient-state
+// reads, stay silent on deterministic uses of the same packages.
+package cpu
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func ambient() {
+	_ = time.Now()          // want "time.Now reads process-ambient state"
+	_ = time.Since(now)     // want "time.Since reads process-ambient state"
+	_ = os.Getenv("SEED")   // want "os.Getenv reads process-ambient state"
+	_, _ = os.LookupEnv("") // want "os.LookupEnv reads process-ambient state"
+	_ = rand.Intn(8)        // want "math/rand.Intn draws from the globally-seeded source"
+	_ = rand.Float64()      // want "math/rand.Float64 draws from the globally-seeded source"
+}
+
+var now = time.Unix(0, 0) // explicit timestamp: fine
+
+func deterministic() {
+	r := rand.New(rand.NewSource(1)) // explicit seed: fine
+	_ = r.Intn(8)                    // instance method: fine
+	_, _ = os.ReadFile("trace.bin")  // file input, not env: fine
+}

@@ -1,0 +1,23 @@
+// Package prefetch is a fixture mirror of the real prefetch package's Train
+// contract, for the trainalias analyzer tests.
+package prefetch
+
+// Addr mimics mem.Addr.
+type Addr uint64
+
+// Access is one demand access.
+type Access struct{ IP uint64 }
+
+// Candidate is a prefetch candidate.
+type Candidate struct{ Addr Addr }
+
+// Prefetcher is the interface whose Train returns a scratch slice.
+type Prefetcher interface {
+	Train(a Access) []Candidate
+}
+
+// IPCP is a concrete implementation.
+type IPCP struct{ scratch []Candidate }
+
+// Train returns a slice only valid until the next Train call.
+func (p *IPCP) Train(a Access) []Candidate { return p.scratch }

@@ -1,0 +1,30 @@
+// Package sim exercises the maporder analyzer: trigger on bare map ranges,
+// suppress via //clipvet:orderfree, ignore non-map ranges.
+package sim
+
+func mapRanges(m map[string]int, s []int) int {
+	total := 0
+	for _, v := range m { // want "range over map m"
+		total += v
+	}
+
+	//clipvet:orderfree integer sum is a commutative reduction
+	for _, v := range m {
+		total += v
+	}
+
+	for k := range m { //clipvet:orderfree collect-only; sorted by the caller
+		total += len(k)
+	}
+
+	for _, v := range s { // slice range: fine
+		total += v
+	}
+
+	type wrapper map[uint64]bool
+	var w wrapper
+	for k := range w { // want "range over map w"
+		_ = k
+	}
+	return total
+}

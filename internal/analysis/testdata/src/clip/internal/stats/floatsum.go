@@ -1,0 +1,41 @@
+// Package stats exercises the floatsum analyzer: float accumulation in
+// map-range bodies is flagged even under //clipvet:orderfree; only
+// //clipvet:floatorder (loop- or statement-level) suppresses it.
+package stats
+
+func sums(m map[string]float64) (float64, int) {
+	var sum float64
+	//clipvet:orderfree looks commutative, but float addition is not associative
+	for _, v := range m {
+		sum += v // want "float accumulation into sum"
+	}
+
+	prod := 1.0
+	for _, v := range m { // maporder territory; floatsum adds the product
+		prod = prod * v // want "float accumulation into prod"
+	}
+
+	count := 0
+	for range m { // integer accumulation: not floatsum's business
+		count++
+	}
+
+	var drift float64
+	//clipvet:floatorder tolerance-tested diagnostic value; last-bit drift acceptable
+	for _, v := range m {
+		drift += v
+	}
+
+	var inline float64
+	for _, v := range m {
+		inline += v //clipvet:floatorder statement-level waiver for this accumulator
+	}
+
+	sorted := 0.0
+	for _, k := range sortedKeys(m) { // slice range over sorted keys: fine
+		sorted += m[k]
+	}
+	return sum + prod + drift + inline + sorted, count
+}
+
+func sortedKeys(m map[string]float64) []string { return nil }

@@ -1,0 +1,16 @@
+// Package workload is outside the determinism contract (it orchestrates
+// goroutines; its reductions are re-asserted where they land). maporder,
+// wallclock and floatsum must stay silent here; trainalias still applies
+// everywhere but has nothing to find.
+package workload
+
+import "time"
+
+func free(m map[string]float64) float64 {
+	_ = time.Now() // presentation-layer territory: not flagged here
+	var sum float64
+	for _, v := range m { // not flagged: package is exempt
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,26 @@
+// Package rand is a fixture stand-in for math/rand.
+package rand
+
+// Source mimics rand.Source.
+type Source interface{ Int63() int64 }
+
+// Rand mimics rand.Rand.
+type Rand struct{}
+
+// Intn on a seeded instance is deterministic; must not be flagged.
+func (r *Rand) Intn(n int) int { return 0 }
+
+// New mimics rand.New (explicit seed: deterministic constructor).
+func New(src Source) *Rand { return &Rand{} }
+
+// NewSource mimics rand.NewSource.
+func NewSource(seed int64) Source { return nil }
+
+// Intn mimics the global rand.Intn (draws from the global source).
+func Intn(n int) int { return 0 }
+
+// Float64 mimics the global rand.Float64.
+func Float64() float64 { return 0 }
+
+// Shuffle mimics the global rand.Shuffle.
+func Shuffle(n int, swap func(i, j int)) {}

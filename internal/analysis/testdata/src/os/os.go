@@ -1,0 +1,12 @@
+// Package os is a fixture stand-in for the real os package.
+package os
+
+// Getenv mimics os.Getenv.
+func Getenv(key string) string { return "" }
+
+// LookupEnv mimics os.LookupEnv.
+func LookupEnv(key string) (string, bool) { return "", false }
+
+// ReadFile mimics os.ReadFile (deterministic given inputs; must not be
+// flagged).
+func ReadFile(name string) ([]byte, error) { return nil, nil }

@@ -1,0 +1,18 @@
+// Package time is a fixture stand-in for the real time package, so analyzer
+// tests type-check offline without touching GOROOT sources.
+package time
+
+// Time mimics time.Time.
+type Time struct{}
+
+// Duration mimics time.Duration.
+type Duration int64
+
+// Now mimics time.Now.
+func Now() Time { return Time{} }
+
+// Since mimics time.Since.
+func Since(t Time) Duration { return 0 }
+
+// Unix mimics time.Unix (not wall-clock dependent; must not be flagged).
+func Unix(sec, nsec int64) Time { return Time{} }

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TrainAlias enforces Prefetcher.Train's documented scratch-slice contract:
+// the returned []Candidate is only valid until the next Train call, because
+// implementations reuse its backing array. Storing that slice in a struct
+// field, a package variable, or a composite literal outlives the validity
+// window — the next Train call silently rewrites the stored candidates.
+// Locals are fine (consumed before retraining); copies via append(dst,
+// src...) are fine (values are copied out).
+var TrainAlias = &Analyzer{
+	Name: "trainalias",
+	Doc: "flags code retaining the scratch []Candidate returned by " +
+		"Prefetcher.Train beyond the next Train call",
+	Run: runTrainAlias,
+}
+
+func runTrainAlias(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Package-level `var x = p.Train(a)` declarations.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					if isTrainCall(pass.TypesInfo, v) {
+						pass.Reportf(v.Pos(),
+							"Train's scratch []Candidate stored in a package variable: "+
+								"the slice is only valid until the next Train call; copy "+
+								"the candidates instead")
+					}
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if !isTrainCall(pass.TypesInfo, rhs) {
+						continue
+					}
+					if where := retentionSite(pass, n.Lhs[i]); where != "" {
+						pass.Reportf(rhs.Pos(),
+							"Train's scratch []Candidate stored in %s: the slice is only "+
+								"valid until the next Train call; copy the candidates "+
+								"(e.g. append(dst[:0], cands...)) instead", where)
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isTrainCall(pass.TypesInfo, v) {
+						pass.Reportf(v.Pos(),
+							"Train's scratch []Candidate stored in a composite literal: "+
+								"the slice is only valid until the next Train call; copy "+
+								"the candidates instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// retentionSite classifies an assignment target that would retain the slice:
+// a struct field or a package-level variable. Empty string means safe.
+func retentionSite(pass *Pass, lhs ast.Expr) string {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+			return "struct field " + types.ExprString(lhs)
+		}
+		// Qualified identifier: pkg.Var.
+		if v, ok := pass.TypesInfo.Uses[lhs.Sel].(*types.Var); ok && isPkgLevel(v) {
+			return "package variable " + types.ExprString(lhs)
+		}
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[lhs]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[lhs]
+		}
+		if v, ok := obj.(*types.Var); ok && isPkgLevel(v) {
+			return "package variable " + lhs.Name
+		}
+	}
+	return ""
+}
+
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isTrainCall reports whether e is a direct call to a method named Train
+// returning []Candidate — the Prefetcher interface method or any concrete
+// implementation of it.
+func isTrainCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Train" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return false
+	}
+	sl, ok := sig.Results().At(0).Type().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Candidate"
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallClock forbids ambient-state reads in deterministic packages: wall-clock
+// time, the globally-seeded math/rand source, and environment variables. All
+// randomness in simulation code must flow from the seeded internal/mem PRNG,
+// and all timestamps belong in cmd/ (presentation, not simulation).
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/Since/Until, global math/rand and os.Getenv in " +
+		"deterministic packages",
+	Run: runWallClock,
+}
+
+// wallclockDeny lists package-level functions whose results depend on
+// process-ambient state. math/rand is handled separately: every package-level
+// function there draws from the globally (randomly) seeded source.
+var wallclockDeny = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
+func runWallClock(pass *Pass) error {
+	if !IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are fine
+			}
+			pkgPath, name := fn.Pkg().Path(), fn.Name()
+			switch {
+			case wallclockDeny[pkgPath][name]:
+				pass.Reportf(sel.Pos(),
+					"%s.%s reads process-ambient state: deterministic packages must "+
+						"take timestamps and environment as explicit inputs (cmd/ may "+
+						"read them)", pkgPath, name)
+			case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") &&
+				!strings.HasPrefix(name, "New"):
+				// Constructors (rand.New, rand.NewSource, ...) take an explicit
+				// seed and are deterministic; everything else at package level
+				// draws from the randomly-seeded global source.
+				pass.Reportf(sel.Pos(),
+					"%s.%s draws from the globally-seeded source: deterministic "+
+						"packages must use the seeded internal/mem PRNG", pkgPath, name)
+			}
+			return true
+		})
+	}
+	return nil
+}

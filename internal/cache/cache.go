@@ -12,6 +12,7 @@ package cache
 import (
 	"fmt"
 
+	"clip/internal/invariant"
 	"clip/internal/mem"
 	"clip/internal/stats"
 )
@@ -222,6 +223,11 @@ func (c *Cache) Issue(req mem.Request) bool {
 	}
 	// The request arrives next cycle; the tag lookup then takes Latency.
 	c.inQ.Push(queued{req: req, ready: c.cycle + 1 + c.cfg.Latency})
+	if invariant.Enabled {
+		invariant.Check(c.inQ.Len() <= c.cfg.InQ,
+			"cache %s: input queue occupancy %d exceeds depth %d",
+			c.cfg.Name, c.inQ.Len(), c.cfg.InQ)
+	}
 	return true
 }
 
@@ -472,9 +478,19 @@ func (c *Cache) lookup(req mem.Request, first bool) bool {
 	}
 	c.trace("mshr-alloc", req)
 	m := &c.mshrs[idx]
+	if invariant.Enabled {
+		invariant.Check(!m.valid && len(m.waiters) == 0,
+			"cache %s: allocating live MSHR %d (line %x, %d waiters)",
+			c.cfg.Name, idx, uint64(m.lineAddr), len(m.waiters))
+	}
 	// Reuse the retired entry's waiter backing array (cleared on release).
 	*m = mshr{valid: true, lineAddr: req.Addr.Line(), firstCycle: c.cycle,
 		isPrefetch: req.Type == mem.Prefetch, pfReq: req, waiters: m.waiters}
+	if invariant.Enabled {
+		invariant.Check(c.MSHRInUse() <= c.cfg.MSHRs,
+			"cache %s: MSHR occupancy %d exceeds capacity %d",
+			c.cfg.Name, c.MSHRInUse(), c.cfg.MSHRs)
+	}
 	if req.Type != mem.Prefetch {
 		m.waiters = append(m.waiters, waiter{req: req, arrived: c.cycle})
 	} else {
@@ -530,6 +546,14 @@ func (c *Cache) Fill(resp mem.Response) {
 		}
 		m.valid = false
 		m.waiters = m.waiters[:0]
+		if invariant.Enabled {
+			// A line must never be tracked by two MSHRs: merges are required
+			// to land on the existing entry.
+			for j := range c.mshrs {
+				invariant.Check(!c.mshrs[j].valid || c.mshrs[j].lineAddr != lineAddr,
+					"cache %s: duplicate MSHR %d for line %x", c.cfg.Name, j, uint64(lineAddr))
+			}
+		}
 		return
 	}
 	// No MSHR (e.g. a prefetch filled below our allocation point): install

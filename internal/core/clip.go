@@ -691,6 +691,7 @@ func (c *CLIP) SetHistories(branch, crit uint32) {
 // accurate, split into static-critical and dynamic-critical (Figure 15): an
 // IP is dynamic when only part of its instances were critical.
 func (c *CLIP) CriticalIPCounts() (static, dynamic int) {
+	//clipvet:orderfree independent per-IP integer counts; no cross-iteration state
 	for _, obs := range c.ipSeen {
 		if !obs.selected || obs.instances == 0 {
 			continue

@@ -172,6 +172,7 @@ func (f *fpPred) OnRetire(ev cpu.RetireEvent) {
 	f.total += ev.StallCycles
 	f.events++
 	if f.events%65536 == 0 { // epoch decay
+		//clipvet:orderfree independent per-key halving; no cross-iteration state
 		for ip := range f.stall {
 			f.stall[ip] /= 2
 		}

@@ -15,6 +15,7 @@ package dram
 import (
 	"fmt"
 
+	"clip/internal/invariant"
 	"clip/internal/mem"
 	"clip/internal/stats"
 )
@@ -349,6 +350,13 @@ func (d *DRAM) scheduleRead(c *channel) bool {
 
 	_, bk, row := d.route(e.req.Addr)
 	b := &c.banks[bk]
+	if invariant.Enabled {
+		// tRP/tRCD ordering: a bank may only be (re-)activated once its
+		// previous access — including any refresh-forced precharge — retired.
+		invariant.Check(b.busyUntil <= d.cycle,
+			"dram: bank %d activated at cycle %d while busy until %d",
+			bk, d.cycle, b.busyUntil)
+	}
 	var access uint64
 	switch {
 	case b.openRow == row:
@@ -370,6 +378,15 @@ func (d *DRAM) scheduleRead(c *channel) bool {
 		busAt = c.busFreeAt
 	}
 	done := busAt + uint64(d.cfg.Transfer)
+	if invariant.Enabled {
+		// A row conflict must pay at least the full tRP+tRCD+CAS of a row
+		// hit, and the data bus can only move forward in time.
+		invariant.Check(access >= uint64(d.cfg.CAS),
+			"dram: bank %d access latency %d below CAS %d", bk, access, d.cfg.CAS)
+		invariant.Check(done >= c.busFreeAt && busAt >= ready,
+			"dram: data-bus schedule went backwards (busAt=%d ready=%d done=%d busFreeAt=%d)",
+			busAt, ready, done, c.busFreeAt)
+	}
 	c.busFreeAt = done
 	b.busyUntil = ready
 	c.utilWindow += uint64(d.cfg.Transfer)
@@ -413,6 +430,11 @@ func (d *DRAM) scheduleWrite(c *channel) bool {
 		busAt := ready
 		if c.busFreeAt > busAt {
 			busAt = c.busFreeAt
+		}
+		if invariant.Enabled {
+			invariant.Check(busAt+uint64(d.cfg.Transfer) >= c.busFreeAt,
+				"dram: write data-bus schedule went backwards (busAt=%d busFreeAt=%d)",
+				busAt, c.busFreeAt)
 		}
 		c.busFreeAt = busAt + uint64(d.cfg.Transfer)
 		b.busyUntil = ready

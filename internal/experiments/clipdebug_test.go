@@ -1,0 +1,27 @@
+//go:build clipdebug
+
+package experiments
+
+import (
+	"testing"
+
+	"clip/internal/invariant"
+)
+
+// TestFigSmokeUnderClipdebug drives a real figure end to end with every
+// runtime invariant armed: MSHR occupancy, NoC packet/VC conservation, DRAM
+// bank timing, and mem.Ring bounds all panic on violation under this build
+// tag, so a clean run is evidence the instrumented simulator trips zero
+// invariants. Run with:
+//
+//	go test -tags clipdebug ./internal/experiments/ -run Fig
+func TestFigSmokeUnderClipdebug(t *testing.T) {
+	if !invariant.Enabled {
+		t.Fatal("clipdebug build tag did not enable the invariant layer")
+	}
+	sc := micro()
+	sc.Channels = []int{4, 8}
+	if _, err := Fig9(sc); err != nil {
+		t.Fatalf("Fig9 under clipdebug: %v", err)
+	}
+}

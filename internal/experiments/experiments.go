@@ -141,6 +141,7 @@ func homMixes(sc Scale) []workload.Mix {
 	}
 	if len(picked) < sc.HomMixes {
 		rest := make([]string, 0, len(byName))
+		//clipvet:orderfree collect-only; sorted before use
 		for n := range byName {
 			rest = append(rest, n)
 		}

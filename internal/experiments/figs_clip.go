@@ -174,8 +174,12 @@ func Fig13(sc Scale) (*Report, error) {
 	for i, m := range mixes {
 		res := futs[i].res
 		clipAcc := res.Clip.PredictionAccuracy()
+		// Scan predictors in sorted-name order: when two predictors tie on
+		// accuracy the winner (and with it the reported value's provenance)
+		// must not depend on map iteration order.
 		best := 0.0
-		for _, s := range res.PredScores {
+		for _, name := range stats.SortedKeys(res.PredScores) {
+			s := res.PredScores[name]
 			if a := s.Accuracy(); a > best {
 				best = a
 			}

@@ -149,6 +149,7 @@ func Fig4(sc Scale) (*Report, error) {
 		agg[name] = &criticality.Score{}
 	}
 	for _, f := range futs {
+		//clipvet:orderfree integer confusion-matrix sums are commutative
 		for name, sc2 := range f.res.PredScores {
 			a := agg[name]
 			a.TruePos += sc2.TruePos

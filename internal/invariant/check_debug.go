@@ -1,0 +1,15 @@
+//go:build clipdebug
+
+package invariant
+
+import "fmt"
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = true
+
+// Check panics with a Violation when cond is false.
+func Check(cond bool, format string, args ...any) {
+	if !cond {
+		panic(Violation("invariant violated: " + fmt.Sprintf(format, args...)))
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !clipdebug
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in. It is a
+// constant so `if invariant.Enabled { ... }` blocks are eliminated entirely
+// by the compiler in release builds.
+const Enabled = false
+
+// Check is a no-op in release builds.
+func Check(cond bool, format string, args ...any) {}

@@ -1,0 +1,28 @@
+// Package invariant provides runtime assertions that compile away in normal
+// builds and panic in debug builds.
+//
+// The simulator's correctness arguments rest on structural invariants —
+// MSHR occupancy never exceeds capacity, the NoC neither drops nor duplicates
+// packets, DRAM banks are never re-activated while busy, ring-buffer indices
+// stay in bounds. Violations would not crash; they would silently skew the
+// paper's figures. This package lets hot paths assert those invariants at
+// zero cost in release builds:
+//
+//	if invariant.Enabled {
+//		invariant.Check(c.MSHRInUse() <= c.cfg.MSHRs, "MSHR overflow: %d > %d", n, cap)
+//	}
+//
+// Build with `-tags clipdebug` to turn every Check into a hard panic with the
+// formatted message. The `if invariant.Enabled` guard is constant-folded, so
+// release builds pay neither the condition evaluation nor the argument
+// construction. Check may also be called unguarded when both the condition
+// and its arguments are already-computed scalars; the empty release body
+// inlines to nothing.
+package invariant
+
+// Violation is the panic value raised by Check in clipdebug builds, so tests
+// (and callers that want to convert trips into errors) can distinguish
+// invariant failures from unrelated panics.
+type Violation string
+
+func (v Violation) Error() string { return string(v) }

@@ -1,0 +1,37 @@
+//go:build clipdebug
+
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckFiresUnderClipdebug(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under the clipdebug build tag")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Check(false, ...) did not panic under clipdebug")
+		}
+		v, ok := r.(Violation)
+		if !ok {
+			t.Fatalf("panic value is %T, want invariant.Violation", r)
+		}
+		if !strings.Contains(string(v), "queue overflow: 9 > 8") {
+			t.Fatalf("panic message %q missing formatted args", v)
+		}
+	}()
+	Check(false, "queue overflow: %d > %d", 9, 8)
+}
+
+func TestCheckPassesOnTrueCondition(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Check(true, ...) panicked: %v", r)
+		}
+	}()
+	Check(true, "never shown")
+}

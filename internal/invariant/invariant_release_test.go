@@ -1,0 +1,19 @@
+//go:build !clipdebug
+
+package invariant
+
+import "testing"
+
+// In release builds Check must be inert: a false condition neither panics nor
+// evaluates into anything observable.
+func TestCheckIsNoOpWithoutTag(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the clipdebug build tag")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Check(false, ...) panicked in release build: %v", r)
+		}
+	}()
+	Check(false, "should never fire (got %d)", 42)
+}

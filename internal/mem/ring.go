@@ -1,5 +1,7 @@
 package mem
 
+import "clip/internal/invariant"
+
 // Ring is a growable FIFO queue backed by a circular buffer. The zero value
 // is ready to use.
 //
@@ -21,6 +23,14 @@ func (r *Ring[T]) Push(v T) {
 	if r.n == len(r.buf) {
 		r.grow()
 	}
+	if invariant.Enabled {
+		invariant.Check(len(r.buf)&(len(r.buf)-1) == 0,
+			"mem.Ring: buffer size %d is not a power of two", len(r.buf))
+		invariant.Check(r.n < len(r.buf),
+			"mem.Ring: push into full buffer (n=%d cap=%d)", r.n, len(r.buf))
+		invariant.Check(r.head >= 0 && r.head < len(r.buf),
+			"mem.Ring: head %d out of bounds [0,%d)", r.head, len(r.buf))
+	}
 	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
 	r.n++
 }
@@ -30,6 +40,12 @@ func (r *Ring[T]) Push(v T) {
 func (r *Ring[T]) PopFront() T {
 	if r.n == 0 {
 		panic("mem: PopFront on empty Ring")
+	}
+	if invariant.Enabled {
+		invariant.Check(r.n <= len(r.buf),
+			"mem.Ring: occupancy %d exceeds buffer %d", r.n, len(r.buf))
+		invariant.Check(r.head >= 0 && r.head < len(r.buf),
+			"mem.Ring: head %d out of bounds [0,%d)", r.head, len(r.buf))
 	}
 	var zero T
 	v := r.buf[r.head]

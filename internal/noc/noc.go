@@ -14,6 +14,7 @@ package noc
 import (
 	"fmt"
 
+	"clip/internal/invariant"
 	"clip/internal/mem"
 	"clip/internal/stats"
 )
@@ -142,6 +143,10 @@ type Mesh struct {
 	pending []pendingHop
 	cycle   uint64
 	stats   Stats
+
+	// inflight tracks injected-but-undelivered packets for the clipdebug
+	// conservation invariant; it is only maintained when invariant.Enabled.
+	inflight int
 }
 
 type pendingHop struct {
@@ -246,6 +251,9 @@ func (m *Mesh) Send(src, dst, flits int, high bool, deliver func(cycle uint64)) 
 	}
 	p := &packet{path: m.route(src, dst), flits: flits, high: high,
 		sent: m.cycle, deliver: deliver}
+	if invariant.Enabled {
+		m.inflight++
+	}
 	m.stats.Packets++
 	m.stats.Flits += uint64(flits)
 	if len(p.path) == 0 {
@@ -317,6 +325,10 @@ func (m *Mesh) Tick(cycle uint64) {
 				ready: cycle + uint64(m.cfg.RouterStage)})
 		}
 	}
+
+	if invariant.Enabled {
+		m.checkConservation()
+	}
 }
 
 // advance moves a packet to its next link or delivers it.
@@ -328,8 +340,53 @@ func (m *Mesh) advance(p *packet) {
 		} else {
 			m.stats.LowLatency.Add(lat)
 		}
+		if invariant.Enabled {
+			m.inflight--
+			invariant.Check(m.inflight >= 0,
+				"noc: delivered more packets than were injected")
+		}
 		p.deliver(m.cycle)
 		return
 	}
 	m.enqueue(p)
+}
+
+// checkConservation asserts (clipdebug only) that every injected packet is
+// still accounted for — parked in exactly one VC, in router-stage transit, or
+// occupying a link — and that VC class segregation holds: with
+// CriticalPriority, high VCs hold only high-class packets and low VCs only
+// low-class ones, the buffer-partitioning property the paper's
+// criticality-conscious NoC depends on.
+func (m *Mesh) checkConservation() {
+	queued := len(m.pending)
+	for i := range m.links {
+		l := &m.links[i]
+		for v := range l.vcs {
+			n := l.vcs[v].Len()
+			queued += n
+			if m.cfg.CriticalPriority {
+				for j := 0; j < n; j++ {
+					p := *l.vcs[v].At(j)
+					invariant.Check(p.high == (v < l.hiVCs),
+						"noc: link %d VC %d holds a %v-class packet in the %v partition",
+						i, v, cls(p.high), cls(v < l.hiVCs))
+				}
+			}
+		}
+		if l.cur != nil {
+			queued++
+			invariant.Check(l.busyLeft > 0,
+				"noc: link %d occupied by a packet with %d flits left", i, l.busyLeft)
+		}
+	}
+	invariant.Check(queued == m.inflight,
+		"noc: packet conservation violated: %d tracked in flight, %d found in mesh",
+		m.inflight, queued)
+}
+
+func cls(high bool) string {
+	if high {
+		return "high"
+	}
+	return "low"
 }

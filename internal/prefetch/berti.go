@@ -120,6 +120,7 @@ func (b *Berti) Train(a Access) []Candidate {
 	// Rank deltas by coverage. The comparator is a total order (coverage
 	// desc, delta asc), so the ranking is deterministic despite the map feed.
 	top := b.scratchTop[:0]
+	//clipvet:orderfree collect-only; the total-order sort below fixes the ranking
 	for d, bd := range e.deltas {
 		cov := float64(bd.timelyHits) / float64(e.accesses)
 		if cov >= bertiLoCoverage {
@@ -167,6 +168,7 @@ func (b *Berti) Train(a Access) []Candidate {
 	// Berti re-evaluates coverage per epoch), and evict deltas that faded to
 	// nothing so the bounded table can admit a changed access pattern.
 	if e.accesses%256 == 0 {
+		//clipvet:orderfree independent per-key halve/evict; no cross-iteration state
 		for d, bd := range e.deltas {
 			bd.timelyHits /= 2
 			if bd.timelyHits == 0 {

@@ -149,6 +149,7 @@ func (p *IPCP) trainGS(a Access) []Candidate {
 		if len(p.region) >= gsRegionMax {
 			// Drop an arbitrary-but-deterministic region: the smallest key.
 			var minK uint64 = ^uint64(0)
+			//clipvet:orderfree min over keys is a commutative reduction
 			for k := range p.region {
 				if k < minK {
 					minK = k

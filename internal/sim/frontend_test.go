@@ -25,10 +25,10 @@ func TestICacheHitAfterFill(t *testing.T) {
 
 func TestICacheLRUEviction(t *testing.T) {
 	ic := newICache(1, 2, 30) // 2 blocks capacity
-	ic.fetch(0x1000) // A
-	ic.fetch(0x2000) // B
-	ic.fetch(0x1000) // touch A: B is LRU
-	ic.fetch(0x3000) // C evicts B
+	ic.fetch(0x1000)          // A
+	ic.fetch(0x2000)          // B
+	ic.fetch(0x1000)          // touch A: B is LRU
+	ic.fetch(0x3000)          // C evicts B
 	if stall := ic.fetch(0x1000); stall != 0 {
 		t.Fatal("A evicted despite recency")
 	}

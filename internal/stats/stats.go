@@ -190,6 +190,7 @@ func (s *Series) String() string {
 // SortedKeys returns map keys in sorted order, for deterministic iteration.
 func SortedKeys[V any](m map[string]V) []string {
 	ks := make([]string, 0, len(m))
+	//clipvet:orderfree collect-only; sorted before return
 	for k := range m {
 		ks = append(ks, k)
 	}

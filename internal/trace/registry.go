@@ -310,11 +310,18 @@ func jitter(cfg Config, name string) Config {
 // Lookup builds the Config for a paper trace name at the given scale.
 func Lookup(name string, sc Scale) (Config, error) {
 	seed := mem.HashString(name)
-	// SPEC names are "<family>_s-<simpoint>B".
-	for fam, f := range specFamilies {
-		if len(name) > len(fam) && name[:len(fam)] == fam {
-			return jitter(f.build(name, seed, sc), name), nil
+	// SPEC names are "<family>_s-<simpoint>B". Pick the longest matching
+	// family so the result cannot depend on map iteration order should one
+	// family name ever be a prefix of another (e.g. "x264" vs "x").
+	var bestFam string
+	//clipvet:orderfree longest-prefix max is a commutative reduction
+	for fam := range specFamilies {
+		if len(name) > len(fam) && name[:len(fam)] == fam && len(fam) > len(bestFam) {
+			bestFam = fam
 		}
+	}
+	if bestFam != "" {
+		return jitter(specFamilies[bestFam].build(name, seed, sc), name), nil
 	}
 	for _, g := range GAPTraces {
 		if g == name {
