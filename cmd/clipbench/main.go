@@ -1,0 +1,143 @@
+// Command clipbench measures simulator throughput and records it as JSON —
+// the repo's performance trajectory — or compares a fresh measurement
+// against a checked-in baseline (the CI bench-smoke job).
+//
+// Usage:
+//
+//	clipbench -out BENCH_simthroughput.json -stamp "$(date -u +%FT%TZ)"
+//	clipbench -baseline BENCH_simthroughput.json -tolerance 0.25 -minspeedup 1.5
+//
+// It runs the same workloads as BenchmarkSimulatorThroughput and
+// BenchmarkTickIdle (the configurations are shared through the root clip
+// package) via testing.Benchmark, so the JSON numbers are directly
+// comparable to `go test -bench` output on the same host.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"clip"
+)
+
+// Record holds one benchmark measurement.
+type Record struct {
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	Iterations   int     `json:"iterations"`
+}
+
+// Report is the BENCH_simthroughput.json schema. SkipSpeedup is the
+// TickIdle skip:noskip cycles/s ratio — the headline number of the
+// event-horizon fast path.
+type Report struct {
+	Stamp       string            `json:"stamp,omitempty"`
+	Benchmarks  map[string]Record `json:"benchmarks"`
+	SkipSpeedup float64           `json:"skip_speedup"`
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		out       = flag.String("out", "", "write the measurement JSON to this file (\"-\" = stdout)")
+		baseline  = flag.String("baseline", "", "compare against this baseline JSON instead of only measuring")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional cycles/s regression vs the baseline")
+		minSpeed  = flag.Float64("minspeedup", 0, "fail unless TickIdle skip/noskip speedup is at least this (0 = no check)")
+		stamp     = flag.String("stamp", "", "timestamp to embed in the JSON (explicit input, kept out of comparisons)")
+	)
+	flag.Parse()
+	if *out == "" && *baseline == "" {
+		*out = "-"
+	}
+
+	measure := func(cfg clip.Config) Record {
+		var cycles uint64
+		res := testing.Benchmark(func(b *testing.B) {
+			cycles = 0
+			for i := 0; i < b.N; i++ {
+				r, err := clip.Run(cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				cycles += r.Cycles
+			}
+		})
+		return Record{
+			CyclesPerSec: float64(cycles) / res.T.Seconds(),
+			NsPerOp:      float64(res.NsPerOp()),
+			Iterations:   res.N,
+		}
+	}
+
+	rep := Report{Stamp: *stamp, Benchmarks: map[string]Record{}}
+	rep.Benchmarks["SimulatorThroughput"] = measure(clip.BenchThroughputConfig())
+	rep.Benchmarks["TickIdle/skip"] = measure(clip.BenchTickIdleConfig(false))
+	rep.Benchmarks["TickIdle/noskip"] = measure(clip.BenchTickIdleConfig(true))
+	rep.SkipSpeedup = rep.Benchmarks["TickIdle/skip"].CyclesPerSec /
+		rep.Benchmarks["TickIdle/noskip"].CyclesPerSec
+
+	for _, name := range []string{"SimulatorThroughput", "TickIdle/skip", "TickIdle/noskip"} {
+		r := rep.Benchmarks[name]
+		fmt.Fprintf(os.Stderr, "%-22s %12.0f cycles/s  (%d iters, %.1fms/op)\n",
+			name, r.CyclesPerSec, r.Iterations, r.NsPerOp/1e6)
+	}
+	fmt.Fprintf(os.Stderr, "%-22s %12.2fx\n", "skip speedup", rep.SkipSpeedup)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		data = append(data, '\n')
+		if *out == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	failed := false
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *baseline, err)
+			return 2
+		}
+		for _, name := range []string{"SimulatorThroughput", "TickIdle/skip", "TickIdle/noskip"} {
+			b, ok := base.Benchmarks[name]
+			if !ok || b.CyclesPerSec <= 0 {
+				continue
+			}
+			got := rep.Benchmarks[name].CyclesPerSec
+			floor := b.CyclesPerSec * (1 - *tolerance)
+			verdict := "ok"
+			if got < floor {
+				verdict = "REGRESSION"
+				failed = true
+			}
+			fmt.Fprintf(os.Stderr, "%-22s %12.0f vs baseline %12.0f (floor %12.0f) %s\n",
+				name, got, b.CyclesPerSec, floor, verdict)
+		}
+	}
+	if *minSpeed > 0 && rep.SkipSpeedup < *minSpeed {
+		fmt.Fprintf(os.Stderr, "skip speedup %.2fx below required %.2fx\n",
+			rep.SkipSpeedup, *minSpeed)
+		failed = true
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

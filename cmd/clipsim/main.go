@@ -44,6 +44,7 @@ func run() int {
 		channels = flag.String("channels", "", "comma-separated paper channel counts (e.g. 4,8,16)")
 		seed     = flag.Uint64("seed", 0, "override workload seed")
 		workers  = flag.Int("workers", 0, "concurrent simulations per experiment (0 = GOMAXPROCS); results are identical for any value")
+		skipMode = flag.String("skip", "on", "event-horizon cycle skipping: on|off; results are identical for either value")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -116,6 +117,15 @@ func run() int {
 		sc.Seed = *seed
 	}
 	sc.Workers = *workers
+	switch *skipMode {
+	case "on":
+		sc.NoSkip = false
+	case "off":
+		sc.NoSkip = true
+	default:
+		fmt.Fprintf(os.Stderr, "bad -skip value %q (want on or off)\n", *skipMode)
+		return 2
+	}
 	if *channels != "" {
 		var chs []int
 		for _, part := range strings.Split(*channels, ",") {

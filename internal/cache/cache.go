@@ -316,6 +316,37 @@ func (c *Cache) Tick(cycle uint64) {
 	c.deliver()
 }
 
+// NextEvent returns the earliest cycle >= now at which Tick can make
+// progress: queued writebacks and responses drain every cycle, and queued
+// requests mature at the head entry's lookup-ready time. A cache whose
+// queues are all empty is quiescent (mem.NoEvent) even with MSHRs in
+// flight — fills arrive through Fill, which repopulates the response queue
+// and thereby pulls the horizon back to "now" before the next Tick gate.
+func (c *Cache) NextEvent(now uint64) uint64 {
+	if c.wbQ.Len() > 0 || len(c.respQ) > 0 {
+		return now
+	}
+	if c.inQ.Len() > 0 {
+		if r := c.inQ.Front().ready; r > now {
+			return r
+		}
+		return now
+	}
+	return mem.NoEvent
+}
+
+// SkipTick replaces Tick for a cycle the simulation loop proved idle via
+// NextEvent. Only the internal clock advances: Issue stamps lookup maturity
+// relative to it, so it must track the global cycle even across skips.
+func (c *Cache) SkipTick(cycle uint64) {
+	if invariant.Enabled {
+		invariant.Check(c.NextEvent(cycle) > cycle,
+			"cache %s: tick skipped at cycle %d with work pending (inQ=%d wbQ=%d resp=%d)",
+			c.cfg.Name, cycle, c.inQ.Len(), c.wbQ.Len(), len(c.respQ))
+	}
+	c.cycle = cycle
+}
+
 func (c *Cache) drainWritebacks() {
 	for c.wbQ.Len() > 0 {
 		if c.lower == nil || !c.lower.Issue(*c.wbQ.Front()) {

@@ -16,6 +16,7 @@ package cpu
 import (
 	"fmt"
 
+	"clip/internal/invariant"
 	"clip/internal/mem"
 	"clip/internal/trace"
 )
@@ -177,6 +178,20 @@ type Core struct {
 	seq      uint64
 	overflow []wheelEntry // completions beyond the wheel horizon
 
+	// wheelLive counts entries filed and not yet drained (wheel + overflow);
+	// earliestWheel is a monotone lower bound on the earliest live entry's
+	// completion cycle. Together they bound the core's wakeup horizon without
+	// scanning buckets.
+	wheelLive     int
+	earliestWheel uint64
+
+	// wake is set by CompleteLoad: any cached quiescence horizon is stale
+	// (a returned producer can unblock a dependent load) and the core must
+	// tick. Cleared on Tick.
+	wake bool
+
+	onFinished func()
+
 	bp *Perceptron
 
 	// BranchHist is the global conditional branch history (last 32 outcomes),
@@ -260,6 +275,11 @@ func (c *Core) ExtendBudget(extra uint64) {
 // SetFetchChecker installs the instruction-fetch model (nil disables it).
 func (c *Core) SetFetchChecker(f FetchChecker) { c.fetchCheck = f }
 
+// OnFinished registers a listener fired the moment the instruction budget is
+// reached (once per ExtendBudget arming). The simulation loop maintains its
+// finished-core counter from this instead of scanning every core per cycle.
+func (c *Core) OnFinished(f func()) { c.onFinished = f }
+
 // OnLoadComplete registers a listener for load responses.
 func (c *Core) OnLoadComplete(f func(LoadEvent)) { c.onLoad = append(c.onLoad, f) }
 
@@ -280,12 +300,98 @@ func (c *Core) HeadStalled() bool {
 func (c *Core) Tick(cycle uint64) {
 	c.cycle = cycle
 	c.stats.Cycles++
+	c.wake = false
 
 	c.completeALU()
 	c.accountStall()
 	c.retire()
 	c.issueLoads()
 	c.dispatch()
+}
+
+// NextEvent returns the earliest cycle >= now at which Tick can make
+// architectural progress, assuming no external load completion arrives first
+// (CompleteLoad sets a wake flag callers must honour via Woken before
+// trusting a cached horizon). mem.NoEvent means the core is blocked entirely
+// on outstanding memory responses.
+//
+// The horizon is sound because every per-cycle action of Tick is covered:
+// completeALU fires no earlier than earliestWheel (a lower bound on live
+// wheel entries), retire and dispatch need the conditions checked here, and
+// issueLoads can only act when some pending load is issuable — which makes
+// the core non-quiescent outright (an L1-refused load retries every cycle).
+func (c *Core) NextEvent(now uint64) uint64 {
+	if c.count == 0 || c.rob[c.head].done {
+		return now // retire and/or dispatch can proceed immediately
+	}
+	if len(c.overflow) > 0 {
+		// Beyond-horizon completions are refiled by the per-cycle wheel
+		// revolution; never skip over that machinery (unused in practice:
+		// ALU latencies sit far below the wheel size).
+		return now
+	}
+	next := mem.NoEvent
+	if c.wheelLive > 0 {
+		if c.earliestWheel <= now {
+			return now
+		}
+		next = c.earliestWheel
+	}
+	for _, slot := range c.pendingLoads {
+		e := &c.rob[slot]
+		if !e.valid || e.done || e.issued {
+			continue
+		}
+		if e.dependsOn >= 0 {
+			if dep := &c.rob[e.dependsOn]; dep.valid && !dep.done {
+				continue // producer in flight; CompleteLoad wakes us
+			}
+		}
+		return now // an issuable load retries the L1 port every cycle
+	}
+	if c.count < len(c.rob) {
+		// Dispatch is open; it resumes as soon as the fetch stall ends. (With
+		// a full ROB dispatch is a silent no-op, so no deadline from it.)
+		if now >= c.fetchStallUntil {
+			return now
+		}
+		if c.fetchStallUntil < next {
+			next = c.fetchStallUntil
+		}
+	}
+	return next
+}
+
+// Woken reports whether a load completed since the last Tick, invalidating
+// any cached NextEvent horizon.
+func (c *Core) Woken() bool { return c.wake }
+
+// SkipCycles applies the accounting Tick would have performed over the n
+// quiescent cycles [from, from+n): cycle and head-stall counting, plus the
+// fetch-stall cycles dispatch would have charged. The caller proved via
+// NextEvent that no architectural progress is possible in the window.
+func (c *Core) SkipCycles(from, n uint64) {
+	if n == 0 {
+		return
+	}
+	if invariant.Enabled {
+		invariant.Check(!c.wake && c.NextEvent(from) >= from+n,
+			"cpu %d: skipping [%d,%d) past next event %d (wake=%v)",
+			c.id, from, from+n, c.NextEvent(from), c.wake)
+	}
+	c.stats.Cycles += n
+	if c.count > 0 && !c.rob[c.head].done {
+		c.stats.ROBStallCycles += n
+		c.rob[c.head].stallCycles += n
+	}
+	if from < c.fetchStallUntil {
+		d := c.fetchStallUntil - from
+		if d > n {
+			d = n
+		}
+		c.stats.FetchStallCycles += d
+	}
+	c.cycle = from + n - 1
 }
 
 // wheelSize bounds the scheduling horizon; ALU latencies are <= 250 plus
@@ -301,6 +407,10 @@ func (c *Core) schedule(slot int, at uint64) {
 	if at <= c.cycle {
 		at = c.cycle + 1
 	}
+	if c.wheelLive == 0 || at < c.earliestWheel {
+		c.earliestWheel = at
+	}
+	c.wheelLive++
 	if at-c.cycle >= wheelSize {
 		c.overflow = append(c.overflow, wheelEntry{slot: slot, seq: c.rob[slot].seq, at: at})
 		return
@@ -313,11 +423,18 @@ func (c *Core) completeALU() {
 	idx := c.cycle % wheelSize
 	if events := c.wheel[idx]; len(events) > 0 {
 		for _, ev := range events {
+			if invariant.Enabled {
+				// A bucket is reached exactly at its entries' completion
+				// cycle; firing later means the loop skipped past a deadline.
+				invariant.Check(ev.at == c.cycle,
+					"cpu %d: wheel entry for cycle %d fired at %d", c.id, ev.at, c.cycle)
+			}
 			e := &c.rob[ev.slot]
 			if e.valid && e.seq == ev.seq && !e.done && e.op != trace.OpLoad {
 				e.done = true
 			}
 		}
+		c.wheelLive -= len(events)
 		c.wheel[idx] = c.wheel[idx][:0]
 	}
 	if len(c.overflow) > 0 && c.cycle%wheelSize == 0 {
@@ -328,12 +445,25 @@ func (c *Core) completeALU() {
 				e := &c.rob[ev.slot]
 				if e.valid && e.seq == ev.seq {
 					c.wheel[ev.at%wheelSize] = append(c.wheel[ev.at%wheelSize], ev)
+				} else {
+					c.wheelLive-- // stale: dropped instead of refiled
 				}
 			} else {
 				rest = append(rest, ev)
 			}
 		}
 		c.overflow = rest
+	}
+	if c.wheelLive == 0 {
+		c.earliestWheel = mem.NoEvent
+	} else if c.earliestWheel <= c.cycle {
+		// Everything filed at or before this cycle has drained; the bound
+		// stays a valid lower bound on the remaining live entries.
+		c.earliestWheel = c.cycle + 1
+	}
+	if invariant.Enabled {
+		invariant.Check(c.wheelLive >= 0,
+			"cpu %d: wheel live-entry count went negative (%d)", c.id, c.wheelLive)
 	}
 }
 
@@ -354,6 +484,9 @@ func (c *Core) retire() {
 		c.retiredTotal++
 		if c.finishCycle == 0 && c.retiredTotal >= c.budget {
 			c.finishCycle = c.cycle
+			if c.onFinished != nil {
+				c.onFinished()
+			}
 		}
 		c.stats.StallsByLevel[e.servedBy] += e.stallCycles
 		for _, f := range c.onRetire {
@@ -505,6 +638,7 @@ func (c *Core) dispatch() {
 // listeners — this is the paper's training moment: "on a load response back
 // to the processor, check the ROB stall flag and the miss-level flag".
 func (c *Core) CompleteLoad(resp mem.Response) {
+	c.wake = true
 	slot := resp.Req.ROBIndex
 	if slot < 0 || slot >= len(c.rob) {
 		return

@@ -246,6 +246,12 @@ func (d *DRAM) tickChannel(c *channel) {
 			c.nextRefresh = uint64(d.cfg.REFI)
 		}
 		if d.cycle >= c.nextRefresh {
+			if invariant.Enabled {
+				// Per-cycle ticking reaches the deadline exactly; firing late
+				// means the simulation loop skipped past a refresh.
+				invariant.Check(d.cycle == c.nextRefresh,
+					"dram: refresh deadline %d fired at cycle %d", c.nextRefresh, d.cycle)
+			}
 			c.nextRefresh += uint64(d.cfg.REFI)
 			c.refreshEnd = d.cycle + uint64(d.cfg.RFC)
 			d.stats.Refreshes++
@@ -296,6 +302,128 @@ func (d *DRAM) tickChannel(c *channel) {
 	if len(c.wq) > 0 && len(c.rq) == 0 {
 		d.scheduleWrite(c)
 	}
+}
+
+// NextEvent returns the earliest cycle >= now at which Tick can do real
+// work: a refresh deadline (or refresh completion), or the earliest cycle a
+// queued request's target bank frees up. Utilization-epoch rollovers are
+// deliberately not folded in — AdvanceTo replays them in bulk, and nothing
+// reads the utilization signal during a skipped window (the simulation
+// loop's horizon already folds every reader's own deadline).
+func (d *DRAM) NextEvent(now uint64) uint64 {
+	next := mem.NoEvent
+	for i := range d.chans {
+		c := &d.chans[i]
+		if d.cfg.REFI > 0 {
+			nr := c.nextRefresh
+			if nr == 0 {
+				nr = uint64(d.cfg.REFI) // first Tick initializes it to this
+			}
+			if nr <= now {
+				return now
+			}
+			if nr < next {
+				next = nr
+			}
+			if now < c.refreshEnd {
+				// Refreshing: the channel does nothing else until the end.
+				if c.refreshEnd < next {
+					next = c.refreshEnd
+				}
+				continue
+			}
+		}
+		if len(c.rq) == 0 && len(c.wq) == 0 {
+			continue
+		}
+		if e := d.earliestBankFree(c, now); e <= now {
+			return now
+		} else if e < next {
+			next = e
+		}
+	}
+	return next
+}
+
+// earliestBankFree returns the earliest cycle >= now at which any queued
+// request's target bank is free — a conservative bound on when a schedule
+// attempt can next succeed (scheduling considers only bank-free requests;
+// the shared data bus delays completion, never eligibility).
+func (d *DRAM) earliestBankFree(c *channel, now uint64) uint64 {
+	next := mem.NoEvent
+	for i := range c.rq {
+		_, bk, _ := d.route(c.rq[i].req.Addr)
+		if b := c.banks[bk].busyUntil; b <= now {
+			return now
+		} else if b < next {
+			next = b
+		}
+	}
+	for i := range c.wq {
+		_, bk, _ := d.route(c.wq[i].Addr)
+		if b := c.banks[bk].busyUntil; b <= now {
+			return now
+		} else if b < next {
+			next = b
+		}
+	}
+	return next
+}
+
+// AdvanceTo bulk-applies the per-cycle accounting of the n skipped cycles
+// [from, from+n): channel-cycle counting, utilization-epoch rollovers, and
+// the write-drain hysteresis (whose inputs are constant across an idle
+// window). The caller proved via NextEvent that no refresh deadline falls
+// inside the window and no queued request becomes schedulable in it, and
+// the controller clock must land on from+n-1 so requests issued at the wake
+// cycle are stamped exactly as in the per-cycle loop.
+func (d *DRAM) AdvanceTo(from, n uint64) {
+	if n == 0 {
+		return
+	}
+	if invariant.Enabled {
+		invariant.Check(d.NextEvent(from) >= from+n,
+			"dram: skipping [%d,%d) past next event %d", from, from+n, d.NextEvent(from))
+	}
+	d.stats.Cycles += n * uint64(len(d.chans))
+	for i := range d.chans {
+		c := &d.chans[i]
+		if d.cfg.REFI > 0 {
+			if c.nextRefresh == 0 {
+				c.nextRefresh = uint64(d.cfg.REFI)
+			}
+			if from < c.refreshEnd {
+				// Entirely inside a refresh (NextEvent folds refreshEnd): the
+				// ticked path returns before any epoch accounting.
+				continue
+			}
+		}
+		rem := n
+		for rem > 0 {
+			step := uint64(utilEpoch) - c.epochCycles
+			if step > rem {
+				step = rem
+			}
+			c.epochCycles += step
+			rem -= step
+			if c.epochCycles >= utilEpoch {
+				u := float64(c.utilWindow) / float64(c.epochCycles)
+				if u > 1 {
+					u = 1
+				}
+				c.recentUtil = u
+				c.utilWindow, c.epochCycles = 0, 0
+			}
+		}
+		hi := d.cfg.WQ * d.cfg.WriteWatermarkNum / d.cfg.WriteWatermarkDen
+		lo := d.cfg.WQ / 4
+		if len(c.wq) >= hi {
+			c.draining = true
+		} else if len(c.wq) <= lo {
+			c.draining = false
+		}
+	}
+	d.cycle = from + n - 1
 }
 
 // agePromote is the queueing age after which a deprioritized prefetch is

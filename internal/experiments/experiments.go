@@ -37,6 +37,10 @@ type Scale struct {
 	// for any worker count: jobs are enumerated and assembled in a fixed
 	// order, and every simulation is deterministic in its configuration.
 	Workers int
+	// NoSkip forces the strict per-cycle simulation loop (clipsim
+	// -skip=off). Reports are byte-identical with skipping on or off; the
+	// escape hatch exists for debugging and perf comparison.
+	NoSkip bool
 }
 
 // Quick is the bench-friendly scale: a representative subset of mixes.
@@ -112,6 +116,7 @@ func template(sc Scale, paperCh int) sim.Config {
 	cfg.InstrPerCore = sc.InstrPerCore
 	cfg.WarmupInstr = sc.Warmup
 	cfg.Seed = sc.Seed
+	cfg.DisableSkip = sc.NoSkip
 	return cfg
 }
 

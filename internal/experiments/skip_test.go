@@ -1,0 +1,25 @@
+package experiments
+
+import "testing"
+
+// TestReportSkipEquivalence runs a micro-scale figure with the event-horizon
+// fast path on and off and asserts the rendered reports are byte-identical —
+// the end-to-end form of the skip determinism contract (the per-Result form
+// lives in internal/sim). Fig9 covers the widest mechanism surface: all four
+// prefetchers with and without CLIP over the mix families.
+func TestReportSkipEquivalence(t *testing.T) {
+	sc := micro()
+	sc.HetMixes, sc.CloudMixes = 1, 1
+	on, err := Fig9(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.NoSkip = true
+	off, err := Fig9(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.String() != off.String() {
+		t.Fatalf("report diverges between skip modes:\nskip on:\n%s\nskip off:\n%s", on, off)
+	}
+}

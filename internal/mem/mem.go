@@ -139,3 +139,8 @@ func (r Response) Latency() uint64 {
 	}
 	return r.DoneCycle - r.Req.IssueCycle
 }
+
+// NoEvent is the horizon a fully quiescent component reports from its
+// NextEvent accessor: there is no future cycle at which it has work of its
+// own (it can only be woken externally). Any real deadline folds below it.
+const NoEvent = ^uint64(0)

@@ -88,7 +88,10 @@ type link struct {
 	rrLo     int
 	cur      *packet
 	busyLeft int
-	arb      uint8 // arbitration counter for weighted low-class service
+	// arb is the arbitration counter for weighted low-class service. It
+	// advances only on grant decisions (cycles with queued packets), so an
+	// idle link's state is exactly invariant under tick skipping.
+	arb uint8
 }
 
 func (l *link) hiLen() int {
@@ -144,9 +147,13 @@ type Mesh struct {
 	cycle   uint64
 	stats   Stats
 
-	// inflight tracks injected-but-undelivered packets for the clipdebug
-	// conservation invariant; it is only maintained when invariant.Enabled.
-	inflight int
+	// live counts injected-but-undelivered packets; linkActive counts the
+	// subset parked in a VC or occupying a link. Both feed the quiescence
+	// horizon (and the clipdebug conservation invariant): live == 0 means
+	// the mesh has nothing to do, linkActive == 0 means the link walk is
+	// skippable and only router-stage releases remain.
+	live       int
+	linkActive int
 }
 
 type pendingHop struct {
@@ -251,9 +258,7 @@ func (m *Mesh) Send(src, dst, flits int, high bool, deliver func(cycle uint64)) 
 	}
 	p := &packet{path: m.route(src, dst), flits: flits, high: high,
 		sent: m.cycle, deliver: deliver}
-	if invariant.Enabled {
-		m.inflight++
-	}
+	m.live++
 	m.stats.Packets++
 	m.stats.Flits += uint64(flits)
 	if len(p.path) == 0 {
@@ -265,6 +270,7 @@ func (m *Mesh) Send(src, dst, flits int, high bool, deliver func(cycle uint64)) 
 }
 
 func (m *Mesh) enqueue(p *packet) {
+	m.linkActive++
 	l := &m.links[p.path[0]]
 	if p.high || !m.cfg.CriticalPriority {
 		// Spread high-class packets over their VCs by hop parity (a cheap
@@ -295,40 +301,90 @@ func (m *Mesh) Tick(cycle uint64) {
 		m.pending = rest
 	}
 
-	for i := range m.links {
-		l := &m.links[i]
-		if l.cur == nil {
-			// Weighted arbitration: the high class wins three of every four
-			// grants; the fourth goes to the low class so prefetch packets
-			// (whose upstream MSHRs wait on them) cannot starve outright —
-			// the guaranteed-forward-progress property real VC arbiters have.
-			l.arb++
-			if l.arb&3 == 0 && l.loLen() > 0 {
-				l.cur = l.popLo()
-			} else if l.hiLen() > 0 {
-				l.cur = l.popHi()
-			} else {
-				l.cur = l.popLo()
-			}
+	// The link walk only matters while some packet sits in a VC or on a
+	// link; an all-idle fabric (responses in router-stage transit only, or
+	// nothing in flight at all) skips the O(links·VCs) scan entirely.
+	if m.linkActive > 0 {
+		for i := range m.links {
+			l := &m.links[i]
 			if l.cur == nil {
-				continue
+				hi, lo := l.hiLen(), l.loLen()
+				if hi+lo == 0 {
+					continue
+				}
+				// Weighted arbitration: the high class wins three of every four
+				// grants; the fourth goes to the low class so prefetch packets
+				// (whose upstream MSHRs wait on them) cannot starve outright —
+				// the guaranteed-forward-progress property real VC arbiters have.
+				l.arb++
+				if l.arb&3 == 0 && lo > 0 {
+					l.cur = l.popLo()
+				} else if hi > 0 {
+					l.cur = l.popHi()
+				} else {
+					l.cur = l.popLo()
+				}
+				l.busyLeft = l.cur.flits
 			}
-			l.busyLeft = l.cur.flits
-		}
-		m.stats.LinkBusy++
-		l.busyLeft--
-		if l.busyLeft == 0 {
-			p := l.cur
-			l.cur = nil
-			p.path = p.path[1:]
-			m.pending = append(m.pending, pendingHop{p: p,
-				ready: cycle + uint64(m.cfg.RouterStage)})
+			m.stats.LinkBusy++
+			l.busyLeft--
+			if l.busyLeft == 0 {
+				p := l.cur
+				l.cur = nil
+				m.linkActive--
+				p.path = p.path[1:]
+				m.pending = append(m.pending, pendingHop{p: p,
+					ready: cycle + uint64(m.cfg.RouterStage)})
+			}
 		}
 	}
 
 	if invariant.Enabled {
 		m.checkConservation()
 	}
+}
+
+// NextEvent returns the earliest cycle >= now at which the mesh has work:
+// now while any packet occupies a link or VC (links move a flit every
+// cycle), the earliest router-stage release otherwise, and mem.NoEvent when
+// nothing is in flight.
+func (m *Mesh) NextEvent(now uint64) uint64 {
+	if m.live == 0 {
+		return mem.NoEvent
+	}
+	if m.linkActive > 0 {
+		return now
+	}
+	next := mem.NoEvent
+	for i := range m.pending {
+		r := m.pending[i].ready
+		if r <= now {
+			return now
+		}
+		if r < next {
+			next = r
+		}
+	}
+	if invariant.Enabled {
+		invariant.Check(next != mem.NoEvent,
+			"noc: %d packets in flight but none queued, on a link, or pending", m.live)
+	}
+	return next
+}
+
+// SkipCycles advances the mesh clock over the n cycles [from, from+n) the
+// simulation loop proved (via NextEvent) no packet can move in. The clock
+// must track the global cycle because Send stamps injection times from it.
+func (m *Mesh) SkipCycles(from, n uint64) {
+	if n == 0 {
+		return
+	}
+	if invariant.Enabled {
+		invariant.Check(m.NextEvent(from) >= from+n,
+			"noc: skipping [%d,%d) past next event %d", from, from+n, m.NextEvent(from))
+	}
+	m.stats.Cycles += n
+	m.cycle = from + n - 1
 }
 
 // advance moves a packet to its next link or delivers it.
@@ -340,9 +396,9 @@ func (m *Mesh) advance(p *packet) {
 		} else {
 			m.stats.LowLatency.Add(lat)
 		}
+		m.live--
 		if invariant.Enabled {
-			m.inflight--
-			invariant.Check(m.inflight >= 0,
+			invariant.Check(m.live >= 0,
 				"noc: delivered more packets than were injected")
 		}
 		p.deliver(m.cycle)
@@ -359,11 +415,13 @@ func (m *Mesh) advance(p *packet) {
 // criticality-conscious NoC depends on.
 func (m *Mesh) checkConservation() {
 	queued := len(m.pending)
+	onLinks := 0
 	for i := range m.links {
 		l := &m.links[i]
 		for v := range l.vcs {
 			n := l.vcs[v].Len()
 			queued += n
+			onLinks += n
 			if m.cfg.CriticalPriority {
 				for j := 0; j < n; j++ {
 					p := *l.vcs[v].At(j)
@@ -375,13 +433,17 @@ func (m *Mesh) checkConservation() {
 		}
 		if l.cur != nil {
 			queued++
+			onLinks++
 			invariant.Check(l.busyLeft > 0,
 				"noc: link %d occupied by a packet with %d flits left", i, l.busyLeft)
 		}
 	}
-	invariant.Check(queued == m.inflight,
+	invariant.Check(queued == m.live,
 		"noc: packet conservation violated: %d tracked in flight, %d found in mesh",
-		m.inflight, queued)
+		m.live, queued)
+	invariant.Check(onLinks == m.linkActive,
+		"noc: link-occupancy count violated: %d tracked, %d found (skip gate would misfire)",
+		m.linkActive, onLinks)
 }
 
 func cls(high bool) string {

@@ -104,6 +104,13 @@ type Config struct {
 	// bandwidth (training continues either way). Requires CLIP != nil.
 	DynamicCLIP bool
 
+	// DisableSkip forces the strict per-cycle simulation loop: every
+	// component ticks every cycle and the event-horizon fast path never
+	// jumps. Results are byte-identical either way (enforced by the skip-
+	// equivalence tests); the escape hatch exists for debugging and for
+	// measuring the skip machinery itself.
+	DisableSkip bool
+
 	Seed uint64
 }
 

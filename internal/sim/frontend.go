@@ -39,6 +39,22 @@ func (p *corePort) Issue(req mem.Request) bool {
 	return true
 }
 
+// NextEvent returns the earliest cycle >= now at which a queued translation
+// can (re)try the L1D; mem.NoEvent when the port is empty.
+func (p *corePort) NextEvent(now uint64) uint64 {
+	next := mem.NoEvent
+	for i := range p.pending {
+		r := p.pending[i].ready
+		if r <= now {
+			return now // matured translations retry the L1D every cycle
+		}
+		if r < next {
+			next = r
+		}
+	}
+	return next
+}
+
 // Tick retries matured translations.
 func (p *corePort) Tick(cycle uint64) {
 	if len(p.pending) == 0 {
@@ -151,6 +167,21 @@ func (d *dynamicClip) update(cycle uint64, util float64) {
 	d.totalCycles++
 	if d.active {
 		d.activeCycles++
+	}
+}
+
+// nextSample returns the next utilization-sample cycle >= now.
+func (d *dynamicClip) nextSample(now uint64) uint64 {
+	return (now + dynClipEpoch - 1) / dynClipEpoch * dynClipEpoch
+}
+
+// advance bulk-applies n cycles of engaged-time accounting for a skipped
+// window that contains no sample boundary (the simulation loop folds
+// nextSample into its horizon), during which the active flag cannot change.
+func (d *dynamicClip) advance(n uint64) {
+	d.totalCycles += n
+	if d.active {
+		d.activeCycles += n
 	}
 }
 

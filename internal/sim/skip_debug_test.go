@@ -1,0 +1,27 @@
+//go:build clipdebug
+
+package sim
+
+// Under -tags clipdebug every SkipCycles/SkipTick/AdvanceTo call re-derives
+// the component's quiescence and panics if any skipped cycle had real work
+// (a missed-event bug must fail loudly, not silently desync). Running the
+// same equivalence matrix here asserts zero invariant trips across every
+// mechanism combination: the tests pass iff no panic fires.
+
+import "testing"
+
+// TestSkipInvariantsMatrix drives the skip-equivalence matrix with the
+// event-horizon fast path enabled and all runtime invariants armed.
+func TestSkipInvariantsMatrix(t *testing.T) {
+	for name, cfg := range skipMatrix() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg.DisableSkip = false
+			r := mustRun(t, cfg)
+			if !r.Finished {
+				t.Fatal("run did not finish under invariants")
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"clip/internal/criticality"
 	"clip/internal/dram"
 	"clip/internal/hermes"
+	"clip/internal/invariant"
 	"clip/internal/mem"
 	"clip/internal/noc"
 	"clip/internal/prefetch"
@@ -66,6 +67,23 @@ type System struct {
 	cycle        uint64
 	measureStart uint64
 	attachL2     bool
+
+	// skip enables event-horizon cycle skipping (Config.DisableSkip off):
+	// quiescent components are tick-skipped every cycle, and Run jumps the
+	// global clock over windows in which no component has work.
+	skip bool
+	// coreNext caches each core's NextEvent horizon; a core is tick-skipped
+	// while the horizon is in the future and no load completion woke it.
+	coreNext []uint64
+	// coresTicked counts cores that took a real Tick this cycle — the cheap
+	// gate deciding whether a global jump is even worth evaluating.
+	coresTicked int
+	// finished counts cores whose instruction budget is exhausted,
+	// maintained by cpu.Core OnFinished events (no per-cycle scan).
+	finished int
+	// nextThrottle is the next throttler-epoch deadline (unused when no
+	// throttler is configured).
+	nextThrottle uint64
 }
 
 type scoredPredictor struct {
@@ -220,7 +238,24 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := s.attachMechanisms(); err != nil {
 		return nil, err
 	}
+
+	s.skip = !cfg.DisableSkip
+	s.coreNext = make([]uint64, n)
+	for _, c := range s.cores {
+		c.OnFinished(func() { s.finished++ })
+	}
+	if s.throttler != nil {
+		s.nextThrottle = s.throttleEpoch()
+	}
 	return s, nil
+}
+
+// throttleEpoch returns the throttler epoch length.
+func (s *System) throttleEpoch() uint64 {
+	if s.cfg.ThrottleEpoch != 0 {
+		return s.cfg.ThrottleEpoch
+	}
+	return 4096
 }
 
 func meshConfig(nodes int, critPrio bool) noc.Config {
@@ -304,18 +339,45 @@ func (s *System) hermesFor(core int) *hermes.Predictor {
 	return s.hermes[core]
 }
 
-// Tick advances the whole system one cycle.
+// Tick advances the whole system one cycle. With skipping enabled, provably
+// quiescent components get their per-cycle accounting applied in place of a
+// full walk (an idle L2 on a stalled core is never traversed); the results
+// are byte-identical to the strict loop either way.
 func (s *System) Tick() {
 	cy := s.cycle
+	skip := s.skip
+	s.coresTicked = 0
 	for i, c := range s.cores {
-		c.Tick(cy)
+		if skip && s.coreNext[i] > cy && !c.Woken() {
+			c.SkipCycles(cy, 1)
+		} else {
+			c.Tick(cy)
+			s.coresTicked++
+			if skip {
+				s.coreNext[i] = c.NextEvent(cy + 1)
+			}
+		}
 		s.ports[i].Tick(cy)
 		s.drainPFQ(i)
-		s.l1d[i].Tick(cy)
-		s.l2[i].Tick(cy)
+		if l1 := s.l1d[i]; !skip || l1.NextEvent(cy) <= cy {
+			l1.Tick(cy)
+		} else {
+			l1.SkipTick(cy)
+		}
+		if l2 := s.l2[i]; !skip || l2.NextEvent(cy) <= cy {
+			l2.Tick(cy)
+		} else {
+			l2.SkipTick(cy)
+		}
 	}
 	if s.dynClip != nil {
-		s.dynClip.update(cy, s.dram.GlobalUtilization())
+		// The utilization signal is only sampled on epoch boundaries; skip
+		// the O(channels) read on every other cycle.
+		var util float64
+		if cy%dynClipEpoch == 0 {
+			util = s.dram.GlobalUtilization()
+		}
+		s.dynClip.update(cy, util)
 	}
 	s.mesh.Tick(cy)
 	for i, l := range s.llc {
@@ -327,7 +389,11 @@ func (s *System) Tick() {
 				s.llcRetry[i].Push(req)
 			}
 		}
-		l.Tick(cy)
+		if !skip || l.NextEvent(cy) <= cy {
+			l.Tick(cy)
+		} else {
+			l.SkipTick(cy)
+		}
 	}
 	s.dram.Tick(cy)
 	s.deliverDRAM(cy)
@@ -412,14 +478,92 @@ func (s *System) deliverDRAM(cy uint64) {
 	s.dramPending = rest
 }
 
-// Finished reports whether every core retired its budget.
-func (s *System) Finished() bool {
-	for _, c := range s.cores {
-		if !c.Finished() {
-			return false
+// Finished reports whether every core retired its budget. The count is
+// maintained by per-core OnFinished events (and re-armed at the warmup
+// barrier), so this is O(1) instead of a per-cycle core scan.
+func (s *System) Finished() bool { return s.finished == len(s.cores) }
+
+// horizon folds every component's NextEvent with the simulation-level
+// deadlines — pending DRAM responses, held Hermes fills, the throttler
+// epoch, and the dynamic-CLIP sample — into the earliest cycle >= now that
+// must actually be simulated.
+func (s *System) horizon(now uint64) uint64 {
+	h := mem.NoEvent
+	fold := func(e uint64) {
+		if e < h {
+			h = e
 		}
 	}
-	return true
+	for i, c := range s.cores {
+		if c.Woken() {
+			return now
+		}
+		fold(s.coreNext[i])
+		fold(s.ports[i].NextEvent(now))
+		if s.pfQ[i].Len() > 0 {
+			return now // queued prefetches retry their cache every cycle
+		}
+		fold(s.l1d[i].NextEvent(now))
+		fold(s.l2[i].NextEvent(now))
+	}
+	for i := range s.llc {
+		if s.llcRetry[i].Len() > 0 {
+			return now // refused LLC deliveries retry every cycle
+		}
+		fold(s.llc[i].NextEvent(now))
+	}
+	fold(s.mesh.NextEvent(now))
+	fold(s.dram.NextEvent(now))
+	for i := range s.dramPending {
+		fold(s.dramPending[i].DoneCycle)
+	}
+	for i := range s.hermesHold {
+		fold(s.hermesHold[i].DoneCycle)
+	}
+	if s.throttler != nil {
+		fold(s.nextThrottle)
+	}
+	if s.dynClip != nil {
+		fold(s.dynClip.nextSample(now))
+	}
+	if h < now {
+		h = now
+	}
+	return h
+}
+
+// skipAhead jumps the global clock to the earliest future cycle at which
+// any component has work, bulk-applying the per-cycle accounting the
+// skipped cycles would have performed. A no-op when something has work next
+// cycle. Under clipdebug every component re-derives its own quiescence at
+// skip time, so a horizon that undershoots real work panics instead of
+// silently desyncing.
+func (s *System) skipAhead(maxCycles uint64) {
+	now := s.cycle // the next cycle to simulate
+	h := s.horizon(now)
+	if h > maxCycles {
+		h = maxCycles
+	}
+	if h <= now {
+		return
+	}
+	n := h - now
+	for _, c := range s.cores {
+		c.SkipCycles(now, n)
+	}
+	for i := range s.l1d {
+		s.l1d[i].SkipTick(h - 1)
+		s.l2[i].SkipTick(h - 1)
+	}
+	for _, l := range s.llc {
+		l.SkipTick(h - 1)
+	}
+	s.mesh.SkipCycles(now, n)
+	s.dram.AdvanceTo(now, n)
+	if s.dynClip != nil {
+		s.dynClip.advance(n)
+	}
+	s.cycle = h
 }
 
 // resetStats zeroes all measurement counters at the warmup barrier.
@@ -466,32 +610,44 @@ func Run(cfg Config) (*Result, error) {
 	warmed := cfg.WarmupInstr == 0
 	for s.cycle < maxCycles {
 		s.Tick()
-		if !warmed && s.Finished() {
-			// Warmup barrier: zero counters, extend budgets.
+		if s.Finished() {
+			if warmed {
+				break
+			}
+			// Warmup barrier: zero counters, extend budgets, re-arm the
+			// finished counter (ExtendBudget resets each core's trigger).
 			warmed = true
 			s.resetStats()
 			s.measureStart = s.cycle
+			s.finished = 0
 			for _, c := range s.cores {
 				c.ExtendBudget(cfg.InstrPerCore)
 			}
 			continue
 		}
-		if warmed && s.Finished() {
-			break
+		if s.skip && s.coresTicked == 0 {
+			// Every core was quiescent this cycle — worth probing for a
+			// global jump. (While any core is active the horizon is "now"
+			// and the fold would be wasted work on the hot path.)
+			s.skipAhead(maxCycles)
 		}
 	}
 	return s.collect(), nil
 }
 
-// tickThrottlers runs the epoch controllers.
+// tickThrottlers runs the epoch controllers. The next-epoch deadline
+// replaces the per-cycle modulo check (and is folded into the skip horizon,
+// so a global jump can never overshoot an epoch boundary).
 func (s *System) tickThrottlers(cy uint64) {
-	epoch := s.cfg.ThrottleEpoch
-	if epoch == 0 {
-		epoch = 4096
-	}
-	if cy == 0 || cy%epoch != 0 {
+	if cy < s.nextThrottle {
 		return
 	}
+	epoch := s.throttleEpoch()
+	if invariant.Enabled {
+		invariant.Check(cy == s.nextThrottle,
+			"sim: throttle epoch %d missed, ticked at %d", s.nextThrottle, cy)
+	}
+	s.nextThrottle += epoch
 	for i, th := range s.throttler {
 		if th == nil {
 			continue
