@@ -1,0 +1,22 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"clip/internal/experiments"
+)
+
+func main() {
+	sc := experiments.Scale{
+		Cores: 4, InstrPerCore: 5000, Warmup: 1500, CacheDiv: 8,
+		HomMixes: 1, HetMixes: 1, CloudMixes: 1,
+		Channels: []int{8}, Seed: 1,
+	}
+	r, err := experiments.Fig9(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(r.String())
+}
