@@ -205,6 +205,30 @@ func BenchmarkTickIdle(b *testing.B) {
 	}
 }
 
+// BenchmarkTickBusy measures the busy-phase tick loop: each evaluated
+// prefetcher in turn, gated by CLIP, on an unsaturated four-channel bus.
+// Cores rarely stall there, so per-cycle cost is dominated by the
+// associative-table hot paths (prefetcher training, criticality prediction,
+// CLIP's per-IP filter). One sub-benchmark per prefetcher keeps each
+// engine's cost — and its allocations — individually visible.
+func BenchmarkTickBusy(b *testing.B) {
+	for _, pf := range []string{"berti", "ipcp", "bingo", "spppf", "stride"} {
+		b.Run(pf, func(b *testing.B) {
+			cfg := BenchTickBusyConfig(pf)
+			b.ReportAllocs()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
+
 func BenchmarkExtension_DynamicClip(b *testing.B) {
 	runFig(b, "ablation-dynamic", "berti+dynclip@8ch", "berti+clip@8ch", "berti@64ch")
 }

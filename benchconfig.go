@@ -1,9 +1,10 @@
 package clip
 
-// This file defines the canonical configurations behind the two throughput
-// benchmarks (BenchmarkSimulatorThroughput and BenchmarkTickIdle) so that
-// `go test -bench` and cmd/clipbench — the JSON emitter CI compares against
-// the checked-in baseline — measure exactly the same workloads.
+// This file defines the canonical configurations behind the throughput
+// benchmarks (BenchmarkSimulatorThroughput, BenchmarkTickIdle and
+// BenchmarkTickBusy) so that `go test -bench` and cmd/clipbench — the JSON
+// emitter CI compares against the checked-in baseline — measure exactly the
+// same workloads.
 
 // BenchThroughputConfig is the standard simulation-speed workload: an
 // 8-core berti+CLIP run on one channel, the cost of one experiment point.
@@ -30,5 +31,21 @@ func BenchTickIdleConfig(disableSkip bool) Config {
 	cfg.TransferCycles = 160
 	cfg.Prefetcher = "none"
 	cfg.DisableSkip = disableSkip
+	return cfg
+}
+
+// BenchTickBusyConfig is the busy-phase counterpart of BenchTickIdleConfig:
+// the named prefetcher gated by CLIP on an 8-core, four-channel system. With
+// the bus unsaturated, cores rarely stall on DRAM and the tick loop spends
+// its time in the associative-table hot paths — prefetcher training, the
+// criticality predictor and CLIP's per-IP filter — which is exactly the code
+// the map-free table kernels replace.
+func BenchTickBusyConfig(prefetcher string) Config {
+	cfg := DefaultConfig(8, 4, 8)
+	cfg.InstrPerCore = 6000
+	cfg.WarmupInstr = 0
+	cfg.Prefetcher = prefetcher
+	cc := DefaultCLIPConfig()
+	cfg.CLIP = &cc
 	return cfg
 }

@@ -7,10 +7,16 @@
 //	clipbench -out BENCH_simthroughput.json -stamp "$(date -u +%FT%TZ)"
 //	clipbench -baseline BENCH_simthroughput.json -tolerance 0.25 -minspeedup 1.5
 //
-// It runs the same workloads as BenchmarkSimulatorThroughput and
-// BenchmarkTickIdle (the configurations are shared through the root clip
-// package) via testing.Benchmark, so the JSON numbers are directly
-// comparable to `go test -bench` output on the same host.
+// It runs the same workloads as BenchmarkSimulatorThroughput,
+// BenchmarkTickIdle and BenchmarkTickBusy (the configurations are shared
+// through the root clip package) via testing.Benchmark, so the JSON numbers
+// are directly comparable to `go test -bench` output on the same host.
+//
+// Besides cycles/s it records allocations per op for every benchmark; the
+// baseline comparison fails on allocation growth beyond -maxallocgrowth.
+// Unlike cycles/s, allocs/op is host-independent and near-deterministic, so
+// a tight gate on it catches hot-path allocation regressions that wall-clock
+// noise would mask.
 package main
 
 import (
@@ -28,6 +34,7 @@ type Record struct {
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	Iterations   int     `json:"iterations"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
 }
 
 // Report is the BENCH_simthroughput.json schema. SkipSpeedup is the
@@ -39,6 +46,14 @@ type Report struct {
 	SkipSpeedup float64           `json:"skip_speedup"`
 }
 
+// benchNames lists every measured benchmark in report order.
+var benchNames = []string{
+	"SimulatorThroughput",
+	"TickBusy/berti", "TickBusy/ipcp", "TickBusy/bingo",
+	"TickBusy/spppf", "TickBusy/stride",
+	"TickIdle/skip", "TickIdle/noskip",
+}
+
 func main() { os.Exit(run()) }
 
 func run() int {
@@ -47,6 +62,7 @@ func run() int {
 		baseline  = flag.String("baseline", "", "compare against this baseline JSON instead of only measuring")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional cycles/s regression vs the baseline")
 		minSpeed  = flag.Float64("minspeedup", 0, "fail unless TickIdle skip/noskip speedup is at least this (0 = no check)")
+		maxAlloc  = flag.Float64("maxallocgrowth", 0.10, "allowed fractional allocs/op growth vs the baseline (0 = no check)")
 		stamp     = flag.String("stamp", "", "timestamp to embed in the JSON (explicit input, kept out of comparisons)")
 	)
 	flag.Parse()
@@ -57,6 +73,7 @@ func run() int {
 	measure := func(cfg clip.Config) Record {
 		var cycles uint64
 		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
 			cycles = 0
 			for i := 0; i < b.N; i++ {
 				r, err := clip.Run(cfg)
@@ -71,20 +88,34 @@ func run() int {
 			CyclesPerSec: float64(cycles) / res.T.Seconds(),
 			NsPerOp:      float64(res.NsPerOp()),
 			Iterations:   res.N,
+			AllocsPerOp:  res.AllocsPerOp(),
+		}
+	}
+
+	configFor := func(name string) clip.Config {
+		switch name {
+		case "SimulatorThroughput":
+			return clip.BenchThroughputConfig()
+		case "TickIdle/skip":
+			return clip.BenchTickIdleConfig(false)
+		case "TickIdle/noskip":
+			return clip.BenchTickIdleConfig(true)
+		default: // "TickBusy/<prefetcher>"
+			return clip.BenchTickBusyConfig(name[len("TickBusy/"):])
 		}
 	}
 
 	rep := Report{Stamp: *stamp, Benchmarks: map[string]Record{}}
-	rep.Benchmarks["SimulatorThroughput"] = measure(clip.BenchThroughputConfig())
-	rep.Benchmarks["TickIdle/skip"] = measure(clip.BenchTickIdleConfig(false))
-	rep.Benchmarks["TickIdle/noskip"] = measure(clip.BenchTickIdleConfig(true))
+	for _, name := range benchNames {
+		rep.Benchmarks[name] = measure(configFor(name))
+	}
 	rep.SkipSpeedup = rep.Benchmarks["TickIdle/skip"].CyclesPerSec /
 		rep.Benchmarks["TickIdle/noskip"].CyclesPerSec
 
-	for _, name := range []string{"SimulatorThroughput", "TickIdle/skip", "TickIdle/noskip"} {
+	for _, name := range benchNames {
 		r := rep.Benchmarks[name]
-		fmt.Fprintf(os.Stderr, "%-22s %12.0f cycles/s  (%d iters, %.1fms/op)\n",
-			name, r.CyclesPerSec, r.Iterations, r.NsPerOp/1e6)
+		fmt.Fprintf(os.Stderr, "%-22s %12.0f cycles/s  (%d iters, %.1fms/op, %d allocs/op)\n",
+			name, r.CyclesPerSec, r.Iterations, r.NsPerOp/1e6, r.AllocsPerOp)
 	}
 	fmt.Fprintf(os.Stderr, "%-22s %12.2fx\n", "skip speedup", rep.SkipSpeedup)
 
@@ -115,20 +146,32 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", *baseline, err)
 			return 2
 		}
-		for _, name := range []string{"SimulatorThroughput", "TickIdle/skip", "TickIdle/noskip"} {
+		for _, name := range benchNames {
 			b, ok := base.Benchmarks[name]
-			if !ok || b.CyclesPerSec <= 0 {
+			if !ok {
 				continue
 			}
-			got := rep.Benchmarks[name].CyclesPerSec
-			floor := b.CyclesPerSec * (1 - *tolerance)
-			verdict := "ok"
-			if got < floor {
-				verdict = "REGRESSION"
-				failed = true
+			got := rep.Benchmarks[name]
+			if b.CyclesPerSec > 0 {
+				floor := b.CyclesPerSec * (1 - *tolerance)
+				verdict := "ok"
+				if got.CyclesPerSec < floor {
+					verdict = "REGRESSION"
+					failed = true
+				}
+				fmt.Fprintf(os.Stderr, "%-22s %12.0f vs baseline %12.0f (floor %12.0f) %s\n",
+					name, got.CyclesPerSec, b.CyclesPerSec, floor, verdict)
 			}
-			fmt.Fprintf(os.Stderr, "%-22s %12.0f vs baseline %12.0f (floor %12.0f) %s\n",
-				name, got, b.CyclesPerSec, floor, verdict)
+			if *maxAlloc > 0 && b.AllocsPerOp > 0 {
+				ceiling := float64(b.AllocsPerOp) * (1 + *maxAlloc)
+				verdict := "ok"
+				if float64(got.AllocsPerOp) > ceiling {
+					verdict = "ALLOC REGRESSION"
+					failed = true
+				}
+				fmt.Fprintf(os.Stderr, "%-22s %8d allocs/op vs baseline %8d (ceiling %8.0f) %s\n",
+					name, got.AllocsPerOp, b.AllocsPerOp, ceiling, verdict)
+			}
 		}
 	}
 	if *minSpeed > 0 && rep.SkipSpeedup < *minSpeed {

@@ -1,25 +1,35 @@
 // Command clipstorage prints CLIP's per-core storage accounting — the
 // paper's Table 2 (1.56 KB/core for the published configuration) — for any
-// table scaling.
+// table scaling. With -tables it also prints the associative table kernels
+// (internal/table) behind every prefetcher, prior criticality predictor and
+// DSPatch, each with its modeled SRAM geometry in KB — the numbers DESIGN.md
+// quotes in "Table kernels & storage budgets".
 //
 // Usage:
 //
 //	clipstorage
 //	clipstorage -scale 4 -rob 512
+//	clipstorage -tables
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"clip/internal/core"
+	"clip/internal/criticality"
+	"clip/internal/dspatch"
+	"clip/internal/prefetch"
 	"clip/internal/stats"
+	"clip/internal/table"
 )
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 1, "table size multiplier (0.25..4, Figure 18)")
-		rob   = flag.Int("rob", 512, "ROB entries (sizes the miss-level flag array)")
+		scale  = flag.Float64("scale", 1, "table size multiplier (0.25..4, Figure 18)")
+		rob    = flag.Int("rob", 512, "ROB entries (sizes the miss-level flag array)")
+		tables = flag.Bool("tables", false, "also print the associative table kernels behind prefetchers, prior predictors and DSPatch")
 	)
 	flag.Parse()
 
@@ -35,4 +45,50 @@ func main() {
 	tb.AddRow("TOTAL", "", total)
 	fmt.Print(tb.String())
 	fmt.Printf("\n= %.2f KB per core (paper: 1.56 KB at 1x)\n", total/1024)
+
+	if *tables {
+		printTableKernels(cfg, *rob)
+	}
+}
+
+// printTableKernels instantiates each engine and prints the geometry of every
+// internal/table kernel it owns. Unbounded structures (the prior predictors'
+// per-IP maps, CLIP's ipSeen statistics) print their live population — zero
+// at construction — under the "unbounded" policy: they have no SRAM capacity
+// to budget, which is the paper's storage criticism of the prior predictors.
+func printTableKernels(cfg core.Config, rob int) {
+	tb := stats.Table{
+		Title:   "Associative table kernels (per core, modeled SRAM bits)",
+		Headers: []string{"table", "entries", "bits/entry", "policy", "KB"},
+	}
+	var totalKB float64
+	add := func(gs []table.Geometry) {
+		for _, g := range gs {
+			tb.AddRow(g.Name, g.Entries, g.EntryBits, g.Policy,
+				fmt.Sprintf("%.3f", g.KB()))
+			totalKB += g.KB()
+		}
+	}
+	for _, name := range []string{"berti", "ipcp", "bingo", "spppf", "stride"} {
+		p, err := prefetch.New(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if tr, ok := p.(prefetch.TableReporter); ok {
+			add(tr.TableGeometries())
+		}
+	}
+	add(dspatch.New(prefetch.None{}, func() float64 { return 0 }).TableGeometries())
+	for _, name := range criticality.Names() {
+		p, err := criticality.New(name, rob)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		add(criticality.TableGeometries(p))
+	}
+	add(core.MustNew(cfg).TableGeometries())
+	fmt.Print("\n" + tb.String())
+	fmt.Printf("\n= %.2f KB with every engine instantiated at once (a run uses one prefetcher and one predictor)\n", totalKB)
 }

@@ -27,6 +27,10 @@
 //     (fires even under //clipvet:orderfree — float addition is not
 //     associative; sort the keys instead), unless annotated
 //     //clipvet:floatorder.
+//   - hotmap: any map type in a hot package (internal/prefetch,
+//     internal/criticality, internal/core, internal/dspatch) — per-access
+//     state there must use the internal/table kernels — unless annotated
+//     //clipvet:hotmap.
 //
 // # Annotations
 //
@@ -156,20 +160,27 @@ var deterministicPkgs = map[string]bool{
 // IsDeterministic reports whether pkgPath is subject to the determinism
 // contract. Test-variant suffixes ("pkg [pkg.test]") are ignored.
 func IsDeterministic(pkgPath string) bool {
+	return deterministicPkgs[internalSegment(pkgPath)]
+}
+
+// internalSegment returns the first path element under clip/internal/, or ""
+// for any other package. Test-variant suffixes ("pkg [pkg.test]") are
+// ignored.
+func internalSegment(pkgPath string) string {
 	if i := strings.Index(pkgPath, " ["); i >= 0 {
 		pkgPath = pkgPath[:i]
 	}
 	rest, ok := strings.CutPrefix(pkgPath, "clip/internal/")
 	if !ok {
-		return false
+		return ""
 	}
 	seg, _, _ := strings.Cut(rest, "/")
-	return deterministicPkgs[seg]
+	return seg
 }
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, WallClock, TrainAlias, FloatSum}
+	return []*Analyzer{MapOrder, WallClock, TrainAlias, FloatSum, HotMap}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

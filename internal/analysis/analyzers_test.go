@@ -24,6 +24,7 @@ func TestMapOrder(t *testing.T)   { testAnalyzer(t, MapOrder, "clip/internal/sim
 func TestWallClock(t *testing.T)  { testAnalyzer(t, WallClock, "clip/internal/cpu") }
 func TestFloatSum(t *testing.T)   { testAnalyzer(t, FloatSum, "clip/internal/stats") }
 func TestTrainAlias(t *testing.T) { testAnalyzer(t, TrainAlias, "clip/internal/core") }
+func TestHotMap(t *testing.T)     { testAnalyzer(t, HotMap, "clip/internal/dspatch") }
 
 // Outside the deterministic package set the whole suite must stay silent,
 // even over code that would trip every analyzer inside it.

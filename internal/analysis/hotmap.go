@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotMap flags `map[...]` type syntax in hot packages. The per-access hot
+// path (prefetcher training, criticality prediction, CLIP's filter, DSPatch)
+// was migrated from Go maps to the fixed-capacity internal/table kernels —
+// allocation-free, order-deterministic and with explicit eviction — so any
+// map reintroduced there is a performance and determinism regression waiting
+// to happen. Cold-path maps (built once at construction, never touched per
+// access) carry a //clipvet:hotmap annotation with a one-line justification.
+var HotMap = &Analyzer{
+	Name: "hotmap",
+	Doc: "flags map types in hot packages; use internal/table kernels, or " +
+		"annotate //clipvet:hotmap for cold-path maps",
+	Run: runHotMap,
+}
+
+// hotPkgs are the packages whose per-access state must live in internal/table
+// kernels rather than Go maps (the allowlist the hotmap analyzer enforces).
+var hotPkgs = map[string]bool{
+	"prefetch": true, "criticality": true, "core": true, "dspatch": true,
+}
+
+// IsHot reports whether pkgPath is subject to the map-free hot-path rule.
+func IsHot(pkgPath string) bool { return hotPkgs[internalSegment(pkgPath)] }
+
+func runHotMap(pass *Pass) error {
+	if !IsHot(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			mt, ok := n.(*ast.MapType)
+			if !ok {
+				return true
+			}
+			if pass.HasDirective(mt.Pos(), "hotmap") {
+				return false // the annotation covers nested map types too
+			}
+			pass.Reportf(mt.Pos(),
+				"map type %s in hot package %s: per-access state must use the "+
+					"fixed-capacity internal/table kernels (table.Fixed / table.Map); "+
+					"annotate //clipvet:hotmap with a justification if the map is "+
+					"cold-path only", types.ExprString(mt), pass.Pkg.Name())
+			return false
+		})
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+// Package dspatch exercises the hotmap analyzer: any map type in a hot
+// package is flagged — struct fields, locals, signatures, nested maps —
+// unless //clipvet:hotmap marks it as cold-path with a justification.
+package dspatch
+
+type state struct {
+	regions map[uint64]int // want "map type map\\[uint64\\]int in hot package"
+}
+
+var lookup map[string]bool // want "map type map\\[string\\]bool in hot package"
+
+func build(seed map[uint64]uint64) { // want "map type map\\[uint64\\]uint64 in hot package"
+	local := map[uint64][]int{} // want "map type map\\[uint64\\]\\[\\]int in hot package"
+	_ = local
+
+	nested := map[uint64]map[int]bool{} // want "map type map\\[uint64\\]map\\[int\\]bool in hot package"
+	_ = nested
+
+	//clipvet:hotmap cold path: built once at construction, never per access
+	lut := map[uint64]int{}
+	_ = lut
+
+	var fine []uint64 // slices are fine
+	_ = fine
+	_ = seed
+}

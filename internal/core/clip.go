@@ -27,6 +27,7 @@ import (
 	"clip/internal/mem"
 	"clip/internal/prefetch"
 	"clip/internal/stats"
+	"clip/internal/table"
 )
 
 // Config parameterises CLIP. The zero value is not valid; use DefaultConfig,
@@ -240,7 +241,8 @@ type CLIP struct {
 
 	// Per-IP observation (statistics only, not modelled hardware): instances
 	// vs critical instances, for the static/dynamic split of Figure 15.
-	ipSeen map[uint64]*ipObs
+	// Insert-only, capped at ipSeenMax; a full table refuses new IPs.
+	ipSeen *table.Map[ipObs]
 
 	stats Stats
 }
@@ -250,6 +252,8 @@ type ipObs struct {
 	critical  uint64
 	selected  bool // ever marked critical-and-accurate
 }
+
+const ipSeenMax = 1 << 16
 
 // New constructs a CLIP instance.
 func New(cfg Config) (*CLIP, error) {
@@ -261,7 +265,7 @@ func New(cfg Config) (*CLIP, error) {
 		filter:  make([]filterEntry, cfg.FilterSets*cfg.FilterWays),
 		pred:    make([]predEntry, cfg.PredictorSets*cfg.PredictorWays),
 		utility: make([]utilEntry, cfg.UtilityEntries),
-		ipSeen:  map[uint64]*ipObs{},
+		ipSeen:  table.NewMap[ipObs](0),
 	}
 	c.counterMax = uint8(1<<cfg.CounterBits - 1)
 	c.counterInit = uint8(1 << (cfg.CounterBits - 1)) // k-bit counter init k/2
@@ -468,12 +472,9 @@ func (c *CLIP) OnLoadComplete(ev cpu.LoadEvent) {
 		c.stats.PredScore.TrueNeg++
 	}
 
-	obs := c.ipSeen[key]
-	if obs == nil {
-		if len(c.ipSeen) < 1<<16 {
-			obs = &ipObs{}
-			c.ipSeen[key] = obs
-		}
+	obs := c.ipSeen.Get(key)
+	if obs == nil && c.ipSeen.Len() < ipSeenMax {
+		obs = c.ipSeen.At(key)
 	}
 	if obs != nil {
 		obs.instances++
@@ -669,7 +670,7 @@ func (c *CLIP) Allow(cand prefetch.Candidate) (bool, bool) {
 	c.utility[c.utilPos] = utilEntry{valid: true, line: cand.Addr.LineID(), trigger: key}
 	c.utilPos = (c.utilPos + 1) % len(c.utility)
 	c.stats.Allowed++
-	if obs := c.ipSeen[key]; obs != nil {
+	if obs := c.ipSeen.Get(key); obs != nil {
 		obs.selected = true
 	}
 	return true, !explore
@@ -679,6 +680,15 @@ func (c *CLIP) Allow(cand prefetch.Candidate) (bool, bool) {
 // the mirrored history registers.
 func (c *CLIP) sigForCandidate(cand prefetch.Candidate) uint64 {
 	return c.signature(cand.TriggerIP, cand.Addr, c.curBranchHist, c.curCritHist)
+}
+
+// TableGeometries reports the ipSeen observation map for the storage budget
+// (cmd/clipstorage -tables). It is statistics bookkeeping, not modelled
+// hardware — CLIP's SRAM structures (filter, predictor, utility buffer) are
+// costed by StorageBudget — so the geometry reports live population under a
+// 58-bit IP tag plus two counters and a flag.
+func (c *CLIP) TableGeometries() []table.Geometry {
+	return []table.Geometry{c.ipSeen.Geometry("clip.ipSeen", 58+32+32+1)}
 }
 
 // SetHistories lets the owner mirror the core's global branch and
@@ -691,10 +701,9 @@ func (c *CLIP) SetHistories(branch, crit uint32) {
 // accurate, split into static-critical and dynamic-critical (Figure 15): an
 // IP is dynamic when only part of its instances were critical.
 func (c *CLIP) CriticalIPCounts() (static, dynamic int) {
-	//clipvet:orderfree independent per-IP integer counts; no cross-iteration state
-	for _, obs := range c.ipSeen {
+	c.ipSeen.Range(func(_ uint64, obs *ipObs) bool {
 		if !obs.selected || obs.instances == 0 {
-			continue
+			return true
 		}
 		rate := float64(obs.critical) / float64(obs.instances)
 		if rate >= 0.9 {
@@ -702,6 +711,7 @@ func (c *CLIP) CriticalIPCounts() (static, dynamic int) {
 		} else {
 			dynamic++
 		}
-	}
+		return true
+	})
 	return
 }

@@ -16,6 +16,7 @@ import (
 	"clip/internal/cpu"
 	"clip/internal/mem"
 	"clip/internal/stats"
+	"clip/internal/table"
 )
 
 // Predictor is the common interface for load criticality predictors.
@@ -102,11 +103,15 @@ func (s *Score) Events() uint64 {
 // they never stall — and once confident, an IP stays critical (Table 1:
 // "blind to MLP", over-predicts).
 type catchPred struct {
-	conf        map[uint64]int
-	recentLoads []uint64 // IPs of recently retired loads (the DDG window)
+	conf        *table.Fixed[int] // bounded: a full table refuses new IPs
+	recentLoads []uint64          // IPs of recently retired loads (the DDG window)
 }
 
-func newCATCH() *catchPred { return &catchPred{conf: map[uint64]int{}} }
+const catchTableSize = 4096
+
+func newCATCH() *catchPred {
+	return &catchPred{conf: table.NewFixed[int](catchTableSize, table.FIFO)}
+}
 
 func (c *catchPred) Name() string { return "catch" }
 
@@ -139,12 +144,17 @@ func (c *catchPred) OnRetire(ev cpu.RetireEvent) {
 }
 
 func (c *catchPred) bump(ip uint64, n int) {
-	if len(c.conf) < 4096 || c.conf[ip] != 0 {
-		c.conf[ip] += n
+	if p := c.conf.Get(ip); p != nil {
+		*p += n
+	} else if c.conf.Len() < c.conf.Cap() {
+		c.conf.Insert(ip, n)
 	}
 }
 
-func (c *catchPred) Critical(ip uint64, _ mem.Addr) bool { return c.conf[ip] >= 2 }
+func (c *catchPred) Critical(ip uint64, _ mem.Addr) bool {
+	p := c.conf.Peek(ip)
+	return p != nil && *p >= 2
+}
 
 // ---- FP / Focused Prefetching (Manikantan & Govindarajan, ICS'08) ----
 
@@ -153,12 +163,12 @@ func (c *catchPred) Critical(ip uint64, _ mem.Addr) bool { return c.conf[ip] >= 
 // hitters. It never predicts IPs that stall only lightly, and effectively
 // marks most L3-missing IPs critical (Table 1).
 type fpPred struct {
-	stall  map[uint64]uint64
+	stall  *table.Map[uint64] // unbounded by design: every retired load IP
 	total  uint64
 	events uint64
 }
 
-func newFP() *fpPred { return &fpPred{stall: map[uint64]uint64{}} }
+func newFP() *fpPred { return &fpPred{stall: table.NewMap[uint64](0)} }
 
 func (f *fpPred) Name() string { return "fp" }
 
@@ -168,14 +178,14 @@ func (f *fpPred) OnRetire(ev cpu.RetireEvent) {
 	if !ev.IsLoad {
 		return
 	}
-	f.stall[ev.IP] += ev.StallCycles
+	*f.stall.At(ev.IP) += ev.StallCycles
 	f.total += ev.StallCycles
 	f.events++
-	if f.events%65536 == 0 { // epoch decay
-		//clipvet:orderfree independent per-key halving; no cross-iteration state
-		for ip := range f.stall {
-			f.stall[ip] /= 2
-		}
+	if f.events%65536 == 0 { // epoch decay: independent per-key halving
+		f.stall.Range(func(_ uint64, s *uint64) bool {
+			*s /= 2
+			return true
+		})
 		f.total /= 2
 	}
 }
@@ -184,8 +194,12 @@ func (f *fpPred) Critical(ip uint64, _ mem.Addr) bool {
 	if f.total == 0 {
 		return false
 	}
+	p := f.stall.Get(ip)
+	if p == nil {
+		return false
+	}
 	// An IP owning >=1% of total commit stalls is a LIMCOS member.
-	return f.stall[ip]*100 >= f.total
+	return *p*100 >= f.total
 }
 
 // ---- FVP (Bandishte et al., ISCA'20) ----
@@ -195,27 +209,30 @@ func (f *fpPred) Critical(ip uint64, _ mem.Addr) bool {
 // that are likely to delay the execution of other loads" — tagging
 // excessively (Table 1).
 type fvpPred struct {
-	conf map[uint64]int
+	conf *table.Map[int] // unbounded by design
 }
 
-func newFVP() *fvpPred { return &fvpPred{conf: map[uint64]int{}} }
+func newFVP() *fvpPred { return &fvpPred{conf: table.NewMap[int](0)} }
 
 func (f *fvpPred) Name() string { return "fvp" }
 
 func (f *fvpPred) OnLoadComplete(ev cpu.LoadEvent) {
 	// In-flight at the retire window: almost every load that ever waited.
 	if ev.StalledHead || ev.AtHead || ev.Latency > 8 {
-		f.conf[ev.IP]++
+		*f.conf.At(ev.IP)++
 	}
 }
 
 func (f *fvpPred) OnRetire(ev cpu.RetireEvent) {
 	if ev.IsLoad && ev.DependChain {
-		f.conf[ev.IP]++ // producer of a value chain
+		*f.conf.At(ev.IP)++ // producer of a value chain
 	}
 }
 
-func (f *fvpPred) Critical(ip uint64, _ mem.Addr) bool { return f.conf[ip] >= 1 }
+func (f *fvpPred) Critical(ip uint64, _ mem.Addr) bool {
+	p := f.conf.Get(ip)
+	return p != nil && *p >= 1
+}
 
 // ---- CBP (Ghose, Lee & Martínez, ISCA'13) ----
 
@@ -223,30 +240,36 @@ func (f *fvpPred) Critical(ip uint64, _ mem.Addr) bool { return f.conf[ip] >= 1 
 // Like ROBO it is static: once flagged, an IP stays critical through all its
 // recurrences (Table 1).
 type cbpPred struct {
-	flagged map[uint64]bool
-	maxSeen map[uint64]uint64
+	t *table.Map[cbpEntry] // unbounded by design; one entry per IP
 }
 
-func newCBP() *cbpPred {
-	return &cbpPred{flagged: map[uint64]bool{}, maxSeen: map[uint64]uint64{}}
+type cbpEntry struct {
+	maxSeen uint64
+	flagged bool
 }
+
+func newCBP() *cbpPred { return &cbpPred{t: table.NewMap[cbpEntry](0)} }
 
 func (c *cbpPred) Name() string { return "cbp" }
 
 func (c *cbpPred) OnLoadComplete(ev cpu.LoadEvent) {
-	if ev.HeadStallCycles > c.maxSeen[ev.IP] {
-		c.maxSeen[ev.IP] = ev.HeadStallCycles
+	e := c.t.At(ev.IP)
+	if ev.HeadStallCycles > e.maxSeen {
+		e.maxSeen = ev.HeadStallCycles
 	}
 	// Total-or-max stall threshold; modest on purpose (the original targets
 	// memory scheduling, not filtering).
-	if ev.HeadStallCycles >= 4 || c.maxSeen[ev.IP] >= 16 {
-		c.flagged[ev.IP] = true
+	if ev.HeadStallCycles >= 4 || e.maxSeen >= 16 {
+		e.flagged = true
 	}
 }
 
 func (c *cbpPred) OnRetire(cpu.RetireEvent) {}
 
-func (c *cbpPred) Critical(ip uint64, _ mem.Addr) bool { return c.flagged[ip] }
+func (c *cbpPred) Critical(ip uint64, _ mem.Addr) bool {
+	e := c.t.Get(ip)
+	return e != nil && e.flagged
+}
 
 // ---- ROBO (Kalani & Panda, CAL'21) ----
 
@@ -255,32 +278,39 @@ func (c *cbpPred) Critical(ip uint64, _ mem.Addr) bool { return c.flagged[ip] }
 // execution, the IP is considered critical" (Table 1).
 type roboPred struct {
 	robSize int
-	flagged map[uint64]bool
-	stalls  map[uint64]int
+	t       *table.Map[roboEntry] // unbounded by design; one entry per IP
+}
+
+type roboEntry struct {
+	stalls  int
+	flagged bool
 }
 
 func newROBO(robSize int) *roboPred {
 	if robSize <= 0 {
 		robSize = 512
 	}
-	return &roboPred{robSize: robSize, flagged: map[uint64]bool{},
-		stalls: map[uint64]int{}}
+	return &roboPred{robSize: robSize, t: table.NewMap[roboEntry](0)}
 }
 
 func (r *roboPred) Name() string { return "robo" }
 
 func (r *roboPred) OnLoadComplete(ev cpu.LoadEvent) {
 	if ev.StalledHead && ev.ROBOccupancy*4 >= r.robSize*3 {
-		r.stalls[ev.IP]++
-		if r.stalls[ev.IP] >= 2 {
-			r.flagged[ev.IP] = true
+		e := r.t.At(ev.IP)
+		e.stalls++
+		if e.stalls >= 2 {
+			e.flagged = true
 		}
 	}
 }
 
 func (r *roboPred) OnRetire(cpu.RetireEvent) {}
 
-func (r *roboPred) Critical(ip uint64, _ mem.Addr) bool { return r.flagged[ip] }
+func (r *roboPred) Critical(ip uint64, _ mem.Addr) bool {
+	e := r.t.Get(ip)
+	return e != nil && e.flagged
+}
 
 // ---- CRISP (Litz, Ayers & Ranganathan, ASPLOS'22) ----
 
@@ -289,35 +319,37 @@ func (r *roboPred) Critical(ip uint64, _ mem.Addr) bool { return r.flagged[ip] }
 // exactly the gap the paper calls out (60% of ROB stalls come from L2/LLC
 // hits under constrained bandwidth).
 type crispPred struct {
-	llcMiss map[uint64]uint32
-	samples map[uint64]uint32
-	mlpSum  map[uint64]uint64
+	t *table.Map[crispEntry] // unbounded by design; one entry per IP
 }
 
-func newCRISP() *crispPred {
-	return &crispPred{llcMiss: map[uint64]uint32{}, samples: map[uint64]uint32{},
-		mlpSum: map[uint64]uint64{}}
+type crispEntry struct {
+	llcMiss uint32
+	samples uint32
+	mlpSum  uint64
 }
+
+func newCRISP() *crispPred { return &crispPred{t: table.NewMap[crispEntry](0)} }
 
 func (c *crispPred) Name() string { return "crisp" }
 
 func (c *crispPred) OnLoadComplete(ev cpu.LoadEvent) {
-	c.samples[ev.IP]++
-	c.mlpSum[ev.IP] += uint64(ev.MLPAtComplete)
+	e := c.t.At(ev.IP)
+	e.samples++
+	e.mlpSum += uint64(ev.MLPAtComplete)
 	if ev.ServedBy == mem.LevelDRAM {
-		c.llcMiss[ev.IP]++
+		e.llcMiss++
 	}
 }
 
 func (c *crispPred) OnRetire(cpu.RetireEvent) {}
 
 func (c *crispPred) Critical(ip uint64, _ mem.Addr) bool {
-	n := c.samples[ip]
-	if n < 8 {
+	e := c.t.Get(ip)
+	if e == nil || e.samples < 8 {
 		return false
 	}
-	missRate := float64(c.llcMiss[ip]) / float64(n)
-	avgMLP := float64(c.mlpSum[ip]) / float64(n)
+	missRate := float64(e.llcMiss) / float64(e.samples)
+	avgMLP := float64(e.mlpSum) / float64(e.samples)
 	// Pre-defined thresholds, as the paper notes CRISP uses.
 	return missRate >= 0.10 && avgMLP <= 4
 }

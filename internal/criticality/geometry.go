@@ -1,0 +1,34 @@
+package criticality
+
+import "clip/internal/table"
+
+// TableGeometries reports the associative tables behind a predictor for the
+// storage budget (cmd/clipstorage -tables). CATCH's confidence table is the
+// only bounded SRAM among the prior predictors; the other five structures
+// are unbounded by design — one entry per distinct IP, which is exactly the
+// storage criticism the paper levels at them — so their geometry reports
+// live population ("unbounded") instead of a capacity. Bits per entry model
+// SRAM content (58-bit IP tag plus payload), not Go struct layout.
+func TableGeometries(p Predictor) []table.Geometry {
+	switch c := p.(type) {
+	case *catchPred:
+		// IP tag + 8-bit saturating confidence.
+		return []table.Geometry{c.conf.Geometry("catch.conf", 58+8)}
+	case *fpPred:
+		// IP tag + 32-bit stall-cycle accumulator.
+		return []table.Geometry{c.stall.Geometry("fp.stall", 58+32)}
+	case *fvpPred:
+		// IP tag + 8-bit confidence.
+		return []table.Geometry{c.conf.Geometry("fvp.conf", 58+8)}
+	case *cbpPred:
+		// IP tag + 32-bit max chain depth + flag.
+		return []table.Geometry{c.t.Geometry("cbp.table", 58+32+1)}
+	case *roboPred:
+		// IP tag + 16-bit stall count + flag.
+		return []table.Geometry{c.t.Geometry("robo.table", 58+16+1)}
+	case *crispPred:
+		// IP tag + two 32-bit counters + 32-bit MLP accumulator.
+		return []table.Geometry{c.t.Geometry("crisp.table", 58+32+32+32)}
+	}
+	return nil
+}

@@ -99,9 +99,21 @@ func (s *Stats) RowHitRate() float64 {
 	return stats.Ratio(s.RowHits, s.RowHits+s.RowMisses+s.RowConflicts)
 }
 
+// rdEntry caches the request's (bank, row) routing at Issue time: the
+// schedulers re-rank the whole queue every controller cycle, and routing is
+// three divisions per entry that never change after enqueue.
 type rdEntry struct {
 	req     mem.Request
 	arrived uint64
+	row     int64
+	bk      int32
+}
+
+// wrEntry is the write-queue counterpart of rdEntry.
+type wrEntry struct {
+	req mem.Request
+	row int64
+	bk  int32
 }
 
 type bank struct {
@@ -111,7 +123,7 @@ type bank struct {
 
 type channel struct {
 	rq          []rdEntry
-	wq          []mem.Request
+	wq          []wrEntry
 	banks       []bank
 	busFreeAt   uint64
 	nextRefresh uint64
@@ -195,14 +207,14 @@ func (d *DRAM) route(addr mem.Addr) (ch, bk int, row int64) {
 // full — except prefetches, which are dropped (the controller never blocks
 // the chip on a prefetch).
 func (d *DRAM) Issue(req mem.Request) bool {
-	ch, _, _ := d.route(req.Addr)
+	ch, bk, row := d.route(req.Addr)
 	c := &d.chans[ch]
 	if req.Type == mem.Writeback {
 		if len(c.wq) >= d.cfg.WQ {
 			d.stats.WQFullEvents++
 			return false
 		}
-		c.wq = append(c.wq, req)
+		c.wq = append(c.wq, wrEntry{req: req, bk: int32(bk), row: row})
 		return true
 	}
 	if len(c.rq) >= d.cfg.RQ {
@@ -212,7 +224,7 @@ func (d *DRAM) Issue(req mem.Request) bool {
 		}
 		return false
 	}
-	c.rq = append(c.rq, rdEntry{req: req, arrived: d.cycle})
+	c.rq = append(c.rq, rdEntry{req: req, arrived: d.cycle, bk: int32(bk), row: row})
 	return true
 }
 
@@ -352,16 +364,14 @@ func (d *DRAM) NextEvent(now uint64) uint64 {
 func (d *DRAM) earliestBankFree(c *channel, now uint64) uint64 {
 	next := mem.NoEvent
 	for i := range c.rq {
-		_, bk, _ := d.route(c.rq[i].req.Addr)
-		if b := c.banks[bk].busyUntil; b <= now {
+		if b := c.banks[c.rq[i].bk].busyUntil; b <= now {
 			return now
 		} else if b < next {
 			next = b
 		}
 	}
 	for i := range c.wq {
-		_, bk, _ := d.route(c.wq[i].Addr)
-		if b := c.banks[bk].busyUntil; b <= now {
+		if b := c.banks[c.wq[i].bk].busyUntil; b <= now {
 			return now
 		} else if b < next {
 			next = b
@@ -432,7 +442,7 @@ func (d *DRAM) AdvanceTo(from, n uint64) {
 const agePromote = 600
 
 // classRank orders scheduling classes: lower is better.
-func (d *DRAM) classRank(e rdEntry, rowHit bool) int {
+func (d *DRAM) classRank(e *rdEntry, rowHit bool) int {
 	demand := e.req.Type != mem.Prefetch ||
 		(d.cfg.CriticalPriority && e.req.Critical) ||
 		d.cycle-e.arrived >= agePromote
@@ -459,12 +469,11 @@ func (d *DRAM) scheduleRead(c *channel) bool {
 	bestRank := 1 << 30
 	for i := range c.rq {
 		e := &c.rq[i]
-		_, bk, row := d.route(e.req.Addr)
-		b := &c.banks[bk]
+		b := &c.banks[e.bk]
 		if b.busyUntil > d.cycle {
 			continue
 		}
-		rank := d.classRank(*e, b.openRow == row)
+		rank := d.classRank(e, b.openRow == e.row)
 		if rank < bestRank { // FCFS within rank: first match wins ties
 			bestRank = rank
 			best = i
@@ -476,7 +485,7 @@ func (d *DRAM) scheduleRead(c *channel) bool {
 	e := c.rq[best]
 	c.rq = append(c.rq[:best], c.rq[best+1:]...)
 
-	_, bk, row := d.route(e.req.Addr)
+	bk, row := e.bk, e.row
 	b := &c.banks[bk]
 	if invariant.Enabled {
 		// tRP/tRCD ordering: a bank may only be (re-)activated once its
@@ -535,8 +544,7 @@ func (d *DRAM) scheduleRead(c *channel) bool {
 
 func (d *DRAM) scheduleWrite(c *channel) bool {
 	for i := range c.wq {
-		req := c.wq[i]
-		_, bk, row := d.route(req.Addr)
+		bk, row := c.wq[i].bk, c.wq[i].row
 		b := &c.banks[bk]
 		if b.busyUntil > d.cycle {
 			continue

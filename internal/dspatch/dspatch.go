@@ -19,6 +19,7 @@ package dspatch
 import (
 	"clip/internal/mem"
 	"clip/internal/prefetch"
+	"clip/internal/table"
 )
 
 // BandwidthSource samples the DRAM controller utilization DSPatch keys on.
@@ -29,10 +30,8 @@ type DSPatch struct {
 	base prefetch.Prefetcher
 	bw   BandwidthSource
 
-	regions map[uint64]*regionAcc
-	order   []uint64
-	table   map[uint64]*patterns
-	tableQ  []uint64
+	regions *table.Fixed[regionAcc] // active recordings, FIFO replacement
+	table   *table.Fixed[patterns]  // per-signature dual patterns, FIFO
 
 	stats Stats
 }
@@ -68,8 +67,8 @@ func New(base prefetch.Prefetcher, bw BandwidthSource) *DSPatch {
 	return &DSPatch{
 		base:    base,
 		bw:      bw,
-		regions: map[uint64]*regionAcc{},
-		table:   map[uint64]*patterns{},
+		regions: table.NewFixed[regionAcc](activeRegions, table.FIFO),
+		table:   table.NewFixed[patterns](tableMax, table.FIFO),
 	}
 }
 
@@ -78,6 +77,17 @@ func (d *DSPatch) Name() string { return d.base.Name() + "+dspatch" }
 
 // Stats returns live counters.
 func (d *DSPatch) Stats() *Stats { return &d.stats }
+
+// TableGeometries reports the kernel shapes for the storage budget
+// (cmd/clipstorage -tables). Bits per entry model SRAM content: a 32-bit
+// program+region signature with a 32-line bitmap per active recording, and
+// dual 32-line patterns plus a footprint count per pattern-table entry.
+func (d *DSPatch) TableGeometries() []table.Geometry {
+	return []table.Geometry{
+		d.regions.Geometry("dspatch.regions", 32+32),
+		d.table.Geometry("dspatch.table", 32+32+6),
+	}
+}
 
 // Base returns the wrapped prefetcher.
 func (d *DSPatch) Base() prefetch.Prefetcher { return d.base }
@@ -96,25 +106,23 @@ func (d *DSPatch) Train(a prefetch.Access) []prefetch.Candidate {
 	off := int(a.Addr.LineID() % regionLines)
 	regionBase := mem.Addr((a.Addr.LineID() - uint64(off)) << mem.LineShift)
 
-	r := d.regions[rid]
+	r := d.regions.Get(rid)
 	trigger := false
 	if r == nil {
 		trigger = true
-		if len(d.regions) >= activeRegions {
-			old := d.order[0]
-			d.order = d.order[1:]
+		var old regionAcc
+		var evicted bool
+		r, _, old, evicted = d.regions.Insert(rid, regionAcc{sig: sigOf(a.IP, a.Addr)})
+		if evicted {
 			d.commit(old)
 		}
-		r = &regionAcc{sig: sigOf(a.IP, a.Addr)}
-		d.regions[rid] = r
-		d.order = append(d.order, rid)
 	}
 	r.bitmap |= 1 << off
 
 	if !trigger {
 		return out
 	}
-	p := d.table[sigOf(a.IP, a.Addr)]
+	p := d.table.Get(sigOf(a.IP, a.Addr))
 	if p == nil || p.seen == 0 {
 		return out
 	}
@@ -142,25 +150,13 @@ func (d *DSPatch) Train(a prefetch.Access) []prefetch.Candidate {
 	return out
 }
 
-func (d *DSPatch) commit(rid uint64) {
-	r, ok := d.regions[rid]
-	if !ok {
-		return
-	}
-	delete(d.regions, rid)
+func (d *DSPatch) commit(r regionAcc) {
 	if r.bitmap == 0 {
 		return
 	}
-	p := d.table[r.sig]
+	p := d.table.Get(r.sig)
 	if p == nil {
-		if len(d.table) >= tableMax {
-			old := d.tableQ[0]
-			d.tableQ = d.tableQ[1:]
-			delete(d.table, old)
-		}
-		p = &patterns{accp: ^uint64(0)}
-		d.table[r.sig] = p
-		d.tableQ = append(d.tableQ, r.sig)
+		p, _, _, _ = d.table.Insert(r.sig, patterns{accp: ^uint64(0)})
 	}
 	p.covp |= r.bitmap
 	p.accp &= r.bitmap

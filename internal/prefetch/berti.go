@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"clip/internal/mem"
+	"clip/internal/table"
 )
 
 // Berti is the state-of-the-art local-delta L1D prefetcher (Navarro-Torres
@@ -15,14 +16,12 @@ import (
 // evaluated prefetchers (>82.9% average in the paper).
 type Berti struct {
 	aggr
-	table map[uint64]*bertiEntry
+	table *table.Fixed[bertiEntry] // per-IP history, FIFO replacement
 
 	// latencyEst estimates the fetch latency that defines timeliness; it is
 	// updated from observed miss-to-hit spacing (a fixed seed value works
 	// until measurements accumulate).
 	latencyEst uint64
-
-	evictRR mem.Ring[uint64] // round-robin eviction order
 
 	// Per-call scratch buffers: Train runs on every demand access, so its
 	// ranking and output slices are reused across calls (the Prefetcher
@@ -40,7 +39,8 @@ type bertiEntry struct {
 	hist     [bertiHistLen]bertiAccess
 	histLen  int
 	histPos  int
-	deltas   map[int64]*bertiDelta
+	deltas   [bertiDeltaCap]bertiDelta // live in [:nDeltas]; full table refuses new deltas
+	nDeltas  int
 	accesses uint64
 }
 
@@ -50,12 +50,14 @@ type bertiAccess struct {
 }
 
 type bertiDelta struct {
+	delta      int64
 	timelyHits uint64
 }
 
 const (
 	bertiHistLen    = 16
 	bertiTableSize  = 64
+	bertiDeltaCap   = 16
 	bertiHiCoverage = 0.60 // fill-to-L1 watermark
 	bertiLoCoverage = 0.30 // fill-to-L2 watermark
 	bertiBaseDegree = 3
@@ -64,7 +66,10 @@ const (
 
 // NewBerti constructs Berti with the tuned watermarks.
 func NewBerti() *Berti {
-	return &Berti{table: map[uint64]*bertiEntry{}, latencyEst: 120}
+	return &Berti{
+		table:      table.NewFixed[bertiEntry](bertiTableSize, table.FIFO),
+		latencyEst: 120,
+	}
 }
 
 // Name implements Prefetcher.
@@ -72,14 +77,9 @@ func (b *Berti) Name() string { return "berti" }
 
 // Train implements Prefetcher.
 func (b *Berti) Train(a Access) []Candidate {
-	e := b.table[a.IP]
+	e := b.table.Get(a.IP)
 	if e == nil {
-		if len(b.table) >= bertiTableSize {
-			b.evictOne()
-		}
-		e = &bertiEntry{deltas: map[int64]*bertiDelta{}}
-		b.table[a.IP] = e
-		b.evictRR.Push(a.IP)
+		e, _, _, _ = b.table.Insert(a.IP, bertiEntry{})
 	}
 	line := a.Addr.LineID()
 	e.accesses++
@@ -95,15 +95,22 @@ func (b *Berti) Train(a Access) []Candidate {
 		if d == 0 || d > 512 || d < -512 {
 			continue
 		}
-		bd := e.deltas[d]
-		if bd == nil {
-			if len(e.deltas) >= 16 {
+		di := -1
+		for j := 0; j < e.nDeltas; j++ {
+			if e.deltas[j].delta == d {
+				di = j
+				break
+			}
+		}
+		if di < 0 {
+			if e.nDeltas >= bertiDeltaCap {
 				continue
 			}
-			bd = &bertiDelta{}
-			e.deltas[d] = bd
+			di = e.nDeltas
+			e.deltas[di] = bertiDelta{delta: d}
+			e.nDeltas++
 		}
-		bd.timelyHits++
+		e.deltas[di].timelyHits++
 	}
 
 	// Record this access.
@@ -118,13 +125,12 @@ func (b *Berti) Train(a Access) []Candidate {
 	}
 
 	// Rank deltas by coverage. The comparator is a total order (coverage
-	// desc, delta asc), so the ranking is deterministic despite the map feed.
+	// desc, delta asc), so the ranking is independent of table order.
 	top := b.scratchTop[:0]
-	//clipvet:orderfree collect-only; the total-order sort below fixes the ranking
-	for d, bd := range e.deltas {
-		cov := float64(bd.timelyHits) / float64(e.accesses)
+	for j := 0; j < e.nDeltas; j++ {
+		cov := float64(e.deltas[j].timelyHits) / float64(e.accesses)
 		if cov >= bertiLoCoverage {
-			top = append(top, bertiScored{d, cov})
+			top = append(top, bertiScored{e.deltas[j].delta, cov})
 		}
 	}
 	b.scratchTop = top
@@ -165,16 +171,18 @@ func (b *Berti) Train(a Access) []Candidate {
 	}
 
 	// Periodically age coverage counters so stale deltas fade (the tuned
-	// Berti re-evaluates coverage per epoch), and evict deltas that faded to
-	// nothing so the bounded table can admit a changed access pattern.
+	// Berti re-evaluates coverage per epoch), and compact away deltas that
+	// faded to nothing so the bounded table can admit a changed pattern.
 	if e.accesses%256 == 0 {
-		//clipvet:orderfree independent per-key halve/evict; no cross-iteration state
-		for d, bd := range e.deltas {
-			bd.timelyHits /= 2
-			if bd.timelyHits == 0 {
-				delete(e.deltas, d)
+		keep := 0
+		for j := 0; j < e.nDeltas; j++ {
+			e.deltas[j].timelyHits /= 2
+			if e.deltas[j].timelyHits != 0 {
+				e.deltas[keep] = e.deltas[j]
+				keep++
 			}
 		}
+		e.nDeltas = keep
 		e.accesses /= 2
 	}
 	b.scratchOut = out
@@ -190,11 +198,4 @@ func (b *Berti) ObserveMissLatency(lat uint64) {
 		est = 1
 	}
 	b.latencyEst = uint64(est)
-}
-
-func (b *Berti) evictOne() {
-	if b.evictRR.Len() == 0 {
-		return
-	}
-	delete(b.table, b.evictRR.PopFront())
 }

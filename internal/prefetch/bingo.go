@@ -1,6 +1,9 @@
 package prefetch
 
-import "clip/internal/mem"
+import (
+	"clip/internal/mem"
+	"clip/internal/table"
+)
 
 // Bingo (Bakhshalipour et al., HPCA'19) is a spatial prefetcher that records
 // the footprint of 2KB regions and replays it on recurrence. It associates
@@ -14,12 +17,11 @@ import "clip/internal/mem"
 // Bingo's headline idea: don't correlate with a single event.
 type Bingo struct {
 	aggr
-	active  map[uint64]*bingoRegion // region id -> being-recorded footprint
-	activeQ []uint64
-	long    map[uint64]uint32 // (IP, full trigger addr) -> footprint bitmap
-	short   map[uint64]uint32 // (IP, offset) -> footprint bitmap
-	longQ   []uint64
-	shortQ  []uint64
+	active *table.Fixed[bingoRegion] // region id -> being-recorded footprint
+	long   *table.Fixed[uint32]      // (IP, full trigger addr) -> footprint bitmap
+	short  *table.Fixed[uint32]      // (IP, offset) -> footprint bitmap
+
+	scratchOut []Candidate // reused; returned slice valid until next Train
 }
 
 type bingoRegion struct {
@@ -38,9 +40,9 @@ const (
 // NewBingo constructs an empty Bingo.
 func NewBingo() *Bingo {
 	return &Bingo{
-		active: map[uint64]*bingoRegion{},
-		long:   map[uint64]uint32{},
-		short:  map[uint64]uint32{},
+		active: table.NewFixed[bingoRegion](bingoActiveMax, table.FIFO),
+		long:   table.NewFixed[uint32](bingoHistoryMax, table.FIFO),
+		short:  table.NewFixed[uint32](bingoHistoryMax, table.FIFO),
 	}
 }
 
@@ -61,7 +63,7 @@ func (b *Bingo) Train(a Access) []Candidate {
 	off := int(a.Addr.LineID() % bingoRegionLines)
 	regionBase := mem.Addr((a.Addr.LineID() - uint64(off)) << mem.LineShift)
 
-	if r, ok := b.active[rid]; ok {
+	if r := b.active.Get(rid); r != nil {
 		// Region already being recorded: accumulate footprint.
 		if r.bitmap&(1<<off) == 0 {
 			r.bitmap |= 1 << off
@@ -70,27 +72,27 @@ func (b *Bingo) Train(a Access) []Candidate {
 		return nil
 	}
 
-	// New region: commit the oldest if the tracker is full.
-	if len(b.active) >= bingoActiveMax {
-		old := b.activeQ[0]
-		b.activeQ = b.activeQ[1:]
+	// New region: the tracker commits the oldest recording when full.
+	_, _, old, evicted := b.active.Insert(rid, bingoRegion{
+		triggerIP: a.IP, triggerAddr: a.Addr, bitmap: 1 << off, touches: 1,
+	})
+	if evicted {
 		b.commit(old)
 	}
-	b.active[rid] = &bingoRegion{
-		triggerIP: a.IP, triggerAddr: a.Addr, bitmap: 1 << off, touches: 1,
-	}
-	b.activeQ = append(b.activeQ, rid)
 
 	// Trigger access: predict the footprint from history.
-	fp, okLong := b.long[longKey(a.IP, a.Addr)]
-	if !okLong {
-		fp = b.short[shortKey(a.IP, off)]
+	okLong := true
+	fpp := b.long.Get(longKey(a.IP, a.Addr))
+	if fpp == nil {
+		okLong = false
+		fpp = b.short.Get(shortKey(a.IP, off))
 	}
-	if fp == 0 {
+	if fpp == nil || *fpp == 0 {
 		return nil
 	}
+	fp := *fpp
 	degree := degreeFor(8, b.Aggressiveness()) // footprints are bursty
-	var out []Candidate
+	out := b.scratchOut[:0]
 	for o := 0; o < bingoRegionLines && len(out) < degree; o++ {
 		if fp&(1<<o) == 0 || o == off {
 			continue
@@ -101,6 +103,7 @@ func (b *Bingo) Train(a Access) []Candidate {
 			Confidence: conf(okLong),
 		})
 	}
+	b.scratchOut = out
 	return out
 }
 
@@ -111,34 +114,15 @@ func conf(long bool) float64 {
 	return 0.6
 }
 
-// commit stores a finished region's footprint under both events.
-func (b *Bingo) commit(rid uint64) {
-	r, ok := b.active[rid]
-	if !ok {
-		return
-	}
-	delete(b.active, rid)
+// commit stores a finished region's footprint under both events. History
+// replacement is FIFO on first insertion; re-learning an event overwrites
+// the footprint in place without refreshing its queue position.
+func (b *Bingo) commit(r bingoRegion) {
 	if r.touches < 2 {
 		return // singleton regions teach nothing
 	}
 	lk := longKey(r.triggerIP, r.triggerAddr)
 	sk := shortKey(r.triggerIP, int(r.triggerAddr.LineID()%bingoRegionLines))
-	if _, exists := b.long[lk]; !exists {
-		if len(b.long) >= bingoHistoryMax {
-			old := b.longQ[0]
-			b.longQ = b.longQ[1:]
-			delete(b.long, old)
-		}
-		b.longQ = append(b.longQ, lk)
-	}
-	b.long[lk] = r.bitmap
-	if _, exists := b.short[sk]; !exists {
-		if len(b.short) >= bingoHistoryMax {
-			old := b.shortQ[0]
-			b.shortQ = b.shortQ[1:]
-			delete(b.short, old)
-		}
-		b.shortQ = append(b.shortQ, sk)
-	}
-	b.short[sk] = r.bitmap
+	b.long.Insert(lk, r.bitmap)
+	b.short.Insert(sk, r.bitmap)
 }

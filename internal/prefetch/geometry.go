@@ -1,0 +1,64 @@
+package prefetch
+
+import "clip/internal/table"
+
+// TableReporter is implemented by prefetchers whose associative state lives
+// in internal/table kernels. TableGeometries reports each table's hardware
+// shape for the storage budget (cmd/clipstorage -tables and DESIGN.md's
+// "Table kernels & storage budgets" section).
+type TableReporter interface {
+	TableGeometries() []table.Geometry
+}
+
+// Modeled bits per entry for each prefetcher table: the semantic content an
+// SRAM implementation would store (tags, line numbers, counters), not Go's
+// in-memory struct layout.
+const (
+	// Access history (58-bit line + 32-bit cycle, 16 deep), delta/coverage
+	// pairs (11-bit delta + 10-bit counter, 16 wide), control state.
+	bertiEntryBits = bertiHistLen*(58+32) + bertiDeltaCap*(11+10) + 16
+	// Last line, stride, 2-bit confidence, 12-bit CPLX signature.
+	ipcpIPBits = 58 + 12 + 2 + 12
+	// 32-line bitmap, last offset, direction counters, touch count.
+	ipcpRegionBits = 32 + 5 + 8 + 8 + 6
+	// Trigger IP, trigger line, 32-line footprint, touch count.
+	bingoActiveBits = 58 + 58 + 32 + 6
+	// Footprint bitmap; the hashed event key is the tag.
+	bingoHistBits = 32
+	// Last line, 12-bit signature.
+	sppPageBits = 58 + 12
+	// Last line, stride, 2-bit confidence.
+	strideEntryBits = 58 + 12 + 2
+)
+
+// TableGeometries implements TableReporter.
+func (b *Berti) TableGeometries() []table.Geometry {
+	return []table.Geometry{b.table.Geometry("berti.table", bertiEntryBits)}
+}
+
+// TableGeometries implements TableReporter.
+func (p *IPCP) TableGeometries() []table.Geometry {
+	return []table.Geometry{
+		p.ip.Geometry("ipcp.ip", ipcpIPBits),
+		p.region.Geometry("ipcp.region", ipcpRegionBits),
+	}
+}
+
+// TableGeometries implements TableReporter.
+func (b *Bingo) TableGeometries() []table.Geometry {
+	return []table.Geometry{
+		b.active.Geometry("bingo.active", bingoActiveBits),
+		b.long.Geometry("bingo.long", bingoHistBits),
+		b.short.Geometry("bingo.short", bingoHistBits),
+	}
+}
+
+// TableGeometries implements TableReporter.
+func (s *SPPPPF) TableGeometries() []table.Geometry {
+	return []table.Geometry{s.pages.Geometry("spp.pages", sppPageBits)}
+}
+
+// TableGeometries implements TableReporter.
+func (s *Stride) TableGeometries() []table.Geometry {
+	return []table.Geometry{s.table.Geometry("stride.table", strideEntryBits)}
+}

@@ -15,8 +15,8 @@ func TestBertiTableEviction(t *testing.T) {
 			b.Train(Access{IP: ip, Addr: mem.Addr(0x1000 + i*64), Cycle: uint64(i) * 300})
 		}
 	}
-	if len(b.table) > bertiTableSize {
-		t.Fatalf("Berti table grew to %d entries (cap %d)", len(b.table), bertiTableSize)
+	if b.table.Len() > bertiTableSize {
+		t.Fatalf("Berti table grew to %d entries (cap %d)", b.table.Len(), bertiTableSize)
 	}
 	// A new IP still trains and eventually produces candidates.
 	got := feed(b, strideStream(0xFFFF, 0x900000, 1, 200))
@@ -56,8 +56,8 @@ func TestIPCPTableBounded(t *testing.T) {
 	for ip := uint64(0); ip < ipcpTableSize*2; ip++ {
 		p.Train(Access{IP: ip, Addr: mem.Addr(ip * 64), Cycle: ip})
 	}
-	if len(p.ip) > ipcpTableSize {
-		t.Fatalf("IPCP table grew to %d (cap %d)", len(p.ip), ipcpTableSize)
+	if p.ip.Len() > ipcpTableSize {
+		t.Fatalf("IPCP table grew to %d (cap %d)", p.ip.Len(), ipcpTableSize)
 	}
 }
 
@@ -66,8 +66,8 @@ func TestStrideTableBounded(t *testing.T) {
 	for ip := uint64(0); ip < strideTableSize*2; ip++ {
 		s.Train(Access{IP: ip, Addr: mem.Addr(ip * 64)})
 	}
-	if len(s.table) > strideTableSize {
-		t.Fatalf("stride table grew to %d (cap %d)", len(s.table), strideTableSize)
+	if s.table.Len() > strideTableSize {
+		t.Fatalf("stride table grew to %d (cap %d)", s.table.Len(), strideTableSize)
 	}
 }
 
@@ -76,8 +76,8 @@ func TestSPPPageTrackerBounded(t *testing.T) {
 	for page := uint64(0); page < sppPageMax*3; page++ {
 		s.Train(Access{IP: 1, Addr: mem.Addr(page * mem.PageBytes)})
 	}
-	if len(s.pages) > sppPageMax {
-		t.Fatalf("SPP page tracker grew to %d (cap %d)", len(s.pages), sppPageMax)
+	if s.pages.Len() > sppPageMax {
+		t.Fatalf("SPP page tracker grew to %d (cap %d)", s.pages.Len(), sppPageMax)
 	}
 }
 
@@ -105,10 +105,10 @@ func TestBingoActiveTrackerBounded(t *testing.T) {
 	for r := 0; r < bingoActiveMax*3; r++ {
 		b.Train(Access{IP: 1, Addr: mem.Addr(r * 2048)})
 	}
-	if len(b.active) > bingoActiveMax {
-		t.Fatalf("Bingo active tracker grew to %d (cap %d)", len(b.active), bingoActiveMax)
+	if b.active.Len() > bingoActiveMax {
+		t.Fatalf("Bingo active tracker grew to %d (cap %d)", b.active.Len(), bingoActiveMax)
 	}
-	if len(b.long) > bingoHistoryMax || len(b.short) > bingoHistoryMax {
+	if b.long.Len() > bingoHistoryMax || b.short.Len() > bingoHistoryMax {
 		t.Fatal("Bingo history tables unbounded")
 	}
 }

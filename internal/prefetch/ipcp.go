@@ -1,6 +1,9 @@
 package prefetch
 
-import "clip/internal/mem"
+import (
+	"clip/internal/mem"
+	"clip/internal/table"
+)
 
 // IPCP is the instruction pointer classifier prefetcher (Pakalapati & Panda,
 // ISCA'20). It classifies load IPs into three classes and dispatches to a
@@ -14,10 +17,13 @@ import "clip/internal/mem"
 // Priority on conflict: CS > CPLX > GS, as in the paper.
 type IPCP struct {
 	aggr
-	ip     map[uint64]*ipcpEntry
+	ip     *table.Fixed[ipcpEntry] // per-IP class state, FIFO replacement
 	cplx   [ipcpCplxSize]cplxEntry
-	region map[uint64]*gsRegion
-	rr     []uint64
+	region *table.Fixed[gsRegion] // GS region tracker, min-key replacement
+
+	// scratchOut is reused across Train calls (the Prefetcher contract says
+	// the returned slice is valid until the next Train).
+	scratchOut []Candidate
 }
 
 type ipcpEntry struct {
@@ -51,7 +57,12 @@ const (
 
 // NewIPCP constructs the classifier with empty tables.
 func NewIPCP() *IPCP {
-	return &IPCP{ip: map[uint64]*ipcpEntry{}, region: map[uint64]*gsRegion{}}
+	return &IPCP{
+		ip: table.NewFixed[ipcpEntry](ipcpTableSize, table.FIFO),
+		// Region replacement drops an arbitrary-but-deterministic victim:
+		// the smallest region key, as the map-backed code did.
+		region: table.NewFixed[gsRegion](gsRegionMax, table.MinKey),
+	}
 }
 
 // Name implements Prefetcher.
@@ -59,17 +70,10 @@ func (p *IPCP) Name() string { return "ipcp" }
 
 // Train implements Prefetcher.
 func (p *IPCP) Train(a Access) []Candidate {
-	e := p.ip[a.IP]
+	e := p.ip.Get(a.IP)
 	line := a.Addr.LineID()
 	if e == nil {
-		if len(p.ip) >= ipcpTableSize {
-			old := p.rr[0]
-			p.rr = p.rr[1:]
-			delete(p.ip, old)
-		}
-		e = &ipcpEntry{lastLine: line}
-		p.ip[a.IP] = e
-		p.rr = append(p.rr, a.IP)
+		p.ip.Insert(a.IP, ipcpEntry{lastLine: line})
 		return p.trainGS(a)
 	}
 	delta := int64(line) - int64(e.lastLine)
@@ -111,7 +115,7 @@ func (p *IPCP) Train(a Access) []Candidate {
 
 	// CS class wins when confident.
 	if e.conf >= ipcpCSConf && e.stride != 0 {
-		var out []Candidate
+		out := p.scratchOut[:0]
 		for i := 1; i <= degree; i++ {
 			t := int64(line) + e.stride*int64(i)
 			if t <= 0 {
@@ -123,6 +127,7 @@ func (p *IPCP) Train(a Access) []Candidate {
 				Confidence: 0.9,
 			})
 		}
+		p.scratchOut = out
 		return out
 	}
 
@@ -130,10 +135,12 @@ func (p *IPCP) Train(a Access) []Candidate {
 	if ce.conf >= 2 && ce.delta != 0 {
 		t := int64(line) + ce.delta
 		if t > 0 {
-			return []Candidate{{
+			out := append(p.scratchOut[:0], Candidate{
 				Addr:      mem.Addr(uint64(t) << mem.LineShift),
 				TriggerIP: a.IP, FillLevel: mem.LevelL2, Confidence: 0.6,
-			}}
+			})
+			p.scratchOut = out
+			return out
 		}
 	}
 
@@ -144,21 +151,9 @@ func (p *IPCP) Train(a Access) []Candidate {
 // streams ahead of it.
 func (p *IPCP) trainGS(a Access) []Candidate {
 	rid := a.Addr.Region()
-	r := p.region[rid]
+	r := p.region.Get(rid)
 	if r == nil {
-		if len(p.region) >= gsRegionMax {
-			// Drop an arbitrary-but-deterministic region: the smallest key.
-			var minK uint64 = ^uint64(0)
-			//clipvet:orderfree min over keys is a commutative reduction
-			for k := range p.region {
-				if k < minK {
-					minK = k
-				}
-			}
-			delete(p.region, minK)
-		}
-		r = &gsRegion{lastOff: -1}
-		p.region[rid] = r
+		r, _, _, _ = p.region.Insert(rid, gsRegion{lastOff: -1})
 	}
 	off := int(a.Addr.LineID() & 31) // 2KB region = 32 lines
 	if r.bitmap&(1<<off) == 0 {
@@ -182,7 +177,7 @@ func (p *IPCP) trainGS(a Access) []Candidate {
 	}
 	degree := degreeFor(ipcpBaseDegree+1, p.Aggressiveness())
 	line := int64(a.Addr.LineID())
-	var out []Candidate
+	out := p.scratchOut[:0]
 	for i := 1; i <= degree; i++ {
 		t := line + dir*int64(i)
 		if t <= 0 {
@@ -193,5 +188,6 @@ func (p *IPCP) trainGS(a Access) []Candidate {
 			TriggerIP: a.IP, FillLevel: mem.LevelL1, Confidence: 0.7,
 		})
 	}
+	p.scratchOut = out
 	return out
 }

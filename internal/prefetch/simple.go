@@ -1,6 +1,9 @@
 package prefetch
 
-import "clip/internal/mem"
+import (
+	"clip/internal/mem"
+	"clip/internal/table"
+)
 
 // Stride is the classic IP-stride prefetcher (Fu, Patel & Janssens,
 // MICRO'92): per-IP last address, stride and a two-bit confidence counter.
@@ -8,8 +11,9 @@ import "clip/internal/mem"
 // throttlers were designed around prefetchers like it.
 type Stride struct {
 	aggr
-	table map[uint64]*strideEntry
-	rr    []uint64
+	table *table.Fixed[strideEntry] // per-IP stride state, FIFO replacement
+
+	scratchOut []Candidate // reused; returned slice valid until next Train
 }
 
 type strideEntry struct {
@@ -21,7 +25,9 @@ type strideEntry struct {
 const strideTableSize = 128
 
 // NewStride builds an empty IP-stride table.
-func NewStride() *Stride { return &Stride{table: map[uint64]*strideEntry{}} }
+func NewStride() *Stride {
+	return &Stride{table: table.NewFixed[strideEntry](strideTableSize, table.FIFO)}
+}
 
 // Name implements Prefetcher.
 func (s *Stride) Name() string { return "stride" }
@@ -29,16 +35,9 @@ func (s *Stride) Name() string { return "stride" }
 // Train implements Prefetcher.
 func (s *Stride) Train(a Access) []Candidate {
 	line := a.Addr.LineID()
-	e := s.table[a.IP]
+	e := s.table.Get(a.IP)
 	if e == nil {
-		if len(s.table) >= strideTableSize {
-			old := s.rr[0]
-			s.rr = s.rr[1:]
-			delete(s.table, old)
-		}
-		e = &strideEntry{lastLine: line}
-		s.table[a.IP] = e
-		s.rr = append(s.rr, a.IP)
+		s.table.Insert(a.IP, strideEntry{lastLine: line})
 		return nil
 	}
 	d := int64(line) - int64(e.lastLine)
@@ -60,7 +59,7 @@ func (s *Stride) Train(a Access) []Candidate {
 		return nil
 	}
 	degree := degreeFor(2, s.Aggressiveness())
-	var out []Candidate
+	out := s.scratchOut[:0]
 	for i := 1; i <= degree; i++ {
 		t := int64(line) + e.stride*int64(i)
 		if t <= 0 {
@@ -71,6 +70,7 @@ func (s *Stride) Train(a Access) []Candidate {
 			TriggerIP: a.IP, FillLevel: mem.LevelL1, Confidence: 0.5,
 		})
 	}
+	s.scratchOut = out
 	return out
 }
 

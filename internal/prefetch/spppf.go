@@ -1,6 +1,9 @@
 package prefetch
 
-import "clip/internal/mem"
+import (
+	"clip/internal/mem"
+	"clip/internal/table"
+)
 
 // SPPPPF is signature path prefetching (Kim et al., MICRO'16) with perceptron
 // prefetch filtering (Bhatia et al., ISCA'19) — the paper's state-of-the-art
@@ -12,10 +15,11 @@ import "clip/internal/mem"
 // feedback.
 type SPPPPF struct {
 	aggr
-	pages  map[uint64]*sppPage
-	pageQ  []uint64
+	pages  *table.Fixed[sppPage] // per-page signature state, FIFO replacement
 	table  [sppTableSize]sppPattern
 	filter ppf
+
+	scratchOut []Candidate // reused; returned slice valid until next Train
 }
 
 type sppPage struct {
@@ -77,7 +81,7 @@ func (f *ppf) train(idx [ppfTables]uint32, useful bool) {
 
 // NewSPPPPF constructs SPP with a zeroed perceptron filter.
 func NewSPPPPF() *SPPPPF {
-	return &SPPPPF{pages: map[uint64]*sppPage{}}
+	return &SPPPPF{pages: table.NewFixed[sppPage](sppPageMax, table.FIFO)}
 }
 
 // Name implements Prefetcher.
@@ -87,16 +91,9 @@ func (s *SPPPPF) Name() string { return "spppf" }
 func (s *SPPPPF) Train(a Access) []Candidate {
 	pid := a.Addr.PageID()
 	line := a.Addr.LineID()
-	pg := s.pages[pid]
+	pg := s.pages.Get(pid)
 	if pg == nil {
-		if len(s.pages) >= sppPageMax {
-			old := s.pageQ[0]
-			s.pageQ = s.pageQ[1:]
-			delete(s.pages, old)
-		}
-		pg = &sppPage{lastLine: line}
-		s.pages[pid] = pg
-		s.pageQ = append(s.pageQ, pid)
+		s.pages.Insert(pid, sppPage{lastLine: line})
 		return nil
 	}
 	delta := int64(line) - int64(pg.lastLine)
@@ -111,7 +108,7 @@ func (s *SPPPPF) Train(a Access) []Candidate {
 
 	// Lookahead walk from the new signature.
 	depth := degreeFor(sppBaseDepth, s.Aggressiveness()) + 4
-	var out []Candidate
+	out := s.scratchOut[:0]
 	sig := pg.sig
 	cur := int64(line)
 	conf := 1.0
@@ -142,6 +139,7 @@ func (s *SPPPPF) Train(a Access) []Candidate {
 		}
 		sig = nextSig(sig, bestDelta)
 	}
+	s.scratchOut = out
 	return out
 }
 
