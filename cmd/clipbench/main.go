@@ -24,17 +24,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"clip"
 )
 
-// Record holds one benchmark measurement.
+// Record holds one benchmark measurement. GOMAXPROCS stamps the host shape
+// the number was produced on: cycles/s depends on it (most visibly for the
+// shard-parallel benchmarks), so the baseline comparison only judges
+// like-for-like shapes. AllocsPerOp stays host-independent and is always
+// compared.
 type Record struct {
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	Iterations   int     `json:"iterations"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
+	GOMAXPROCS   int     `json:"gomaxprocs,omitempty"`
 }
 
 // Report is the BENCH_simthroughput.json schema. SkipSpeedup is the
@@ -52,6 +59,8 @@ var benchNames = []string{
 	"TickBusy/berti", "TickBusy/ipcp", "TickBusy/bingo",
 	"TickBusy/spppf", "TickBusy/stride",
 	"TickIdle/skip", "TickIdle/noskip",
+	"TickParallel/shard1", "TickParallel/shard2",
+	"TickParallel/shard4", "TickParallel/shard8",
 }
 
 func main() { os.Exit(run()) }
@@ -89,6 +98,7 @@ func run() int {
 			NsPerOp:      float64(res.NsPerOp()),
 			Iterations:   res.N,
 			AllocsPerOp:  res.AllocsPerOp(),
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		}
 	}
 
@@ -100,6 +110,13 @@ func run() int {
 			return clip.BenchTickIdleConfig(false)
 		case "TickIdle/noskip":
 			return clip.BenchTickIdleConfig(true)
+		case "TickParallel/shard1", "TickParallel/shard2",
+			"TickParallel/shard4", "TickParallel/shard8":
+			w, err := strconv.Atoi(name[len("TickParallel/shard"):])
+			if err != nil {
+				panic(err)
+			}
+			return clip.BenchTickParallelConfig(w)
 		default: // "TickBusy/<prefetcher>"
 			return clip.BenchTickBusyConfig(name[len("TickBusy/"):])
 		}
@@ -152,7 +169,17 @@ func run() int {
 				continue
 			}
 			got := rep.Benchmarks[name]
-			if b.CyclesPerSec > 0 {
+			// cycles/s is only meaningful like-for-like: a baseline recorded
+			// on a different host shape (core count) says nothing about a
+			// regression here — the parallel benchmarks scale with cores by
+			// design. Records predating the GOMAXPROCS stamp compare as
+			// before; allocs/op stays gated regardless of shape.
+			sameShape := b.GOMAXPROCS == 0 || b.GOMAXPROCS == got.GOMAXPROCS
+			if !sameShape {
+				fmt.Fprintf(os.Stderr, "%-22s cycles/s not compared: baseline host had GOMAXPROCS=%d, this host %d\n",
+					name, b.GOMAXPROCS, got.GOMAXPROCS)
+			}
+			if b.CyclesPerSec > 0 && sameShape {
 				floor := b.CyclesPerSec * (1 - *tolerance)
 				verdict := "ok"
 				if got.CyclesPerSec < floor {

@@ -44,6 +44,7 @@ func run() int {
 		channels = flag.String("channels", "", "comma-separated paper channel counts (e.g. 4,8,16)")
 		seed     = flag.Uint64("seed", 0, "override workload seed")
 		workers  = flag.Int("workers", 0, "concurrent simulations per experiment (0 = GOMAXPROCS); results are identical for any value")
+		shardW   = flag.Int("shard-workers", 0, "tile-phase goroutines inside each simulation (0/1 = serial); results are identical for any value; a defaulted -workers divides by this so the product never oversubscribes the host")
 		skipMode = flag.String("skip", "on", "event-horizon cycle skipping: on|off; results are identical for either value")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -117,6 +118,7 @@ func run() int {
 		sc.Seed = *seed
 	}
 	sc.Workers = *workers
+	sc.ShardWorkers = *shardW
 	switch *skipMode {
 	case "on":
 		sc.NoSkip = false

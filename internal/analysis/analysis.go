@@ -31,6 +31,10 @@
 //     internal/criticality, internal/core, internal/dspatch) — per-access
 //     state there must use the internal/table kernels — unless annotated
 //     //clipvet:hotmap.
+//   - sharedstate: mutation of shared System/Mesh/DRAM state inside a
+//     //clipvet:tilephase function (code that runs concurrently across tiles
+//     during the shard-parallel tick); cross-tile effects must go through the
+//     per-tile staging buffers, unless annotated //clipvet:staged.
 //
 // # Annotations
 //
@@ -180,7 +184,7 @@ func internalSegment(pkgPath string) string {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, WallClock, TrainAlias, FloatSum, HotMap}
+	return []*Analyzer{MapOrder, WallClock, TrainAlias, FloatSum, HotMap, SharedState}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

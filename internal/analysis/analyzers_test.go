@@ -26,6 +26,8 @@ func TestFloatSum(t *testing.T)   { testAnalyzer(t, FloatSum, "clip/internal/sta
 func TestTrainAlias(t *testing.T) { testAnalyzer(t, TrainAlias, "clip/internal/core") }
 func TestHotMap(t *testing.T)     { testAnalyzer(t, HotMap, "clip/internal/dspatch") }
 
+func TestSharedState(t *testing.T) { testAnalyzer(t, SharedState, "clip/internal/sim/shard") }
+
 // Outside the deterministic package set the whole suite must stay silent,
 // even over code that would trip every analyzer inside it.
 func TestSuiteSilentOutsideContract(t *testing.T) {

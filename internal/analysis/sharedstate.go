@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SharedState enforces the shard-parallel tick's isolation contract: a
+// function annotated //clipvet:tilephase runs concurrently across per-core
+// tiles, so it must not mutate shared simulation structures. The analyzer
+// flags, inside such functions:
+//
+//   - writes (assignment or ++/--) through a selector path rooted at a
+//     sim.System, noc.Mesh or dram.DRAM value, unless the path goes through
+//     an index expression (s.field[i] is per-tile sharded by convention);
+//   - method calls on noc.Mesh or dram.DRAM receivers outside a small
+//     read-only allowlist (NextEvent, utilization and occupancy probes) —
+//     Send and Issue mutate queues and must be staged instead.
+//
+// Commit-phase helpers that a tile-phase function legitimately shares source
+// with carry a //clipvet:staged annotation with a one-line justification.
+var SharedState = &Analyzer{
+	Name: "sharedstate",
+	Doc: "flags shared System/Mesh/DRAM mutation inside //clipvet:tilephase " +
+		"functions; cross-tile effects must go through per-tile staging buffers " +
+		"(annotate //clipvet:staged for commit-phase code)",
+	Run: runSharedState,
+}
+
+// sharedTypes are the structures a tile phase may read but never mutate,
+// keyed by "<internal segment>.<type name>" so fixtures and the real tree
+// resolve identically.
+var sharedTypes = map[string]bool{
+	"sim.System": true, "noc.Mesh": true, "dram.DRAM": true,
+}
+
+// sharedReadOnly lists the methods tile-phase code may call on a shared
+// structure: pure reads of state that only the serial phases mutate.
+var sharedReadOnly = map[string]map[string]bool{
+	"noc.Mesh": {"NextEvent": true, "Nodes": true, "HopCount": true},
+	"dram.DRAM": {"NextEvent": true, "ChannelUtilization": true,
+		"GlobalUtilization": true, "QueueOccupancy": true},
+}
+
+// sharedTypeName resolves t (through pointers) to its sharedTypes key, or ""
+// when t is not a shared structure.
+func sharedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	key := internalSegment(obj.Pkg().Path()) + "." + obj.Name()
+	if !sharedTypes[key] {
+		return ""
+	}
+	return key
+}
+
+func runSharedState(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.HasDirective(fd.Pos(), "tilephase") {
+				continue
+			}
+			checkTilePhase(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkTilePhase(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkSharedWrite(pass, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkSharedWrite(pass, st.X)
+		case *ast.CallExpr:
+			checkSharedCall(pass, st)
+		}
+		return true
+	})
+}
+
+// checkSharedWrite walks the selector chain of a write target; a chain that
+// reaches a shared structure without passing an index expression mutates
+// per-System (not per-tile) state and is reported.
+func checkSharedWrite(pass *Pass, lhs ast.Expr) {
+	indexed := false
+	for {
+		switch e := lhs.(type) {
+		case *ast.SelectorExpr:
+			if name := sharedTypeName(pass.TypesInfo.Types[e.X].Type); name != "" && !indexed {
+				if !pass.HasDirective(lhs.Pos(), "staged") {
+					pass.Reportf(lhs.Pos(),
+						"tile-phase write to shared %s state: cross-tile effects must go "+
+							"through the per-tile staging buffers and commit serially "+
+							"(annotate //clipvet:staged if this is commit-phase code)", name)
+				}
+				return
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			indexed = true
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}
+
+// checkSharedCall reports method calls on shared Mesh/DRAM receivers outside
+// the read-only allowlist.
+func checkSharedCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sharedTypeName(pass.TypesInfo.Types[sel.X].Type)
+	if name == "" || sharedReadOnly[name] == nil {
+		return
+	}
+	if sharedReadOnly[name][sel.Sel.Name] {
+		return
+	}
+	if pass.HasDirective(call.Pos(), "staged") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"tile-phase call to (%s).%s: shared structures may only be read during "+
+			"the tile phase — stage the effect in the tile's buffer and let the "+
+			"commit phase apply it (annotate //clipvet:staged if this is "+
+			"commit-phase code)", name, sel.Sel.Name)
+}

@@ -1,0 +1,20 @@
+// Package dram is a fixture stand-in for the real memory controller: just
+// enough surface for the sharedstate analyzer tests to type-check.
+package dram
+
+// Request mirrors the shape Issue consumes.
+type Request struct {
+	Addr uint64
+}
+
+// DRAM is the shared controller; tile-phase code may only read it.
+type DRAM struct {
+	RQFullEvents uint64
+	recentUtil   float64
+}
+
+func (d *DRAM) Issue(r Request) bool              { return true }
+func (d *DRAM) NextEvent() uint64                 { return 0 }
+func (d *DRAM) ChannelUtilization(ch int) float64 { return d.recentUtil }
+func (d *DRAM) GlobalUtilization() float64        { return d.recentUtil }
+func (d *DRAM) QueueOccupancy(ch int) (int, int)  { return 0, 0 }

@@ -1,0 +1,22 @@
+// Package noc is a fixture stand-in for the real mesh interconnect: just
+// enough surface for the sharedstate analyzer tests to type-check.
+package noc
+
+// Mesh is the shared interconnect; tile-phase code may only read it.
+type Mesh struct {
+	cycle uint64
+}
+
+func (m *Mesh) Send(src, dst, flits int, high bool, deliver func(uint64)) {}
+func (m *Mesh) NextEvent() uint64                                         { return m.cycle }
+func (m *Mesh) Nodes() int                                                { return 0 }
+func (m *Mesh) HopCount(src, dst int) int                                 { return 0 }
+
+// Staging is the per-tile injection buffer; tile-phase code writes here.
+type Staging struct {
+	pending int
+}
+
+func (s *Staging) Send(src, dst, flits int, high bool, deliver func(uint64)) {
+	s.pending++
+}

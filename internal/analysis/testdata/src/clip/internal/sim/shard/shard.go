@@ -1,0 +1,67 @@
+// Package shard exercises the sharedstate analyzer: tile-phase functions
+// (annotated //clipvet:tilephase) must not mutate shared System/Mesh/DRAM
+// state, while per-tile indexed state and staging buffers stay writable.
+package shard
+
+import (
+	"clip/internal/dram"
+	"clip/internal/noc"
+)
+
+type tileStage struct {
+	sends  noc.Staging
+	ticked int
+}
+
+// System mirrors the real simulator's shape: shared scalars and structures
+// next to per-core (indexed) slices.
+type System struct {
+	cycle    uint64
+	finished int
+	mesh     *noc.Mesh
+	dram     *dram.DRAM
+	stage    []tileStage
+	coreNext []uint64
+	counts   map[int]int
+}
+
+//clipvet:tilephase
+func (s *System) tickTile(i int, cy uint64) {
+	// Per-tile indexed state is fair game.
+	s.stage[i].ticked++
+	s.coreNext[i] = cy + 1
+	s.counts[i] = s.counts[i] + 1
+	s.stage[i].sends.Send(i, 0, 1, false, nil)
+
+	// Reading shared structures is allowed.
+	_ = s.mesh.NextEvent()
+	_ = s.mesh.Nodes()
+	_ = s.mesh.HopCount(i, 0)
+	_ = s.dram.ChannelUtilization(0)
+	_ = s.dram.GlobalUtilization()
+	_, _ = s.dram.QueueOccupancy(0)
+	_ = s.cycle
+
+	// Mutating them is not.
+	s.finished++                           // want "tile-phase write to shared sim.System state"
+	s.cycle = cy                           // want "tile-phase write to shared sim.System state"
+	s.mesh.Send(i, 0, 1, false, nil)       // want "tile-phase call to \\(noc.Mesh\\).Send"
+	s.dram.Issue(dram.Request{Addr: 0x40}) // want "tile-phase call to \\(dram.DRAM\\).Issue"
+	s.dram.RQFullEvents++                  // want "tile-phase write to shared dram.DRAM state"
+}
+
+//clipvet:tilephase
+func (s *System) drainTile(i int) {
+	st := &s.stage[i]
+	st.ticked++ // reached through an index: per-tile, fine
+
+	//clipvet:staged commit-order replay shared with the serial path
+	s.finished++
+}
+
+// commit has no annotation, so the analyzer ignores its shared writes.
+func (s *System) commit() {
+	s.finished++
+	s.mesh.Send(0, 0, 1, false, nil)
+	s.cycle++
+}

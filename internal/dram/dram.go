@@ -142,7 +142,20 @@ type DRAM struct {
 	onResp func(mem.Response)
 	cycle  uint64
 	stats  Stats
+
+	// sealed (clipdebug only) marks the shard-parallel tile phase, during
+	// which Issue is forbidden: tile code must stage direct-DRAM reads and
+	// let the commit phase issue them serially.
+	sealed bool
 }
+
+// Seal marks the start of a tile phase (clipdebug builds): an Issue while
+// sealed panics, proving no tile mutates controller queues concurrently.
+// Release builds never seal.
+func (d *DRAM) Seal() { d.sealed = true }
+
+// Unseal marks the end of a tile phase.
+func (d *DRAM) Unseal() { d.sealed = false }
 
 // New builds the memory system.
 func New(cfg Config) (*DRAM, error) {
@@ -207,6 +220,11 @@ func (d *DRAM) route(addr mem.Addr) (ch, bk int, row int64) {
 // full — except prefetches, which are dropped (the controller never blocks
 // the chip on a prefetch).
 func (d *DRAM) Issue(req mem.Request) bool {
+	if invariant.Enabled {
+		invariant.Check(!d.sealed,
+			"dram: Issue(core %d, %v) during the sealed tile phase; tile code must "+
+				"stage direct reads and let the commit phase issue them", req.Core, req.Type)
+	}
 	ch, bk, row := d.route(req.Addr)
 	c := &d.chans[ch]
 	if req.Type == mem.Writeback {

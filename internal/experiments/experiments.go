@@ -41,6 +41,11 @@ type Scale struct {
 	// -skip=off). Reports are byte-identical with skipping on or off; the
 	// escape hatch exists for debugging and perf comparison.
 	NoSkip bool
+	// ShardWorkers parallelizes each simulation's tick across per-core
+	// tiles (clipsim -shard-workers). Reports are byte-identical for any
+	// value. When Workers is defaulted, the engine divides its pool by this
+	// width so Workers x ShardWorkers never oversubscribes the host.
+	ShardWorkers int
 }
 
 // Quick is the bench-friendly scale: a representative subset of mixes.
@@ -117,6 +122,7 @@ func template(sc Scale, paperCh int) sim.Config {
 	cfg.WarmupInstr = sc.Warmup
 	cfg.Seed = sc.Seed
 	cfg.DisableSkip = sc.NoSkip
+	cfg.ShardWorkers = sc.ShardWorkers
 	return cfg
 }
 
@@ -262,7 +268,9 @@ func (f *firstErr) get() error {
 }
 
 func newEngine(sc Scale) *engine {
-	return &engine{sc: sc, pool: runner.NewPool(sc.Workers),
+	// One host-core budget across both parallelism levels: a defaulted
+	// Workers shrinks with the shard width instead of stacking on top of it.
+	return &engine{sc: sc, pool: runner.NewPool(runner.BudgetedWorkers(sc.Workers, sc.ShardWorkers)),
 		fail: &firstErr{}, runners: map[int]*workload.Runner{}}
 }
 

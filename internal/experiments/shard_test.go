@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"clip/internal/runner"
+)
+
+// TestReportShardWorkersEquivalence extends the engine's determinism
+// guarantee to intra-simulation parallelism: a figure report produced with
+// shard-parallel ticks (ShardWorkers=2, including one run-level worker racing
+// another) is byte-identical to the serial-tick report. The shared run cache
+// is dropped between runs so the second run really recomputes every
+// simulation with the new tick mode.
+func TestReportShardWorkersEquivalence(t *testing.T) {
+	e, err := Lookup("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := micro()
+	sc.Workers = 2
+	sc.ShardWorkers = 0
+	runner.ResetShared()
+	serial, err := e.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.ShardWorkers = 2
+	runner.ResetShared()
+	shard, err := e.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != shard.String() {
+		t.Errorf("serial and shard-parallel reports differ:\n--- serial ---\n%s\n--- shard ---\n%s",
+			serial.String(), shard.String())
+	}
+	if !reflect.DeepEqual(serial.Values, shard.Values) {
+		t.Errorf("headline values differ: %v vs %v", serial.Values, shard.Values)
+	}
+}

@@ -161,6 +161,10 @@ type Mesh struct {
 	// skippable and only router-stage releases remain.
 	live       int
 	linkActive int
+
+	// sealed (clipdebug only) marks the shard-parallel tile phase, during
+	// which direct Send calls are forbidden — see Staging.
+	sealed bool
 }
 
 type pendingHop struct {
@@ -260,6 +264,11 @@ func (m *Mesh) HopCount(src, dst int) int { return len(m.route(src, dst)) }
 // Send injects a packet. deliver is invoked (during a later Tick) when the
 // packet reaches dst. Zero-hop sends deliver after the router stage.
 func (m *Mesh) Send(src, dst, flits int, high bool, deliver func(cycle uint64)) {
+	if invariant.Enabled {
+		invariant.Check(!m.sealed,
+			"noc: direct Send(%d->%d) during the sealed tile phase; tile code must "+
+				"stage injections and let the commit phase flush them", src, dst)
+	}
 	if flits <= 0 {
 		flits = 1
 	}

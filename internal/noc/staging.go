@@ -1,0 +1,54 @@
+package noc
+
+// Staging is a deferred-injection buffer for Mesh.Send. The shard-parallel
+// tick runs per-core tiles concurrently, and tiles must not touch the shared
+// mesh: tile-phase code records injections in a per-tile Staging instead, and
+// the commit phase replays them with FlushTo in ascending core order — the
+// exact injection order the serial per-core loop produces. Because Send only
+// appends to VC rings and stamps times from the mesh clock (which does not
+// advance between the tile phase and the commit), a staged-then-flushed
+// injection is byte-identical to a direct one.
+//
+// The zero value is an empty buffer ready for use; the backing array is
+// reused across cycles, so a tile in steady state stages without allocating.
+type Staging struct {
+	pending []Injection
+}
+
+// Injection is one recorded Mesh.Send call.
+type Injection struct {
+	Src, Dst, Flits int
+	High            bool
+	Deliver         func(cycle uint64)
+}
+
+// Send records an injection for later replay. It mirrors Mesh.Send's
+// signature so callers can switch between direct and staged injection.
+func (st *Staging) Send(src, dst, flits int, high bool, deliver func(cycle uint64)) {
+	st.pending = append(st.pending, Injection{
+		Src: src, Dst: dst, Flits: flits, High: high, Deliver: deliver,
+	})
+}
+
+// Len returns the number of staged injections.
+func (st *Staging) Len() int { return len(st.pending) }
+
+// FlushTo replays every staged injection into m in staging order and empties
+// the buffer. Delivery closures are cleared so popped entries do not pin the
+// requests they captured.
+func (st *Staging) FlushTo(m *Mesh) {
+	for i := range st.pending {
+		in := &st.pending[i]
+		m.Send(in.Src, in.Dst, in.Flits, in.High, in.Deliver)
+		in.Deliver = nil
+	}
+	st.pending = st.pending[:0]
+}
+
+// Seal marks the start of a tile phase (clipdebug builds): a direct Send
+// while sealed panics, proving every tile-phase injection went through a
+// per-tile Staging buffer. Release builds never seal.
+func (m *Mesh) Seal() { m.sealed = true }
+
+// Unseal marks the end of a tile phase.
+func (m *Mesh) Unseal() { m.sealed = false }

@@ -23,6 +23,8 @@ type delayedReq struct {
 }
 
 // Issue implements cpu.MemoryPort.
+//
+//clipvet:tilephase
 func (p *corePort) Issue(req mem.Request) bool {
 	if p.tlbs == nil {
 		return p.s.l1d[p.core].Issue(req)
@@ -56,6 +58,8 @@ func (p *corePort) NextEvent(now uint64) uint64 {
 }
 
 // Tick retries matured translations.
+//
+//clipvet:tilephase
 func (p *corePort) Tick(cycle uint64) {
 	if len(p.pending) == 0 {
 		return

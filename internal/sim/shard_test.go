@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// shardArms enumerates the execution-mode cross-product the shard-parallel
+// equivalence contract is enforced over: {serial, parallel} × {skip, noskip},
+// plus an uneven tile partition (3 workers over 4 cores) and a worker count
+// exceeding the core count (clamped). Every arm must produce byte-identical
+// results; the serial staged path is the reference.
+var shardArms = []struct {
+	name   string
+	shard  int
+	noskip bool
+}{
+	{"serial-skip", 0, false},
+	{"serial-noskip", 0, true},
+	{"shard2-skip", 2, false},
+	{"shard2-noskip", 2, true},
+	{"shard3-skip", 3, false},
+	{"shard64-skip", 64, false},
+}
+
+// runArms executes cfg under every arm and fails on the first divergence
+// from the serial-skip reference.
+func runArms(t *testing.T, cfg Config) {
+	t.Helper()
+	var refRes *Result
+	var refJSON []byte
+	for _, arm := range shardArms {
+		c := cfg
+		c.ShardWorkers = arm.shard
+		c.DisableSkip = arm.noskip
+		res := mustRun(t, c)
+		if !res.Finished {
+			t.Fatalf("%s: run did not finish", arm.name)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refJSON == nil {
+			refRes, refJSON = res, data
+			continue
+		}
+		if !reflect.DeepEqual(refRes, res) {
+			t.Errorf("%s: results diverge from %s", arm.name, shardArms[0].name)
+		}
+		if !bytes.Equal(refJSON, data) {
+			t.Fatalf("%s vs %s not byte-identical: %s",
+				shardArms[0].name, arm.name, firstDiff(refJSON, data))
+		}
+	}
+}
+
+// TestShardEquivalenceMatrix is the determinism contract for the
+// shard-parallel tile phase: for every mechanism combination of the skip
+// matrix (CLIP, Hermes, fdp throttler, dynamic CLIP, priority-off,
+// heterogeneous+DSPatch) and two seeds, the full Result must be identical
+// whether tiles tick serially or concurrently, with cycle skipping on or
+// off. Combined with the staging design (commit order = serial order) this
+// is what makes it safe to run one big simulation on all host cores.
+func TestShardEquivalenceMatrix(t *testing.T) {
+	for name, cfg := range skipMatrix() {
+		for seed := uint64(1); seed <= 2; seed++ {
+			cfg := cfg
+			cfg.Seed = seed
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				t.Parallel()
+				runArms(t, cfg)
+			})
+		}
+	}
+}
+
+// TestShardValidation covers the config knob's edges: negative worker
+// counts are rejected, and a parallel system releases its workers on Close.
+func TestShardValidation(t *testing.T) {
+	cfg := skipMatrix()["clip"]
+	cfg.ShardWorkers = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative ShardWorkers accepted")
+	}
+	cfg.ShardWorkers = 2
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.pool == nil {
+		t.Fatal("ShardWorkers=2 built no pool")
+	}
+	s.Tick()
+	s.Close()
+	if s.pool != nil {
+		t.Fatal("Close left the pool armed")
+	}
+	s.Close() // idempotent
+}

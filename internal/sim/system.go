@@ -84,6 +84,14 @@ type System struct {
 	// nextThrottle is the next throttler-epoch deadline (unused when no
 	// throttler is configured).
 	nextThrottle uint64
+
+	// stage holds one staging buffer per tile: the tile phase writes its own
+	// entry only, and the commit phase drains them in ascending core index
+	// (tile.go / commit.go).
+	stage []tileStage
+	// pool runs the tile phase on ShardWorkers goroutines; nil ticks tiles
+	// inline (the serial mode — same code path, same staging).
+	pool *shardPool
 }
 
 type scoredPredictor struct {
@@ -113,6 +121,7 @@ func NewSystem(cfg Config) (*System, error) {
 		dram:         dram.MustNew(cfg.dramConfig()),
 		llcRetry:     make([]mem.Ring[mem.Request], n),
 		pfQ:          make([]mem.Ring[pfEntry], n),
+		stage:        make([]tileStage, n),
 		hermesBypass: map[uint64]int{},
 		epochPrev:    make([]epochSnapshot, n),
 		attachL2:     prefetchAttachL2(cfg.Prefetcher),
@@ -241,13 +250,34 @@ func NewSystem(cfg Config) (*System, error) {
 
 	s.skip = !cfg.DisableSkip
 	s.coreNext = make([]uint64, n)
-	for _, c := range s.cores {
-		c.OnFinished(func() { s.finished++ })
+	for i, c := range s.cores {
+		i := i
+		// A core finishing its budget fires during the (possibly concurrent)
+		// tile phase; the delta folds into s.finished at commit.
+		c.OnFinished(func() { s.stage[i].finished++ })
 	}
 	if s.throttler != nil {
 		s.nextThrottle = s.throttleEpoch()
 	}
+	if w := cfg.ShardWorkers; w > 1 {
+		if w > n {
+			w = n
+		}
+		if w > 1 {
+			s.pool = newShardPool(s, w)
+		}
+	}
 	return s, nil
+}
+
+// Close releases the shard-worker goroutines (a no-op for serial systems).
+// Run closes the system itself; callers driving Tick directly on a
+// ShardWorkers system should defer it.
+func (s *System) Close() {
+	if s.pool != nil {
+		s.pool.stop()
+		s.pool = nil
+	}
 }
 
 // throttleEpoch returns the throttler epoch length.
@@ -284,11 +314,15 @@ type l2Lower struct {
 	core int
 }
 
-// Issue implements cache.Lower.
+// Issue implements cache.Lower. It runs in the tile phase, so the injection
+// is staged in the tile's buffer and reaches the mesh at commit time — in
+// the same ascending-core order the serial loop injected directly.
+//
+//clipvet:tilephase
 func (l *l2Lower) Issue(req mem.Request) bool {
 	s := l.s
 	slice := s.sliceOf(req.Addr)
-	s.mesh.Send(l.core, slice, noc.FlitsPerAddr, s.packetHigh(req), func(cy uint64) {
+	s.stage[l.core].sends.Send(l.core, slice, noc.FlitsPerAddr, s.packetHigh(req), func(cy uint64) {
 		if !s.llc[slice].Issue(req) {
 			s.llcRetry[slice].Push(req)
 		}
@@ -302,27 +336,36 @@ type l1Lower struct {
 	core int
 }
 
-// Issue implements cache.Lower.
+// Issue implements cache.Lower. It runs in the tile phase: the Hermes
+// bypass stages its direct-DRAM read in the tile's queue (issued to the
+// controller at commit time, in core order) instead of mutating the shared
+// controller mid-phase. A full staging queue backpressures the L1 miss path
+// the way a full DRAM read queue did when the bypass issued synchronously.
+//
+//clipvet:tilephase
 func (l *l1Lower) Issue(req mem.Request) bool {
 	s := l.s
 	if h := s.hermesFor(l.core); h != nil && req.Type == mem.Load {
 		if h.PredictOffChip(req.IP, req.Addr) {
 			slice := s.sliceOf(req.Addr)
+			st := &s.stage[l.core]
 			if !s.l2[l.core].Probe(req.Addr) && !s.llc[slice].Probe(req.Addr) {
-				// True off-chip: start the DRAM access now, skipping the
-				// on-chip walk (the paper's latency saving).
-				if s.dram.Issue(req) {
-					s.hermesBypass[bypassKey(l.core, req.Addr)]++
-					return true
+				// True off-chip: stage the DRAM access, skipping the on-chip
+				// walk (the paper's latency saving).
+				if st.dramQ.Len() >= directDRAMDepth {
+					return false
 				}
-				return false
+				st.dramQ.Push(stagedRead{req: req, bypass: true})
+				return true
 			}
 			// Mispredicted probe: the real Hermes would have burned a DRAM
 			// read; model the wasted bandwidth with a low-priority read.
 			waste := req
 			waste.Type = mem.Prefetch
 			waste.ROBIndex = -1
-			s.dram.Issue(waste)
+			if st.dramQ.Len() < directDRAMDepth {
+				st.dramQ.Push(stagedRead{req: waste})
+			}
 		}
 	}
 	return s.l2[l.core].Issue(req)
@@ -339,37 +382,23 @@ func (s *System) hermesFor(core int) *hermes.Predictor {
 	return s.hermes[core]
 }
 
-// Tick advances the whole system one cycle. With skipping enabled, provably
+// Tick advances the whole system one cycle in two phases plus a serial
+// tail. Phase 1 (tile phase) ticks every per-core tile — concurrently on
+// the shard pool when ShardWorkers > 1, inline otherwise — with all
+// cross-tile effects staged per tile. Phase 2 (commit) replays the staged
+// effects serially in ascending core index, the exact order the old serial
+// loop produced them. The tail (mesh, LLC slices, DRAM, deliveries,
+// throttlers) is serial and unchanged. With skipping enabled, provably
 // quiescent components get their per-cycle accounting applied in place of a
-// full walk (an idle L2 on a stalled core is never traversed); the results
-// are byte-identical to the strict loop either way.
+// full walk; results are byte-identical across all four mode combinations.
 func (s *System) Tick() {
 	cy := s.cycle
 	skip := s.skip
 	s.coresTicked = 0
-	for i, c := range s.cores {
-		if skip && s.coreNext[i] > cy && !c.Woken() {
-			c.SkipCycles(cy, 1)
-		} else {
-			c.Tick(cy)
-			s.coresTicked++
-			if skip {
-				s.coreNext[i] = c.NextEvent(cy + 1)
-			}
-		}
-		s.ports[i].Tick(cy)
-		s.drainPFQ(i)
-		if l1 := s.l1d[i]; !skip || l1.NextEvent(cy) <= cy {
-			l1.Tick(cy)
-		} else {
-			l1.SkipTick(cy)
-		}
-		if l2 := s.l2[i]; !skip || l2.NextEvent(cy) <= cy {
-			l2.Tick(cy)
-		} else {
-			l2.SkipTick(cy)
-		}
-	}
+	s.seal()
+	s.runTiles(cy)
+	s.unseal()
+	s.commit()
 	if s.dynClip != nil {
 		// The utilization signal is only sampled on epoch boundaries; skip
 		// the O(channels) read on every other cycle.
@@ -404,80 +433,6 @@ func (s *System) Tick() {
 	s.cycle++
 }
 
-// drainPFQ issues queued prefetches while the target caches accept them
-// (up to two per cycle, the prefetcher's issue bandwidth). The queue is a
-// ring, so draining reuses the buffer instead of resizing the head away.
-func (s *System) drainPFQ(i int) {
-	q := &s.pfQ[i]
-	issued := 0
-	for q.Len() > 0 && issued < 2 {
-		e := q.Front()
-		target := s.l1d[i]
-		if e.toL2 {
-			target = s.l2[i]
-		}
-		if !target.TryIssue(e.req) {
-			break
-		}
-		q.PopFront()
-		issued++
-		s.pfIssued[i]++
-	}
-}
-
-// hermesFillPath is the on-chip latency a Hermes-accelerated fill still
-// pays on its way to the L1 (LLC+L2 fill pipeline and the return NoC hops);
-// the bypass only removes the serialized cache *walk* before DRAM.
-const hermesFillPath = 45
-
-// deliverHermesHeld completes bypassed fills whose on-chip path elapsed.
-func (s *System) deliverHermesHeld(cy uint64) {
-	if len(s.hermesHold) == 0 {
-		return
-	}
-	rest := s.hermesHold[:0]
-	for _, r := range s.hermesHold {
-		if r.DoneCycle > cy {
-			rest = append(rest, r)
-			continue
-		}
-		s.llc[s.sliceOf(r.Req.Addr)].Fill(r)
-		s.l2[r.Req.Core].Fill(r)
-		s.l1d[r.Req.Core].Fill(r)
-	}
-	s.hermesHold = rest
-}
-
-// deliverDRAM routes matured DRAM responses.
-func (s *System) deliverDRAM(cy uint64) {
-	if len(s.dramPending) == 0 {
-		return
-	}
-	rest := s.dramPending[:0]
-	for _, r := range s.dramPending {
-		if r.DoneCycle > cy {
-			rest = append(rest, r)
-			continue
-		}
-		key := bypassKey(r.Req.Core, r.Req.Addr)
-		if n, ok := s.hermesBypass[key]; ok && n > 0 && r.Req.Type == mem.Load {
-			if n == 1 {
-				delete(s.hermesBypass, key)
-			} else {
-				s.hermesBypass[key] = n - 1
-			}
-			// Bypass fill: hold it for the on-chip fill path Hermes still
-			// traverses, then wake the L1 MSHR and install copies.
-			held := r
-			held.DoneCycle = cy + hermesFillPath
-			s.hermesHold = append(s.hermesHold, held)
-			continue
-		}
-		s.llc[s.sliceOf(r.Req.Addr)].Fill(r)
-	}
-	s.dramPending = rest
-}
-
 // Finished reports whether every core retired its budget. The count is
 // maintained by per-core OnFinished events (and re-armed at the warmup
 // barrier), so this is O(1) instead of a per-cycle core scan.
@@ -502,6 +457,9 @@ func (s *System) horizon(now uint64) uint64 {
 		fold(s.ports[i].NextEvent(now))
 		if s.pfQ[i].Len() > 0 {
 			return now // queued prefetches retry their cache every cycle
+		}
+		if s.stage[i].dramQ.Len() > 0 {
+			return now // staged direct-DRAM reads retry the controller every cycle
 		}
 		fold(s.l1d[i].NextEvent(now))
 		fold(s.l2[i].NextEvent(now))
@@ -599,6 +557,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer s.Close()
 	maxCycles := cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = (cfg.WarmupInstr + cfg.InstrPerCore) * 300
