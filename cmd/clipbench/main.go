@@ -17,6 +17,14 @@
 // Unlike cycles/s, allocs/op is host-independent and near-deterministic, so
 // a tight gate on it catches hot-path allocation regressions that wall-clock
 // noise would mask.
+//
+// Every measured benchmark must be present in the baseline: a missing entry
+// fails the comparison rather than silently shrinking the gate (a renamed or
+// newly added benchmark family would otherwise ride ungated until someone
+// noticed). The -shardallocparity gate additionally compares the fresh
+// TickParallel/shard1 measurement against SimulatorThroughput on a per-core
+// basis: both workloads run the same tile code, so the shard path staging a
+// tick must not allocate materially more per core than the serial loop.
 package main
 
 import (
@@ -42,6 +50,9 @@ type Record struct {
 	Iterations   int     `json:"iterations"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	GOMAXPROCS   int     `json:"gomaxprocs,omitempty"`
+	// Slab records the flat-slab geometry NewSystem allocates for this
+	// benchmark's config — the memory shape behind the number.
+	Slab *clip.SlabGeometry `json:"slab_geometry,omitempty"`
 }
 
 // Report is the BENCH_simthroughput.json schema. SkipSpeedup is the
@@ -72,6 +83,7 @@ func run() int {
 		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional cycles/s regression vs the baseline")
 		minSpeed  = flag.Float64("minspeedup", 0, "fail unless TickIdle skip/noskip speedup is at least this (0 = no check)")
 		maxAlloc  = flag.Float64("maxallocgrowth", 0.10, "allowed fractional allocs/op growth vs the baseline (0 = no check)")
+		parity    = flag.Float64("shardallocparity", 0.10, "allowed fractional per-core allocs/op excess of TickParallel/shard1 over SimulatorThroughput (0 = no check)")
 		stamp     = flag.String("stamp", "", "timestamp to embed in the JSON (explicit input, kept out of comparisons)")
 	)
 	flag.Parse()
@@ -93,13 +105,17 @@ func run() int {
 				cycles += r.Cycles
 			}
 		})
-		return Record{
+		rec := Record{
 			CyclesPerSec: float64(cycles) / res.T.Seconds(),
 			NsPerOp:      float64(res.NsPerOp()),
 			Iterations:   res.N,
 			AllocsPerOp:  res.AllocsPerOp(),
 			GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		}
+		if g, err := clip.BenchSlabGeometry(cfg); err == nil {
+			rec.Slab = &g
+		}
+		return rec
 	}
 
 	configFor := func(name string) clip.Config {
@@ -166,6 +182,11 @@ func run() int {
 		for _, name := range benchNames {
 			b, ok := base.Benchmarks[name]
 			if !ok {
+				// A missing entry means the baseline predates this benchmark
+				// (or the family was renamed): the gate would silently shrink.
+				// Regenerate the baseline with -out instead.
+				fmt.Fprintf(os.Stderr, "%-22s MISSING from baseline %s — regenerate it\n", name, *baseline)
+				failed = true
 				continue
 			}
 			got := rep.Benchmarks[name]
@@ -199,6 +220,24 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "%-22s %8d allocs/op vs baseline %8d (ceiling %8.0f) %s\n",
 					name, got.AllocsPerOp, b.AllocsPerOp, ceiling, verdict)
 			}
+		}
+	}
+	if *parity > 0 {
+		serial, shard := rep.Benchmarks["SimulatorThroughput"], rep.Benchmarks["TickParallel/shard1"]
+		// The two workloads differ in core count (8 vs 64), so the comparable
+		// quantity is allocations per simulated core: the tile code is shared,
+		// and per-core cost is what the staging protocol could inflate.
+		if serial.Slab != nil && shard.Slab != nil && serial.Slab.Cores > 0 && shard.Slab.Cores > 0 {
+			perSerial := float64(serial.AllocsPerOp) / float64(serial.Slab.Cores)
+			perShard := float64(shard.AllocsPerOp) / float64(shard.Slab.Cores)
+			ceiling := perSerial * (1 + *parity)
+			verdict := "ok"
+			if perShard > ceiling {
+				verdict = "SHARD ALLOC EXCESS"
+				failed = true
+			}
+			fmt.Fprintf(os.Stderr, "shard1 allocs/core %8.1f vs serial %8.1f (ceiling %8.1f) %s\n",
+				perShard, perSerial, ceiling, verdict)
 		}
 	}
 	if *minSpeed > 0 && rep.SkipSpeedup < *minSpeed {

@@ -1,5 +1,6 @@
 // Command clipvet runs the project's determinism analyzers (see
-// internal/analysis): maporder, wallclock, trainalias and floatsum.
+// internal/analysis): maporder, wallclock, trainalias, floatsum, hotmap,
+// sharedstate and soaescape.
 //
 // Standalone:
 //

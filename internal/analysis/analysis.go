@@ -35,6 +35,10 @@
 //     //clipvet:tilephase function (code that runs concurrently across tiles
 //     during the shard-parallel tick); cross-tile effects must go through the
 //     per-tile staging buffers, unless annotated //clipvet:staged.
+//   - soaescape: retaining a pointer or reslice into a slab slice (&slab[i],
+//     slab[a:b]) in a struct field, package variable or composite literal
+//     inside a //clipvet:slab function — slab entries are recycled every
+//     tick — unless annotated //clipvet:slabok.
 //
 // # Annotations
 //
@@ -184,7 +188,7 @@ func internalSegment(pkgPath string) string {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, WallClock, TrainAlias, FloatSum, HotMap, SharedState}
+	return []*Analyzer{MapOrder, WallClock, TrainAlias, FloatSum, HotMap, SharedState, SoaEscape}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

@@ -28,6 +28,8 @@ func TestHotMap(t *testing.T)     { testAnalyzer(t, HotMap, "clip/internal/dspat
 
 func TestSharedState(t *testing.T) { testAnalyzer(t, SharedState, "clip/internal/sim/shard") }
 
+func TestSoaEscape(t *testing.T) { testAnalyzer(t, SoaEscape, "clip/internal/cache") }
+
 // Outside the deterministic package set the whole suite must stay silent,
 // even over code that would trip every analyzer inside it.
 func TestSuiteSilentOutsideContract(t *testing.T) {

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SoaEscape enforces the flat-slab aliasing contract of the
+// structure-of-arrays tick kernels: hot-path functions annotated
+// //clipvet:slab index into slabs — contiguous slices allocated once at
+// NewSystem whose entries are recycled every tick (mesh packet slab, pending
+// DRAM responses, MSHR columns). Taking the address of an entry (&slab[i]) or
+// reslicing a window (slab[a:b]) inside such a function is fine as long as
+// the alias dies with the call; storing it in a struct field, a package
+// variable, or a composite literal retains it across ticks, after which the
+// entry has been recycled and the pointer silently reads another request's
+// state. Locals are safe (the tick is the validity window); value copies
+// (*p, slab[i] without &) are always safe.
+//
+// Deliberate retention — e.g. a scratch field pinned only within one tick by
+// construction — carries a //clipvet:slabok annotation with a one-line
+// justification.
+var SoaEscape = &Analyzer{
+	Name: "soaescape",
+	Doc: "flags //clipvet:slab functions retaining pointers into slab slices " +
+		"(&slab[i] or slab[a:b] stored in fields, package variables or composite " +
+		"literals) across ticks; annotate //clipvet:slabok for deliberate pins",
+	Run: runSoaEscape,
+}
+
+func runSoaEscape(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.HasDirective(fd.Pos(), "slab") {
+				continue
+			}
+			checkSlabFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkSlabFunc(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				kind := slabAlias(pass, rhs)
+				if kind == "" || pass.HasDirective(rhs.Pos(), "slabok") {
+					continue
+				}
+				if where := retentionSite(pass, n.Lhs[i]); where != "" {
+					pass.Reportf(rhs.Pos(),
+						"slab %s retained in %s: slab entries are recycled every tick, "+
+							"so the alias must not outlive this call — copy the value or "+
+							"annotate //clipvet:slabok with a justification", kind, where)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				kind := slabAlias(pass, v)
+				if kind == "" || pass.HasDirective(v.Pos(), "slabok") {
+					continue
+				}
+				pass.Reportf(v.Pos(),
+					"slab %s retained in a composite literal: slab entries are recycled "+
+						"every tick, so the alias must not outlive this call — copy the "+
+						"value or annotate //clipvet:slabok with a justification", kind)
+			}
+		}
+		return true
+	})
+}
+
+// slabAlias classifies e as an aliasing expression into a slice: an element
+// pointer (&x[i]) or a reslice (x[a:b]). Empty string means e does not alias
+// slice backing storage. Aliases reached through intermediate locals are out
+// of scope — the fixtures define the contract as direct stores.
+func slabAlias(pass *Pass, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return ""
+		}
+		ix, ok := ast.Unparen(e.X).(*ast.IndexExpr)
+		if !ok || !isSliceExpr(pass, ix.X) {
+			return ""
+		}
+		return "element pointer " + types.ExprString(e)
+	case *ast.SliceExpr:
+		if !isSliceExpr(pass, e.X) {
+			return ""
+		}
+		return "reslice " + types.ExprString(e)
+	}
+	return ""
+}
+
+func isSliceExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}

@@ -1,0 +1,54 @@
+// Package cache exercises the soaescape analyzer: functions annotated
+// //clipvet:slab index into flat slab slices whose entries are recycled
+// every tick, so pointers and reslices into them must not be retained in
+// struct fields, package variables or composite literals.
+package cache
+
+type waiter struct{ core int }
+
+type probe struct{ p *uint64 }
+
+// Cache mirrors the real structure's shape: slab columns next to scratch
+// pointer fields a careless refactor might park an alias in.
+type Cache struct {
+	slab     []uint64
+	mshrLine []uint64
+	wait     []waiter
+	cur      *uint64
+	window   []uint64
+	lastW    *waiter
+}
+
+var escaped *uint64
+
+//clipvet:slab
+func (c *Cache) lookup(i int) uint64 {
+	// Locals are fine: the alias dies with the call.
+	w := &c.slab[i]
+	*w++
+	span := c.slab[i : i+1]
+	_ = span
+	v := c.slab[i] // value copy, always safe
+	_ = probe{p: w}
+
+	// Retention is not.
+	c.cur = &c.slab[i]         // want "slab element pointer &c.slab\\[i\\] retained in struct field c.cur"
+	c.window = c.slab[i : i+2] // want "slab reslice .* retained in struct field c.window"
+	escaped = &c.mshrLine[i]   // want "slab element pointer .* retained in package variable escaped"
+	c.lastW = &c.wait[i]       // want "slab element pointer .* retained in struct field c.lastW"
+	_ = probe{p: &c.slab[i]}   // want "slab element pointer .* retained in a composite literal"
+	return v
+}
+
+//clipvet:slab
+func (c *Cache) fill(i int) {
+	// A justified pin passes.
+	//clipvet:slabok cleared before Tick returns; never crosses a tick
+	c.cur = &c.slab[i]
+}
+
+// touch has no annotation, so the analyzer ignores it entirely.
+func (c *Cache) touch(i int) {
+	c.cur = &c.slab[i]
+	escaped = &c.slab[i]
+}

@@ -7,30 +7,41 @@
 // applies backpressure by returning false), misses flow to the Lower level,
 // and fills return through Fill. Responses to the level above are delivered
 // via the OnResponse callback.
+//
+// Storage is structure-of-arrays, carved from a single uint64 slab allocated
+// at construction: tags pack validity into bit 0 so the way scan is one
+// word compare per way, dirty/prefetch state lives in per-set way bitmaps,
+// and the MSHR file is parallel arrays scheduled by a table.Bits occupancy
+// bitmap (first-free allocation, ascending-order merge scan — the exact
+// semantics of the per-entry loops this replaces).
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"clip/internal/invariant"
 	"clip/internal/mem"
 	"clip/internal/stats"
+	"clip/internal/table"
 )
 
 // TraceLine, when nonzero, logs every lifecycle event of one cache line
 // through every cache instance (bring-up / debugging aid).
 var TraceLine mem.Addr
 
-func (c *Cache) trace(event string, req mem.Request) {
+func (c *Cache) trace(event string, req *mem.Request) {
 	if TraceLine != 0 && req.Addr.Line() == TraceLine {
 		fmt.Printf("  [%s cy%d] %s type=%v owned=%v fill=%v\n",
 			c.cfg.Name, c.cycle, event, req.Type, req.Owned, req.FillLevel)
 	}
 }
 
-// Lower is the next level down (another cache, a NoC adapter, or DRAM).
+// Lower is the next level down (another cache, a NoC adapter, or DRAM). The
+// request is fully consumed during the call (copied if queued); callees must
+// not retain the pointer.
 type Lower interface {
-	Issue(req mem.Request) bool
+	Issue(req *mem.Request) bool
 }
 
 // Config sizes one cache instance.
@@ -50,6 +61,9 @@ type Config struct {
 func (c Config) Validate() error {
 	if c.Sets <= 0 || c.Ways <= 0 || (c.Sets&(c.Sets-1)) != 0 {
 		return fmt.Errorf("cache %s: sets must be a positive power of two, ways positive", c.Name)
+	}
+	if c.Ways > 64 {
+		return fmt.Errorf("cache %s: ways %d exceeds the 64-way bitmap limit", c.Name, c.Ways)
 	}
 	if c.MSHRs <= 0 || c.Ports <= 0 {
 		return fmt.Errorf("cache %s: MSHRs and Ports must be positive", c.Name)
@@ -94,23 +108,6 @@ func (s *Stats) Accuracy() float64 {
 	return stats.Ratio(s.PFUseful+s.PFLate, s.PFFills+s.PFLate)
 }
 
-type line struct {
-	valid    bool
-	tag      uint64
-	dirty    bool
-	prefetch bool // brought in by a prefetch, not yet demand-touched
-	trigger  uint64
-}
-
-type mshr struct {
-	valid      bool
-	lineAddr   mem.Addr
-	isPrefetch bool // the original allocator was a prefetch
-	firstCycle uint64
-	waiters    []waiter
-	pfReq      mem.Request // original prefetch request (for fill bookkeeping)
-}
-
 // waiter is a request parked on an MSHR, with its arrival cycle so demand
 // miss latency is measured from *its* arrival (a late-prefetch merge waits
 // less than the full fill time).
@@ -139,20 +136,44 @@ type AccessEvent struct {
 // Cache is one level of the hierarchy.
 type Cache struct {
 	cfg    Config
-	lines  []line
 	policy Policy
 	lower  Lower
 
-	inQ     mem.Ring[queued]
-	wbQ     mem.Ring[mem.Request]
-	mshrs   []mshr
-	mshrCnt int
+	// Line state, structure-of-arrays. tags[set*Ways+way] packs the tag as
+	// tag<<1|1 so zero means invalid and the way scan is a single compare.
+	// dirtyBits/pfBits[set] hold one bit per way. trigger[set*Ways+way] is
+	// the prefetch trigger IP. All four are carved from slab.
+	slab      []uint64
+	tags      []uint64
+	trigger   []uint64
+	dirtyBits []uint64
+	pfBits    []uint64
+
+	inQ mem.Ring[queued]
+	wbQ mem.Ring[mem.Request]
+
+	// MSHR file, structure-of-arrays scheduled by mshrValid: allocation is
+	// FirstClear (lowest free slot), the merge scan walks set bits ascending
+	// — both exactly the orders of the former per-entry loops.
+	mshrValid table.Bits
+	mshrPF    table.Bits // allocator was a prefetch
+	mshrLine  []mem.Addr
+	mshrFirst []uint64      // allocation cycle
+	mshrPfReq []mem.Request // original prefetch request (fill bookkeeping)
+	mshrWait  [][]waiter
 
 	respQ []mem.Response // responses to the level above, ready-ordered
 
-	onResp    func(mem.Response)
-	onAccess  func(AccessEvent)
+	onResp    func(*mem.Response)
+	onAccess  func(*AccessEvent)
 	onPFEvict func(trigger uint64, addr mem.Addr)
+
+	// down buffers the request forwarded to the lower level so the pointer
+	// handed through the Lower interface never forces a per-miss heap
+	// allocation; accessEv likewise for the training callback. Callees
+	// consume both synchronously.
+	down     mem.Request
+	accessEv AccessEvent
 
 	cycle uint64
 	stats Stats
@@ -170,13 +191,30 @@ func New(cfg Config, lower Lower) (*Cache, error) {
 	if cfg.Latency == 0 {
 		cfg.Latency = 1
 	}
-	return &Cache{
-		cfg:    cfg,
-		lines:  make([]line, cfg.Sets*cfg.Ways),
-		policy: NewPolicy(cfg.Policy, cfg.Sets, cfg.Ways),
-		lower:  lower,
-		mshrs:  make([]mshr, cfg.MSHRs),
-	}, nil
+	c := &Cache{
+		cfg:       cfg,
+		policy:    NewPolicy(cfg.Policy, cfg.Sets, cfg.Ways),
+		lower:     lower,
+		mshrValid: table.NewBits(cfg.MSHRs),
+		mshrPF:    table.NewBits(cfg.MSHRs),
+		mshrLine:  make([]mem.Addr, cfg.MSHRs),
+		mshrFirst: make([]uint64, cfg.MSHRs),
+		mshrPfReq: make([]mem.Request, cfg.MSHRs),
+		mshrWait:  make([][]waiter, cfg.MSHRs),
+	}
+	lines := cfg.Sets * cfg.Ways
+	c.slab = make([]uint64, 2*lines+2*cfg.Sets)
+	c.tags, c.trigger = c.slab[:lines], c.slab[lines:2*lines]
+	c.dirtyBits = c.slab[2*lines : 2*lines+cfg.Sets]
+	c.pfBits = c.slab[2*lines+cfg.Sets:]
+	// Carve every MSHR's waiter list out of one backing array (full slice
+	// expressions cap each list at its 8-slot share, so an overflowing append
+	// migrates that list to its own array instead of clobbering a neighbour).
+	wbacking := make([]waiter, cfg.MSHRs*8)
+	for i := range c.mshrWait {
+		c.mshrWait[i] = wbacking[i*8 : i*8 : (i+1)*8]
+	}
+	return c, nil
 }
 
 // MustNew panics on config errors.
@@ -194,20 +232,26 @@ func (c *Cache) Stats() *Stats { return &c.stats }
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-// OnResponse registers the response sink for the level above.
-func (c *Cache) OnResponse(f func(mem.Response)) { c.onResp = f }
+// SlabWords returns the line-state slab size in words (bench diagnostics).
+func (c *Cache) SlabWords() int { return len(c.slab) }
 
-// OnAccess registers the prefetcher-training callback (demand stream).
-func (c *Cache) OnAccess(f func(AccessEvent)) { c.onAccess = f }
+// OnResponse registers the response sink for the level above. The response
+// pointer is only valid for the duration of the call.
+func (c *Cache) OnResponse(f func(*mem.Response)) { c.onResp = f }
+
+// OnAccess registers the prefetcher-training callback (demand stream). The
+// event pointer is only valid for the duration of the call.
+func (c *Cache) OnAccess(f func(*AccessEvent)) { c.onAccess = f }
 
 // OnPFEvict registers a callback fired when a prefetched line is evicted
 // without ever being demand-touched (negative usefulness feedback for PPF).
 func (c *Cache) OnPFEvict(f func(trigger uint64, addr mem.Addr)) { c.onPFEvict = f }
 
-// Issue enqueues a request. Returns false (caller must retry) when the input
-// queue is full — except prefetches, which are dropped instead of retried,
-// matching the paper's "dropped and not allocated to the MSHR" semantics.
-func (c *Cache) Issue(req mem.Request) bool {
+// Issue enqueues a request (copied; the pointer is not retained). Returns
+// false (caller must retry) when the input queue is full — except
+// prefetches, which are dropped instead of retried, matching the paper's
+// "dropped and not allocated to the MSHR" semantics.
+func (c *Cache) Issue(req *mem.Request) bool {
 	if c.inQ.Len() >= c.cfg.InQ {
 		if req.Type == mem.Prefetch && !req.Owned {
 			c.trace("issue-drop-pf", req)
@@ -218,11 +262,11 @@ func (c *Cache) Issue(req mem.Request) bool {
 		return false
 	}
 	c.trace("issue-accept", req)
-	if req.Type == mem.Prefetch && req.FillLevel == mem.LevelNone {
-		req.FillLevel = mem.LevelL1
-	}
 	// The request arrives next cycle; the tag lookup then takes Latency.
-	c.inQ.Push(queued{req: req, ready: c.cycle + 1 + c.cfg.Latency})
+	c.inQ.Push(queued{req: *req, ready: c.cycle + 1 + c.cfg.Latency})
+	if req.Type == mem.Prefetch && req.FillLevel == mem.LevelNone {
+		c.inQ.At(c.inQ.Len() - 1).req.FillLevel = mem.LevelL1
+	}
 	if invariant.Enabled {
 		invariant.Check(c.inQ.Len() <= c.cfg.InQ,
 			"cache %s: input queue occupancy %d exceeds depth %d",
@@ -234,7 +278,7 @@ func (c *Cache) Issue(req mem.Request) bool {
 // TryIssue is Issue without the silent prefetch drop: it returns false when
 // the input queue is full so the caller (the per-core prefetch queue) can
 // hold the request and retry, modelling ChampSim's PQ.
-func (c *Cache) TryIssue(req mem.Request) bool {
+func (c *Cache) TryIssue(req *mem.Request) bool {
 	if c.inQ.Len() >= c.cfg.InQ {
 		return false
 	}
@@ -245,25 +289,40 @@ func (c *Cache) TryIssue(req mem.Request) bool {
 // helper and Hermes' filter input).
 func (c *Cache) Probe(addr mem.Addr) bool {
 	set, tag := c.index(addr)
+	return c.findWay(set, tag) >= 0
+}
+
+// findWay returns the way holding tag in set, or -1. Packed tags make the
+// scan one compare per way with no validity branch.
+func (c *Cache) findWay(set int, tag uint64) int {
+	key := tag<<1 | 1
+	base := set * c.cfg.Ways
 	for w := 0; w < c.cfg.Ways; w++ {
-		l := c.lines[set*c.cfg.Ways+w]
-		if l.valid && l.tag == tag {
-			return true
+		if c.tags[base+w] == key {
+			return w
 		}
 	}
-	return false
+	return -1
+}
+
+// mshrFind returns the lowest valid MSHR index tracking lineAddr, or -1: a
+// word-wide walk of the occupancy bitmap (TrailingZeros over each word)
+// that visits set bits in the same ascending order as a per-entry scan.
+func (c *Cache) mshrFind(lineAddr mem.Addr) int {
+	for wi, w := range c.mshrValid.Words() {
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if c.mshrLine[i] == lineAddr {
+				return i
+			}
+		}
+	}
+	return -1
 }
 
 // MSHRInUse returns the number of valid MSHR entries.
-func (c *Cache) MSHRInUse() int {
-	n := 0
-	for i := range c.mshrs {
-		if c.mshrs[i].valid {
-			n++
-		}
-	}
-	return n
-}
+func (c *Cache) MSHRInUse() int { return c.mshrValid.Count() }
 
 // MSHRFree returns the number of free MSHRs.
 func (c *Cache) MSHRFree() int { return c.cfg.MSHRs - c.MSHRInUse() }
@@ -274,11 +333,9 @@ func (c *Cache) InQLen() int { return c.inQ.Len() }
 // DebugMSHRs lists occupied MSHR line addresses with waiter counts and ages.
 func (c *Cache) DebugMSHRs(now uint64) string {
 	out := ""
-	for i := range c.mshrs {
-		m := &c.mshrs[i]
-		if m.valid {
-			out += fmt.Sprintf("[%x w%d pf%v age%d]", uint64(m.lineAddr), len(m.waiters), m.isPrefetch, now-m.firstCycle)
-		}
+	for i := c.mshrValid.First(); i >= 0; i = c.mshrValid.Next(i + 1) {
+		out += fmt.Sprintf("[%x w%d pf%v age%d]",
+			uint64(c.mshrLine[i]), len(c.mshrWait[i]), c.mshrPF.Test(i), now-c.mshrFirst[i])
 	}
 	return out
 }
@@ -349,7 +406,7 @@ func (c *Cache) SkipTick(cycle uint64) {
 
 func (c *Cache) drainWritebacks() {
 	for c.wbQ.Len() > 0 {
-		if c.lower == nil || !c.lower.Issue(*c.wbQ.Front()) {
+		if c.lower == nil || !c.lower.Issue(c.wbQ.Front()) {
 			return
 		}
 		c.wbQ.PopFront()
@@ -366,7 +423,7 @@ func (c *Cache) process() {
 		}
 		first := !q.counted
 		q.counted = true
-		if !c.lookup(q.req, first) {
+		if !c.lookup(&q.req, first) {
 			return // structural stall (MSHR full / lower busy): head blocks
 		}
 		c.inQ.PopFront()
@@ -377,18 +434,17 @@ func (c *Cache) process() {
 // lookup performs the tag check; returns false when the request could not be
 // handled this cycle and should block the input queue. first is false on
 // retries of a structurally-stalled head, so stats count each request once.
-func (c *Cache) lookup(req mem.Request, first bool) bool {
+// req points into the input queue head and is not retained.
+func (c *Cache) lookup(req *mem.Request, first bool) bool {
 	set, tag := c.index(req.Addr)
 	base := set * c.cfg.Ways
 
 	// Writeback from above: update in place or install dirty; no response.
 	if req.Type == mem.Writeback {
-		for w := 0; w < c.cfg.Ways; w++ {
-			if l := &c.lines[base+w]; l.valid && l.tag == tag {
-				l.dirty = true
-				c.policy.OnHit(set, w)
-				return true
-			}
+		if w := c.findWay(set, tag); w >= 0 {
+			c.dirtyBits[set] |= 1 << uint(w)
+			c.policy.OnHit(set, w)
+			return true
 		}
 		c.install(req, true)
 		return true
@@ -403,22 +459,19 @@ func (c *Cache) lookup(req mem.Request, first bool) bool {
 		}
 	}
 
-	for w := 0; w < c.cfg.Ways; w++ {
-		l := &c.lines[base+w]
-		if !l.valid || l.tag != tag {
-			continue
-		}
+	if w := c.findWay(set, tag); w >= 0 {
 		// Hit.
 		c.trace("hit", req)
 		c.policy.OnHit(set, w)
-		hitPF := l.prefetch
-		trig := l.trigger
-		if isDemand && l.prefetch {
-			l.prefetch = false
+		wbit := uint64(1) << uint(w)
+		hitPF := c.pfBits[set]&wbit != 0
+		trig := c.trigger[base+w]
+		if isDemand && hitPF {
+			c.pfBits[set] &^= wbit
 			c.stats.PFUseful++
 		}
 		if req.Type == mem.Store {
-			l.dirty = true
+			c.dirtyBits[set] |= wbit
 		}
 		if req.Type == mem.Load || req.Type == mem.Store {
 			// Stores respond too: a lower-level store hit must still fill
@@ -428,18 +481,19 @@ func (c *Cache) lookup(req mem.Request, first bool) bool {
 				c.stats.DemandHits++
 			}
 			c.respond(mem.Response{
-				Req: req, ServedBy: c.cfg.Level, DoneCycle: c.cycle,
+				Req: *req, ServedBy: c.cfg.Level, DoneCycle: c.cycle,
 				WasPrefetch: hitPF,
 			})
 		}
 		if req.Type == mem.Prefetch {
 			// Present here; still propagate upward so higher levels (down to
 			// the request's fill level) install the line.
-			c.respond(mem.Response{Req: req, ServedBy: c.cfg.Level, DoneCycle: c.cycle})
+			c.respond(mem.Response{Req: *req, ServedBy: c.cfg.Level, DoneCycle: c.cycle})
 		}
 		if c.onAccess != nil && isDemand {
-			c.onAccess(AccessEvent{Req: req, Hit: true, Cycle: c.cycle,
-				HitPrefetchedLine: hitPF, TriggerIP: trig})
+			c.accessEv = AccessEvent{Req: *req, Hit: true, Cycle: c.cycle,
+				HitPrefetchedLine: hitPF, TriggerIP: trig}
+			c.onAccess(&c.accessEv)
 		}
 		return true
 	}
@@ -450,36 +504,30 @@ func (c *Cache) lookup(req mem.Request, first bool) bool {
 			c.stats.DemandMisses++
 		}
 		if c.onAccess != nil && isDemand {
-			c.onAccess(AccessEvent{Req: req, Hit: false, Cycle: c.cycle})
+			c.accessEv = AccessEvent{Req: *req, Hit: false, Cycle: c.cycle}
+			c.onAccess(&c.accessEv)
 		}
 	}
 
-	// MSHR merge?
-	for i := range c.mshrs {
-		m := &c.mshrs[i]
-		if m.valid && m.lineAddr == req.Addr.Line() {
-			c.trace("mshr-merge", req)
-			if req.Type == mem.Prefetch && !req.Owned {
-				return true // already being fetched; fresh prefetch discarded
-			}
-			if req.Type != mem.Prefetch && m.isPrefetch {
-				c.stats.PFLate++ // demand caught an in-flight prefetch: late
-			}
-			// Demands and owned prefetches (an upper-level MSHR depends on
-			// the fill coming back up) wait for the outstanding fill.
-			m.waiters = append(m.waiters, waiter{req: req, arrived: c.cycle})
-			return true
+	// MSHR merge? The bitmap walk visits entries in the same ascending order
+	// as the old first-match entry scan.
+	lineAddr := req.Addr.Line()
+	if i := c.mshrFind(lineAddr); i >= 0 {
+		c.trace("mshr-merge", req)
+		if req.Type == mem.Prefetch && !req.Owned {
+			return true // already being fetched; fresh prefetch discarded
 		}
+		if req.Type != mem.Prefetch && c.mshrPF.Test(i) {
+			c.stats.PFLate++ // demand caught an in-flight prefetch: late
+		}
+		// Demands and owned prefetches (an upper-level MSHR depends on
+		// the fill coming back up) wait for the outstanding fill.
+		c.mshrWait[i] = append(c.mshrWait[i], waiter{req: *req, arrived: c.cycle})
+		return true
 	}
 
-	// Allocate MSHR.
-	idx := -1
-	for i := range c.mshrs {
-		if !c.mshrs[i].valid {
-			idx = i
-			break
-		}
-	}
+	// Allocate MSHR at the lowest free slot.
+	idx := c.mshrValid.FirstClear()
 	if idx < 0 {
 		c.stats.MSHRFullEvents++
 		if req.Type == mem.Prefetch && !req.Owned {
@@ -493,12 +541,12 @@ func (c *Cache) lookup(req mem.Request, first bool) bool {
 	if c.lower == nil {
 		panic("cache " + c.cfg.Name + ": miss with no lower level")
 	}
-	down := req
-	down.Addr = req.Addr.Line()
-	if down.Type == mem.Prefetch {
-		down.Owned = true // this MSHR now depends on the fill returning
+	c.down = *req
+	c.down.Addr = lineAddr
+	if c.down.Type == mem.Prefetch {
+		c.down.Owned = true // this MSHR now depends on the fill returning
 	}
-	if !c.lower.Issue(down) {
+	if !c.lower.Issue(&c.down) {
 		if req.Type == mem.Prefetch && !req.Owned {
 			c.trace("lower-busy-drop-pf", req)
 			c.stats.PFDropped++
@@ -508,22 +556,27 @@ func (c *Cache) lookup(req mem.Request, first bool) bool {
 		return false // lower busy: retry next cycle
 	}
 	c.trace("mshr-alloc", req)
-	m := &c.mshrs[idx]
 	if invariant.Enabled {
-		invariant.Check(!m.valid && len(m.waiters) == 0,
+		invariant.Check(!c.mshrValid.Test(idx) && len(c.mshrWait[idx]) == 0,
 			"cache %s: allocating live MSHR %d (line %x, %d waiters)",
-			c.cfg.Name, idx, uint64(m.lineAddr), len(m.waiters))
+			c.cfg.Name, idx, uint64(c.mshrLine[idx]), len(c.mshrWait[idx]))
 	}
-	// Reuse the retired entry's waiter backing array (cleared on release).
-	*m = mshr{valid: true, lineAddr: req.Addr.Line(), firstCycle: c.cycle,
-		isPrefetch: req.Type == mem.Prefetch, pfReq: req, waiters: m.waiters}
+	c.mshrValid.Set(idx)
+	c.mshrLine[idx] = lineAddr
+	c.mshrFirst[idx] = c.cycle
+	c.mshrPfReq[idx] = *req
+	if req.Type == mem.Prefetch {
+		c.mshrPF.Set(idx)
+	} else {
+		c.mshrPF.Clear(idx)
+	}
 	if invariant.Enabled {
 		invariant.Check(c.MSHRInUse() <= c.cfg.MSHRs,
 			"cache %s: MSHR occupancy %d exceeds capacity %d",
 			c.cfg.Name, c.MSHRInUse(), c.cfg.MSHRs)
 	}
 	if req.Type != mem.Prefetch {
-		m.waiters = append(m.waiters, waiter{req: req, arrived: c.cycle})
+		c.mshrWait[idx] = append(c.mshrWait[idx], waiter{req: *req, arrived: c.cycle})
 	} else {
 		c.stats.PFIssued++
 	}
@@ -531,28 +584,26 @@ func (c *Cache) lookup(req mem.Request, first bool) bool {
 }
 
 // Fill delivers a response from the lower level: install the line, wake
-// MSHR waiters.
-func (c *Cache) Fill(resp mem.Response) {
+// MSHR waiters. The response is consumed during the call.
+func (c *Cache) Fill(resp *mem.Response) {
 	lineAddr := resp.Req.Addr.Line()
-	c.trace("fill", resp.Req)
-	for i := range c.mshrs {
-		m := &c.mshrs[i]
-		if !m.valid || m.lineAddr != lineAddr {
-			continue
-		}
+	c.trace("fill", &resp.Req)
+	if i := c.mshrFind(lineAddr); i >= 0 {
 		// A prefetch-allocated MSHR that gathered demand waiters delivers to
 		// them; the fill is then counted as late-useful at respond time.
-		fillReq := resp.Req
-		if m.isPrefetch {
+		isPrefetch := c.mshrPF.Test(i)
+		if isPrefetch {
 			c.stats.PFFills++
 		}
-		c.install(fillReq, false)
-		if m.isPrefetch && len(m.waiters) > 0 {
+		c.install(&resp.Req, false)
+		waiters := c.mshrWait[i]
+		if isPrefetch && len(waiters) > 0 {
 			// Demand(s) merged into this prefetch: the line is demand-touched
 			// already.
 			c.touchAsDemand(lineAddr)
 		}
-		for _, w := range m.waiters {
+		for wi := range waiters {
+			w := &waiters[wi]
 			if w.req.Type == mem.Store {
 				c.setDirty(lineAddr)
 			}
@@ -563,25 +614,25 @@ func (c *Cache) Fill(resp mem.Response) {
 				c.stats.DemandMissLatency.Add(c.cycle - w.arrived)
 			}
 		}
-		for _, w := range m.waiters {
+		for wi := range waiters {
 			c.respond(mem.Response{
-				Req: w.req, ServedBy: resp.ServedBy, DoneCycle: c.cycle,
-				WasPrefetch: m.isPrefetch, LatePF: m.isPrefetch,
+				Req: waiters[wi].req, ServedBy: resp.ServedBy, DoneCycle: c.cycle,
+				WasPrefetch: isPrefetch, LatePF: isPrefetch,
 			})
 		}
-		if m.isPrefetch {
+		if isPrefetch {
 			// Propagate the prefetch fill toward its target level.
 			c.respond(mem.Response{
-				Req: m.pfReq, ServedBy: resp.ServedBy, DoneCycle: c.cycle,
+				Req: c.mshrPfReq[i], ServedBy: resp.ServedBy, DoneCycle: c.cycle,
 			})
 		}
-		m.valid = false
-		m.waiters = m.waiters[:0]
+		c.mshrValid.Clear(i)
+		c.mshrWait[i] = c.mshrWait[i][:0]
 		if invariant.Enabled {
 			// A line must never be tracked by two MSHRs: merges are required
 			// to land on the existing entry.
-			for j := range c.mshrs {
-				invariant.Check(!c.mshrs[j].valid || c.mshrs[j].lineAddr != lineAddr,
+			for j := c.mshrValid.First(); j >= 0; j = c.mshrValid.Next(j + 1) {
+				invariant.Check(c.mshrLine[j] != lineAddr,
 					"cache %s: duplicate MSHR %d for line %x", c.cfg.Name, j, uint64(lineAddr))
 			}
 		}
@@ -590,7 +641,7 @@ func (c *Cache) Fill(resp mem.Response) {
 	// No MSHR (e.g. a prefetch filled below our allocation point): install
 	// anyway if the fill level warrants it.
 	c.stats.OrphanFills++
-	c.install(resp.Req, false)
+	c.install(&resp.Req, false)
 	if resp.Req.Type == mem.Prefetch {
 		c.stats.PFFills++
 	}
@@ -599,71 +650,71 @@ func (c *Cache) Fill(resp mem.Response) {
 // setDirty marks a present line dirty (store data arrived with the fill).
 func (c *Cache) setDirty(addr mem.Addr) {
 	set, tag := c.index(addr)
-	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		if l := &c.lines[base+w]; l.valid && l.tag == tag {
-			l.dirty = true
-			return
-		}
+	if w := c.findWay(set, tag); w >= 0 {
+		c.dirtyBits[set] |= 1 << uint(w)
 	}
 }
 
 // touchAsDemand clears the prefetch bit after a merged-demand fill.
 func (c *Cache) touchAsDemand(addr mem.Addr) {
 	set, tag := c.index(addr)
-	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		if l := &c.lines[base+w]; l.valid && l.tag == tag {
-			l.prefetch = false
-			return
-		}
+	if w := c.findWay(set, tag); w >= 0 {
+		c.pfBits[set] &^= 1 << uint(w)
 	}
 }
 
-// install places a line, evicting as needed.
-func (c *Cache) install(req mem.Request, dirty bool) {
+// install places a line, evicting as needed. req is read, never retained.
+func (c *Cache) install(req *mem.Request, dirty bool) {
 	set, tag := c.index(req.Addr)
 	base := set * c.cfg.Ways
 
 	// Already present (races between merged fills): update only.
-	for w := 0; w < c.cfg.Ways; w++ {
-		if l := &c.lines[base+w]; l.valid && l.tag == tag {
-			if dirty {
-				l.dirty = true
-			}
-			return
+	if w := c.findWay(set, tag); w >= 0 {
+		if dirty {
+			c.dirtyBits[set] |= 1 << uint(w)
 		}
+		return
 	}
 	way := -1
 	for w := 0; w < c.cfg.Ways; w++ {
-		if !c.lines[base+w].valid {
+		if c.tags[base+w] == 0 {
 			way = w
 			break
 		}
 	}
 	if way < 0 {
 		way = c.policy.Victim(set)
-		victim := &c.lines[base+way]
+		wbit := uint64(1) << uint(way)
 		c.stats.Evictions++
-		if victim.prefetch {
+		if c.pfBits[set]&wbit != 0 {
 			c.stats.PFPolluting++
 			if c.onPFEvict != nil {
-				vLine := victim.tag<<uint(log2(c.cfg.Sets)) | uint64(set)
-				c.onPFEvict(victim.trigger, mem.Addr(vLine<<mem.LineShift))
+				vLine := (c.tags[base+way]>>1)<<uint(log2(c.cfg.Sets)) | uint64(set)
+				c.onPFEvict(c.trigger[base+way], mem.Addr(vLine<<mem.LineShift))
 			}
 		}
-		if victim.dirty {
+		if c.dirtyBits[set]&wbit != 0 {
 			// Reconstruct victim address from set+tag.
-			vLine := victim.tag<<uint(log2(c.cfg.Sets)) | uint64(set)
+			vLine := (c.tags[base+way]>>1)<<uint(log2(c.cfg.Sets)) | uint64(set)
 			c.wbQ.Push(mem.Request{
 				Addr: mem.Addr(vLine << mem.LineShift),
 				Type: mem.Writeback, Core: req.Core, IssueCycle: c.cycle,
 			})
 		}
 	}
-	l := &c.lines[base+way]
-	*l = line{valid: true, tag: tag, dirty: dirty,
-		prefetch: req.Type == mem.Prefetch, trigger: req.TriggerIP}
+	wbit := uint64(1) << uint(way)
+	c.tags[base+way] = tag<<1 | 1
+	c.trigger[base+way] = req.TriggerIP
+	if dirty {
+		c.dirtyBits[set] |= wbit
+	} else {
+		c.dirtyBits[set] &^= wbit
+	}
+	if req.Type == mem.Prefetch {
+		c.pfBits[set] |= wbit
+	} else {
+		c.pfBits[set] &^= wbit
+	}
 	c.policy.OnFill(set, way, req)
 }
 
@@ -683,8 +734,8 @@ func (c *Cache) deliver() {
 		c.respQ = c.respQ[:0]
 		return
 	}
-	for _, r := range c.respQ {
-		c.onResp(r)
+	for i := range c.respQ {
+		c.onResp(&c.respQ[i])
 	}
 	c.respQ = c.respQ[:0]
 }

@@ -14,13 +14,13 @@ type fakeDRAM struct {
 	issued  int
 }
 
-func (d *fakeDRAM) Issue(req mem.Request) bool {
+func (d *fakeDRAM) Issue(req *mem.Request) bool {
 	d.issued++
 	if req.Type == mem.Writeback {
 		return true
 	}
 	d.pending = append(d.pending, mem.Response{
-		Req: req, ServedBy: mem.LevelDRAM, DoneCycle: req.IssueCycle + d.latency,
+		Req: *req, ServedBy: mem.LevelDRAM, DoneCycle: req.IssueCycle + d.latency,
 	})
 	return true
 }
@@ -30,7 +30,7 @@ func (d *fakeDRAM) tick(cycle uint64) {
 	for _, r := range d.pending {
 		if r.DoneCycle <= cycle {
 			r.DoneCycle = cycle
-			d.sink.Fill(r)
+			d.sink.Fill(&r)
 		} else {
 			rest = append(rest, r)
 		}
@@ -45,7 +45,7 @@ func smallConfig(name string, level mem.Level) Config {
 
 func collect(c *Cache) *[]mem.Response {
 	var got []mem.Response
-	c.OnResponse(func(r mem.Response) { got = append(got, r) })
+	c.OnResponse(func(r *mem.Response) { got = append(got, *r) })
 	return &got
 }
 
@@ -60,8 +60,8 @@ func runRange(c *Cache, d *fakeDRAM, from, to uint64) {
 
 func run(c *Cache, d *fakeDRAM, cycles uint64) { runRange(c, d, 0, cycles) }
 
-func loadReq(addr mem.Addr, ip uint64, cycle uint64) mem.Request {
-	return mem.Request{Addr: addr.Line(), IP: ip, TriggerIP: ip, Type: mem.Load,
+func loadReq(addr mem.Addr, ip uint64, cycle uint64) *mem.Request {
+	return &mem.Request{Addr: addr.Line(), IP: ip, TriggerIP: ip, Type: mem.Load,
 		IssueCycle: cycle, ROBIndex: 1}
 }
 
@@ -151,7 +151,7 @@ func TestPrefetchFillAndUseful(t *testing.T) {
 	got := collect(c)
 	pf := mem.Request{Addr: 0x3000, IP: 0xB, TriggerIP: 0xB, Type: mem.Prefetch,
 		FillLevel: mem.LevelL1, IssueCycle: 0}
-	c.Issue(pf)
+	c.Issue(&pf)
 	run(c, d, 60)
 	if c.Stats().PFFills != 1 {
 		t.Fatalf("PFFills = %d, want 1", c.Stats().PFFills)
@@ -178,7 +178,7 @@ func TestLatePrefetchMerge(t *testing.T) {
 	c := MustNew(smallConfig("l1", mem.LevelL1), d)
 	d.sink = c
 	got := collect(c)
-	c.Issue(mem.Request{Addr: 0x4000, TriggerIP: 0xB, Type: mem.Prefetch,
+	c.Issue(&mem.Request{Addr: 0x4000, TriggerIP: 0xB, Type: mem.Prefetch,
 		FillLevel: mem.LevelL1})
 	// Demand arrives while prefetch is still in flight.
 	for cy := uint64(0); cy < 10; cy++ {
@@ -200,11 +200,11 @@ func TestTwoLevelPrefetchPropagation(t *testing.T) {
 	l2 := MustNew(smallConfig("l2", mem.LevelL2), d)
 	d.sink = l2
 	l1 := MustNew(smallConfig("l1", mem.LevelL1), l2)
-	l2.OnResponse(func(r mem.Response) { l1.Fill(r) })
+	l2.OnResponse(func(r *mem.Response) { l1.Fill(r) })
 	got := collect(l1)
 
 	// L1 prefetch with FillLevel L1 must install in both L1 and L2.
-	l1.Issue(mem.Request{Addr: 0x5000, TriggerIP: 0xB, Type: mem.Prefetch,
+	l1.Issue(&mem.Request{Addr: 0x5000, TriggerIP: 0xB, Type: mem.Prefetch,
 		FillLevel: mem.LevelL1})
 	for cy := uint64(0); cy < 100; cy++ {
 		l1.Tick(cy)
@@ -236,7 +236,7 @@ func TestTwoLevelDemandPath(t *testing.T) {
 	l2 := MustNew(l2cfg, d)
 	d.sink = l2
 	l1 := MustNew(smallConfig("l1", mem.LevelL1), l2)
-	l2.OnResponse(func(r mem.Response) { l1.Fill(r) })
+	l2.OnResponse(func(r *mem.Response) { l1.Fill(r) })
 	got := collect(l1)
 
 	l1.Issue(loadReq(0x6000, 1, 0))
@@ -281,7 +281,7 @@ func TestWritebackOnDirtyEviction(t *testing.T) {
 	c := MustNew(cfg, d)
 	d.sink = c
 	// Store misses allocate and dirty the line.
-	c.Issue(mem.Request{Addr: 0x100, Type: mem.Store})
+	c.Issue(&mem.Request{Addr: 0x100, Type: mem.Store})
 	run(c, d, 30)
 	// Fill two more lines in the same (only) set: dirty line must write back.
 	c.Issue(loadReq(0x1100, 1, 30))
@@ -308,7 +308,7 @@ func TestBackpressureWhenInQFull(t *testing.T) {
 		t.Fatal("demand accepted with full input queue")
 	}
 	// Prefetches are dropped (accepted but discarded) instead.
-	if !c.Issue(mem.Request{Addr: 0x400, Type: mem.Prefetch}) {
+	if !c.Issue(&mem.Request{Addr: 0x400, Type: mem.Prefetch}) {
 		t.Fatal("prefetch should be dropped, not refused")
 	}
 	if c.Stats().PFDropped != 1 {
@@ -325,7 +325,7 @@ func TestMSHRFullBlocksDemandsDropsPrefetches(t *testing.T) {
 	d.sink = c
 	c.Issue(loadReq(0x1000, 1, 0))
 	c.Issue(loadReq(0x2000, 1, 0))
-	c.Issue(mem.Request{Addr: 0x9000, Type: mem.Prefetch})
+	c.Issue(&mem.Request{Addr: 0x9000, Type: mem.Prefetch})
 	c.Issue(loadReq(0x3000, 1, 0))
 	c.Issue(loadReq(0x4000, 1, 0))
 	run(c, d, 50)
@@ -346,7 +346,7 @@ func TestPollutionCounting(t *testing.T) {
 	d := &fakeDRAM{latency: 2}
 	c := MustNew(cfg, d)
 	d.sink = c
-	c.Issue(mem.Request{Addr: 0x100, Type: mem.Prefetch, FillLevel: mem.LevelL1})
+	c.Issue(&mem.Request{Addr: 0x100, Type: mem.Prefetch, FillLevel: mem.LevelL1})
 	run(c, d, 20)
 	// Evict it untouched.
 	c.Issue(loadReq(0x1100, 1, 20))
@@ -362,7 +362,7 @@ func TestAccessEventFires(t *testing.T) {
 	c := MustNew(smallConfig("l1", mem.LevelL1), d)
 	d.sink = c
 	var events []AccessEvent
-	c.OnAccess(func(e AccessEvent) { events = append(events, e) })
+	c.OnAccess(func(e *AccessEvent) { events = append(events, *e) })
 	c.Issue(loadReq(0x700, 0xAB, 0))
 	run(c, d, 20)
 	c.Issue(loadReq(0x700, 0xAB, 20))

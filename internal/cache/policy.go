@@ -8,7 +8,7 @@ type Policy interface {
 	// OnHit notifies a demand or prefetch hit on (set, way).
 	OnHit(set, way int)
 	// OnFill notifies that (set, way) was filled by req.
-	OnFill(set, way int, req mem.Request)
+	OnFill(set, way int, req *mem.Request)
 	// Victim picks the way to evict in set; lines[i].Valid may be false
 	// (invalid ways are chosen by the cache before Victim is consulted).
 	Victim(set int) int
@@ -49,8 +49,8 @@ func (p *lru) touch(set, way int) {
 	p.stamp[set*p.ways+way] = p.clock
 }
 
-func (p *lru) OnHit(set, way int)                   { p.touch(set, way) }
-func (p *lru) OnFill(set, way int, req mem.Request) { p.touch(set, way) }
+func (p *lru) OnHit(set, way int)                    { p.touch(set, way) }
+func (p *lru) OnFill(set, way int, req *mem.Request) { p.touch(set, way) }
 
 func (p *lru) Victim(set int) int {
 	base := set * p.ways
@@ -94,8 +94,8 @@ func (p *nru) set(set, way int) {
 	}
 }
 
-func (p *nru) OnHit(set, way int)                   { p.set(set, way) }
-func (p *nru) OnFill(set, way int, req mem.Request) { p.set(set, way) }
+func (p *nru) OnHit(set, way int)                    { p.set(set, way) }
+func (p *nru) OnFill(set, way int, req *mem.Request) { p.set(set, way) }
 
 func (p *nru) Victim(set int) int {
 	base := set * p.ways
@@ -126,7 +126,7 @@ func newSRRIP(sets, ways int) *srrip {
 
 func (p *srrip) OnHit(set, way int) { p.rrpv[set*p.ways+way] = 0 }
 
-func (p *srrip) OnFill(set, way int, req mem.Request) {
+func (p *srrip) OnFill(set, way int, req *mem.Request) {
 	// Insert with long re-reference prediction (SRRIP-HP).
 	p.rrpv[set*p.ways+way] = rrpvMax - 1
 }
@@ -173,7 +173,7 @@ func newMockingjayLite(sets, ways int) *mockingjayLite {
 	return m
 }
 
-func sigOf(req mem.Request) uint8 {
+func sigOf(req *mem.Request) uint8 {
 	s := mem.Mix64(req.TriggerIP ^ uint64(req.Type)<<56)
 	return uint8(s)
 }
@@ -183,7 +183,7 @@ func (m *mockingjayLite) OnHit(set, way int) {
 	m.reused[set*m.ways+way] = true
 }
 
-func (m *mockingjayLite) OnFill(set, way int, req mem.Request) {
+func (m *mockingjayLite) OnFill(set, way int, req *mem.Request) {
 	idx := set*m.ways + way
 	// Feedback for the line being replaced.
 	old := m.sig[idx]

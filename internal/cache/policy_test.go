@@ -23,7 +23,7 @@ func TestNewPolicyNames(t *testing.T) {
 func TestLRUVictimIsLeastRecent(t *testing.T) {
 	p := newLRU(1, 4)
 	for w := 0; w < 4; w++ {
-		p.OnFill(0, w, mem.Request{})
+		p.OnFill(0, w, &mem.Request{})
 	}
 	p.OnHit(0, 0) // way 0 most recent; way 1 is now LRU
 	if v := p.Victim(0); v != 1 {
@@ -33,8 +33,8 @@ func TestLRUVictimIsLeastRecent(t *testing.T) {
 
 func TestNRUVictimUnreferenced(t *testing.T) {
 	p := newNRU(1, 4)
-	p.OnFill(0, 0, mem.Request{})
-	p.OnFill(0, 1, mem.Request{})
+	p.OnFill(0, 0, &mem.Request{})
+	p.OnFill(0, 1, &mem.Request{})
 	v := p.Victim(0)
 	if v != 2 && v != 3 {
 		t.Fatalf("victim = %d, want an unreferenced way", v)
@@ -43,8 +43,8 @@ func TestNRUVictimUnreferenced(t *testing.T) {
 
 func TestNRUClearsWhenSaturated(t *testing.T) {
 	p := newNRU(1, 2)
-	p.OnFill(0, 0, mem.Request{})
-	p.OnFill(0, 1, mem.Request{}) // all referenced -> clear others
+	p.OnFill(0, 0, &mem.Request{})
+	p.OnFill(0, 1, &mem.Request{}) // all referenced -> clear others
 	if v := p.Victim(0); v != 0 {
 		t.Fatalf("victim = %d, want 0 after clear", v)
 	}
@@ -52,8 +52,8 @@ func TestNRUClearsWhenSaturated(t *testing.T) {
 
 func TestSRRIPPromotionOnHit(t *testing.T) {
 	p := newSRRIP(1, 2)
-	p.OnFill(0, 0, mem.Request{})
-	p.OnFill(0, 1, mem.Request{})
+	p.OnFill(0, 0, &mem.Request{})
+	p.OnFill(0, 1, &mem.Request{})
 	p.OnHit(0, 0)
 	// Way 1 has higher RRPV so it should age out first.
 	if v := p.Victim(0); v != 1 {
@@ -64,7 +64,7 @@ func TestSRRIPPromotionOnHit(t *testing.T) {
 func TestSRRIPVictimTerminates(t *testing.T) {
 	p := newSRRIP(1, 4)
 	for w := 0; w < 4; w++ {
-		p.OnFill(0, w, mem.Request{})
+		p.OnFill(0, w, &mem.Request{})
 		p.OnHit(0, w) // all rrpv 0
 	}
 	// Must age and terminate.
@@ -80,20 +80,20 @@ func TestMockingjayLiteBypassesDeadSignatures(t *testing.T) {
 	// Train: fill with deadIP, never hit, refill same ways repeatedly.
 	for i := 0; i < 40; i++ {
 		w := i % 4
-		m.OnFill(0, w, mem.Request{TriggerIP: deadIP, Type: mem.Prefetch})
+		m.OnFill(0, w, &mem.Request{TriggerIP: deadIP, Type: mem.Prefetch})
 	}
 	// Now the signature is dead: a new fill should insert at distant RRPV.
-	m.OnFill(0, 0, mem.Request{TriggerIP: deadIP, Type: mem.Prefetch})
+	m.OnFill(0, 0, &mem.Request{TriggerIP: deadIP, Type: mem.Prefetch})
 	if m.rrpv[0] != rrpvMax {
 		t.Fatalf("dead-signature insert rrpv = %d, want %d", m.rrpv[0], rrpvMax)
 	}
 	// A reused signature keeps the default insertion.
 	liveIP := uint64(0x11FE)
 	for i := 0; i < 40; i++ {
-		m.OnFill(0, 1, mem.Request{TriggerIP: liveIP, Type: mem.Load})
+		m.OnFill(0, 1, &mem.Request{TriggerIP: liveIP, Type: mem.Load})
 		m.OnHit(0, 1)
 	}
-	m.OnFill(0, 1, mem.Request{TriggerIP: liveIP, Type: mem.Load})
+	m.OnFill(0, 1, &mem.Request{TriggerIP: liveIP, Type: mem.Load})
 	if m.rrpv[1] == rrpvMax {
 		t.Fatal("live-signature insert bypassed")
 	}

@@ -15,13 +15,13 @@ type echoDRAM struct {
 	maxLat  uint64
 }
 
-func (d *echoDRAM) Issue(req mem.Request) bool {
+func (d *echoDRAM) Issue(req *mem.Request) bool {
 	if req.Type == mem.Writeback {
 		return true
 	}
 	lat := 20 + d.rng.Uint64()%d.maxLat
 	d.pending = append(d.pending, mem.Response{
-		Req: req, ServedBy: mem.LevelDRAM, DoneCycle: req.IssueCycle + lat,
+		Req: *req, ServedBy: mem.LevelDRAM, DoneCycle: req.IssueCycle + lat,
 	})
 	return true
 }
@@ -31,7 +31,7 @@ func (d *echoDRAM) tick(cy uint64) {
 	for _, r := range d.pending {
 		if r.DoneCycle <= cy {
 			r.DoneCycle = cy
-			d.sink.Fill(r)
+			d.sink.Fill(&r)
 		} else {
 			rest = append(rest, r)
 		}
@@ -54,7 +54,7 @@ func TestPropertyNoLostDemands(t *testing.T) {
 
 		issued := map[int]int{} // tag -> responses received
 		var accepted int
-		c.OnResponse(func(r mem.Response) {
+		c.OnResponse(func(r *mem.Response) {
 			// Store (write-allocate) responses propagate by design; only
 			// loads carry ROB tags to account for.
 			if r.Req.Type == mem.Load {
@@ -71,16 +71,16 @@ func TestPropertyNoLostDemands(t *testing.T) {
 			case 0, 1:
 				req := mem.Request{Addr: addr, IP: rng.Uint64() % 64, Type: mem.Load,
 					IssueCycle: cy, ROBIndex: nextTag}
-				if c.Issue(req) {
+				if c.Issue(&req) {
 					issued[nextTag] += 0 // mark as accepted
 					accepted++
 					nextTag++
 				}
 			case 2:
-				c.Issue(mem.Request{Addr: addr, Type: mem.Store, IssueCycle: cy,
+				c.Issue(&mem.Request{Addr: addr, Type: mem.Store, IssueCycle: cy,
 					ROBIndex: -1})
 			default:
-				c.Issue(mem.Request{Addr: addr, Type: mem.Prefetch,
+				c.Issue(&mem.Request{Addr: addr, Type: mem.Prefetch,
 					FillLevel: mem.LevelL1, IssueCycle: cy, ROBIndex: -1})
 			}
 			c.Tick(cy)
@@ -120,7 +120,7 @@ func TestPropertyHitAfterFill(t *testing.T) {
 	c := MustNew(cfg, d)
 	d.sink = c
 	var responses []mem.Response
-	c.OnResponse(func(r mem.Response) { responses = append(responses, r) })
+	c.OnResponse(func(r *mem.Response) { responses = append(responses, *r) })
 
 	var cy uint64
 	run := func(n int) {
@@ -132,14 +132,14 @@ func TestPropertyHitAfterFill(t *testing.T) {
 	}
 	// Fill 8 distinct lines (exactly the set capacity).
 	for i := 0; i < 8; i++ {
-		c.Issue(mem.Request{Addr: mem.Addr(i * mem.LineBytes), Type: mem.Load,
+		c.Issue(&mem.Request{Addr: mem.Addr(i * mem.LineBytes), Type: mem.Load,
 			IssueCycle: cy, ROBIndex: i})
 		run(40)
 	}
 	responses = nil
 	// Re-touch all 8: every one must be an L1 hit.
 	for i := 0; i < 8; i++ {
-		c.Issue(mem.Request{Addr: mem.Addr(i * mem.LineBytes), Type: mem.Load,
+		c.Issue(&mem.Request{Addr: mem.Addr(i * mem.LineBytes), Type: mem.Load,
 			IssueCycle: cy, ROBIndex: 100 + i})
 		run(10)
 	}

@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"clip/internal/cpu"
 	"clip/internal/mem"
@@ -209,21 +210,21 @@ type predEntry struct {
 	nru     bool
 }
 
-// utilEntry is one utility-buffer CAM slot.
-type utilEntry struct {
-	valid   bool
-	line    uint64 // prefetched line id
-	trigger uint64 // triggering load IP (full, for exactness; hardware keys a 6-bit tag)
-}
-
 // CLIP is one per-core instance.
 type CLIP struct {
 	cfg Config
 
-	filter  []filterEntry
-	pred    []predEntry
-	utility []utilEntry
-	utilPos int
+	filter []filterEntry
+	pred   []predEntry
+
+	// Utility buffer CAM, structure-of-arrays: utilValid schedules the match
+	// scan (ascending-bit walk == the old first-match entry loop), utilLine
+	// holds the prefetched line ids, utilTrig the triggering load IP (full,
+	// for exactness; hardware keys a 6-bit tag).
+	utilValid table.Bits
+	utilLine  []uint64
+	utilTrig  []uint64
+	utilPos   int
 
 	counterInit uint8 // half of max
 	counterMax  uint8
@@ -261,11 +262,13 @@ func New(cfg Config) (*CLIP, error) {
 		return nil, err
 	}
 	c := &CLIP{
-		cfg:     cfg,
-		filter:  make([]filterEntry, cfg.FilterSets*cfg.FilterWays),
-		pred:    make([]predEntry, cfg.PredictorSets*cfg.PredictorWays),
-		utility: make([]utilEntry, cfg.UtilityEntries),
-		ipSeen:  table.NewMap[ipObs](0),
+		cfg:       cfg,
+		filter:    make([]filterEntry, cfg.FilterSets*cfg.FilterWays),
+		pred:      make([]predEntry, cfg.PredictorSets*cfg.PredictorWays),
+		utilValid: table.NewBits(cfg.UtilityEntries),
+		utilLine:  make([]uint64, cfg.UtilityEntries),
+		utilTrig:  make([]uint64, cfg.UtilityEntries),
+		ipSeen:    table.NewMap[ipObs](0),
 	}
 	c.counterMax = uint8(1<<cfg.CounterBits - 1)
 	c.counterInit = uint8(1 << (cfg.CounterBits - 1)) // k-bit counter init k/2
@@ -455,7 +458,7 @@ func (c *CLIP) msbSet(counter uint8) bool {
 // OnLoadComplete trains CLIP with a finished demand load: Stage I shortlists
 // stalling off-L1 loads, and the criticality predictor's counter moves up on
 // critical instances, down on hits and non-stalling misses (§4.2).
-func (c *CLIP) OnLoadComplete(ev cpu.LoadEvent) {
+func (c *CLIP) OnLoadComplete(ev *cpu.LoadEvent) {
 	key := c.key(ev.IP, ev.Addr)
 	actual := ev.StalledHead && ev.ServedBy >= c.cfg.CriticalityLevel
 
@@ -517,7 +520,7 @@ func (c *CLIP) OnLoadComplete(ev cpu.LoadEvent) {
 
 // predictLoad evaluates CLIP's criticality prediction for a demand load
 // (used for scoring, mirroring the prefetch-time decision).
-func (c *CLIP) predictLoad(ev cpu.LoadEvent) bool {
+func (c *CLIP) predictLoad(ev *cpu.LoadEvent) bool {
 	e := c.filterLookup(c.key(ev.IP, ev.Addr))
 	if e == nil || e.critCount < c.cfg.CritCountThreshold {
 		return false
@@ -533,16 +536,24 @@ func (c *CLIP) predictLoad(ev cpu.LoadEvent) bool {
 func (c *CLIP) OnAccess(addr mem.Addr, hit bool, cycle uint64) {
 	c.windowAccesses++
 	line := addr.LineID()
-	// CAM match against recent prefetches.
-	for i := range c.utility {
-		u := &c.utility[i]
-		if u.valid && u.line == line {
-			u.valid = false
+	// CAM match against recent prefetches: word-wide walk of the valid bitmap
+	// (TrailingZeros per word) in the same ascending first-match order as a
+	// per-entry scan. This runs on every L1D demand access, so the per-bit
+	// iterator overhead matters.
+scan:
+	for wi, w := range c.utilValid.Words() {
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if c.utilLine[i] != line {
+				continue
+			}
+			c.utilValid.Clear(i)
 			c.stats.UtilityHits++
-			if e := c.filterLookup(u.trigger); e != nil && e.hitCount < 63 {
+			if e := c.filterLookup(c.utilTrig[i]); e != nil && e.hitCount < 63 {
 				e.hitCount++
 			}
-			break
+			break scan
 		}
 	}
 	if !hit {
@@ -610,9 +621,7 @@ func (c *CLIP) phaseReset() {
 	for i := range c.pred {
 		c.pred[i] = predEntry{}
 	}
-	for i := range c.utility {
-		c.utility[i].valid = false
-	}
+	c.utilValid.Reset()
 	c.stats.PhaseResets++
 }
 
@@ -667,8 +676,10 @@ func (c *CLIP) Allow(cand prefetch.Candidate) (bool, bool) {
 		e.explored++
 		c.stats.Explored++
 	}
-	c.utility[c.utilPos] = utilEntry{valid: true, line: cand.Addr.LineID(), trigger: key}
-	c.utilPos = (c.utilPos + 1) % len(c.utility)
+	c.utilValid.Set(c.utilPos)
+	c.utilLine[c.utilPos] = cand.Addr.LineID()
+	c.utilTrig[c.utilPos] = key
+	c.utilPos = (c.utilPos + 1) % len(c.utilLine)
 	c.stats.Allowed++
 	if obs := c.ipSeen.Get(key); obs != nil {
 		obs.selected = true

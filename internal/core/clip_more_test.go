@@ -143,10 +143,8 @@ func TestPhaseResetClearsEverything(t *testing.T) {
 			t.Fatal("predictor survived phase reset")
 		}
 	}
-	for i := range c.utility {
-		if c.utility[i].valid {
-			t.Fatal("utility buffer survived phase reset")
-		}
+	if c.utilValid.Any() {
+		t.Fatal("utility buffer survived phase reset")
 	}
 }
 
@@ -165,6 +163,6 @@ func TestStorageScalesWithConfig(t *testing.T) {
 // Interface conformance: the sim wires CLIP against cpu/prefetch types.
 var _ = func() {
 	c := MustNew(DefaultConfig())
-	c.OnLoadComplete(cpu.LoadEvent{})
+	c.OnLoadComplete(&cpu.LoadEvent{})
 	c.Allow(prefetch.Candidate{})
 }

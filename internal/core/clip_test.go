@@ -8,13 +8,13 @@ import (
 	"clip/internal/prefetch"
 )
 
-func critEvent(ip uint64, addr mem.Addr, bh, ch uint32) cpu.LoadEvent {
-	return cpu.LoadEvent{IP: ip, Addr: addr, ServedBy: mem.LevelDRAM,
+func critEvent(ip uint64, addr mem.Addr, bh, ch uint32) *cpu.LoadEvent {
+	return &cpu.LoadEvent{IP: ip, Addr: addr, ServedBy: mem.LevelDRAM,
 		StalledHead: true, BranchHist: bh, CritHist: ch, Latency: 300}
 }
 
-func benignEvent(ip uint64, addr mem.Addr, bh, ch uint32) cpu.LoadEvent {
-	return cpu.LoadEvent{IP: ip, Addr: addr, ServedBy: mem.LevelL1,
+func benignEvent(ip uint64, addr mem.Addr, bh, ch uint32) *cpu.LoadEvent {
+	return &cpu.LoadEvent{IP: ip, Addr: addr, ServedBy: mem.LevelL1,
 		StalledHead: false, BranchHist: bh, CritHist: ch, Latency: 5}
 }
 
@@ -157,7 +157,7 @@ func TestLowConfidenceDrops(t *testing.T) {
 	qualify(t, c, 0x40, addrs)
 	// Re-train the signature of addrs[0] downward with benign instances.
 	for i := 0; i < 16; i++ {
-		c.OnLoadComplete(cpu.LoadEvent{IP: 0x40, Addr: addrs[0],
+		c.OnLoadComplete(&cpu.LoadEvent{IP: 0x40, Addr: addrs[0],
 			ServedBy: mem.LevelL2, StalledHead: false})
 	}
 	c.SetHistories(0, 0)
@@ -178,7 +178,7 @@ func TestSignatureSeparatesBranchContexts(t *testing.T) {
 	const histA, histB = 0xAAAA, 0x5555
 	for i := 0; i < 12; i++ {
 		c.OnLoadComplete(critEvent(ip, addr, histA, 0xFF))
-		c.OnLoadComplete(cpu.LoadEvent{IP: ip, Addr: addr, ServedBy: mem.LevelL2,
+		c.OnLoadComplete(&cpu.LoadEvent{IP: ip, Addr: addr, ServedBy: mem.LevelL2,
 			StalledHead: false, BranchHist: histB, CritHist: 0})
 	}
 	qualifyAccuracy(c, ip, addr)
@@ -219,7 +219,7 @@ func TestIPOnlyAblationLosesContextSeparation(t *testing.T) {
 	ip, addr := uint64(0x60), mem.Addr(0xA000)
 	for i := 0; i < 12; i++ {
 		c.OnLoadComplete(critEvent(ip, addr, 0xAAAA, 0xFF))
-		c.OnLoadComplete(cpu.LoadEvent{IP: ip, Addr: addr, ServedBy: mem.LevelL2,
+		c.OnLoadComplete(&cpu.LoadEvent{IP: ip, Addr: addr, ServedBy: mem.LevelL2,
 			StalledHead: false, BranchHist: 0x5555, CritHist: 0})
 	}
 	// With IP-only indexing both contexts share one counter; up/down training

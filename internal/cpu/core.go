@@ -55,7 +55,9 @@ func (c Config) Validate() error {
 // cache cannot accept the request this cycle (ports or MSHRs exhausted); the
 // core retries next cycle.
 type MemoryPort interface {
-	Issue(req mem.Request) bool
+	// Issue consumes the request during the call (copied if queued); the
+	// pointer is not retained.
+	Issue(req *mem.Request) bool
 }
 
 // FetchChecker models the instruction-fetch path: it returns the stall (in
@@ -132,19 +134,22 @@ type wheelEntry struct {
 	at   uint64
 }
 
+// robEntry packs word-sized fields first: dispatch rewrites one entry per
+// instruction, and the flag-interleaved declaration order would pad the
+// struct from 64 to 88 bytes.
 type robEntry struct {
 	seq         uint64
-	valid       bool
 	ip          uint64
-	op          trace.Op
 	addr        mem.Addr
-	done        bool
 	doneCycle   uint64 // for non-loads: completion time
-	issued      bool   // load sent to L1D
-	dependsOn   int    // ROB slot of the load this load depends on, -1 none
-	servedBy    mem.Level
 	stallCycles uint64 // head-of-ROB stall cycles attributed
 	latency     uint64
+	dependsOn   int // ROB slot of the load this load depends on, -1 none
+	op          trace.Op
+	servedBy    mem.Level
+	valid       bool
+	done        bool
+	issued      bool // load sent to L1D
 	wasPF       bool
 	latePF      bool
 	dependChain bool
@@ -152,10 +157,13 @@ type robEntry struct {
 
 // Core is one simulated core.
 type Core struct {
-	cfg  Config
-	id   int
-	gen  trace.Generator
-	port MemoryPort
+	cfg Config
+	id  int
+	gen trace.Generator
+	// batch is gen's bulk-decode fast path when it implements trace.Batcher
+	// (pre-decoded replays): one memcpy per ibuf refill.
+	batch trace.Batcher
+	port  MemoryPort
 
 	rob        []robEntry
 	head, tail int
@@ -205,8 +213,22 @@ type Core struct {
 
 	stats Stats
 
-	onLoad   []func(LoadEvent)
-	onRetire []func(RetireEvent)
+	onLoad   []func(*LoadEvent)
+	onRetire []func(*RetireEvent)
+
+	// ibuf is the pre-decoded instruction buffer: dispatch reads a flat
+	// array and the generator only runs on (rare) batch refills, keeping
+	// the per-instruction hot path free of interface calls.
+	ibuf []trace.Instr
+	ipos int
+
+	// reqBuf/loadEv/retireEv buffer the values handed to the memory port
+	// and event listeners, so the pointers passed through interfaces and
+	// stored callbacks never force per-instruction heap allocations; the
+	// callees consume them synchronously.
+	reqBuf   mem.Request
+	loadEv   LoadEvent
+	retireEv RetireEvent
 }
 
 // New creates a core running gen with an instruction budget. The budget only
@@ -224,12 +246,14 @@ func New(id int, cfg Config, gen trace.Generator, port MemoryPort, budget uint64
 		cfg:          cfg,
 		id:           id,
 		gen:          gen,
+		batch:        batcherOf(gen),
 		port:         port,
 		rob:          make([]robEntry, cfg.ROBSize),
 		budget:       budget,
 		lastLoadSlot: -1,
 		bp:           NewPerceptron(),
 		wheel:        make([][]wheelEntry, wheelSize),
+		ibuf:         make([]trace.Instr, 0, ibufBatch),
 	}
 	// Carve every wheel bucket out of one flat allocation with a few entries
 	// of capacity; buckets are drained to [:0] each revolution, so the
@@ -280,11 +304,14 @@ func (c *Core) SetFetchChecker(f FetchChecker) { c.fetchCheck = f }
 // finished-core counter from this instead of scanning every core per cycle.
 func (c *Core) OnFinished(f func()) { c.onFinished = f }
 
-// OnLoadComplete registers a listener for load responses.
-func (c *Core) OnLoadComplete(f func(LoadEvent)) { c.onLoad = append(c.onLoad, f) }
+// OnLoadComplete registers a listener for load responses. The event pointer
+// is only valid for the duration of the call.
+func (c *Core) OnLoadComplete(f func(*LoadEvent)) { c.onLoad = append(c.onLoad, f) }
 
-// OnRetire registers a listener for retiring instructions.
-func (c *Core) OnRetire(f func(RetireEvent)) { c.onRetire = append(c.onRetire, f) }
+// OnRetire registers a listener for retiring instructions. The event pointer
+// is only valid for the duration of the call. Retire events are only
+// materialized while at least one listener is registered.
+func (c *Core) OnRetire(f func(*RetireEvent)) { c.onRetire = append(c.onRetire, f) }
 
 // ROBOccupancy returns the number of valid ROB entries.
 func (c *Core) ROBOccupancy() int { return c.count }
@@ -400,7 +427,7 @@ const wheelSize = 512
 
 // wheelBucketCap is the pre-allocated per-bucket capacity (few completions
 // share one cycle in practice).
-const wheelBucketCap = 4
+const wheelBucketCap = 8
 
 // schedule files a completion event for slot at cycle `at`.
 func (c *Core) schedule(slot int, at uint64) {
@@ -489,13 +516,16 @@ func (c *Core) retire() {
 			}
 		}
 		c.stats.StallsByLevel[e.servedBy] += e.stallCycles
-		for _, f := range c.onRetire {
-			f(RetireEvent{
+		if len(c.onRetire) > 0 {
+			c.retireEv = RetireEvent{
 				Core: c.id, IP: e.ip, Op: e.op, Addr: e.addr,
 				IsLoad: e.op == trace.OpLoad, ServedBy: e.servedBy,
 				StallCycles: e.stallCycles, DependChain: e.dependChain,
 				Cycle: c.cycle,
-			})
+			}
+			for _, f := range c.onRetire {
+				f(&c.retireEv)
+			}
 		}
 		if c.lastLoadSlot == c.head {
 			c.lastLoadSlot = -1
@@ -535,11 +565,11 @@ func (c *Core) issueLoads() {
 				continue
 			}
 		}
-		req := mem.Request{
+		c.reqBuf = mem.Request{
 			Addr: e.addr.Line(), IP: e.ip, TriggerIP: e.ip, Core: c.id,
 			Type: mem.Load, IssueCycle: c.cycle, ROBIndex: slot,
 		}
-		if c.port.Issue(req) {
+		if c.port.Issue(&c.reqBuf) {
 			e.issued = true
 			c.outstanding++
 			c.stats.L1DAccesses++
@@ -561,7 +591,7 @@ func (c *Core) dispatch() {
 		if c.count == len(c.rob) {
 			return // ROB full
 		}
-		ins := c.gen.Next()
+		ins := c.nextInstr()
 		if c.fetchCheck != nil {
 			if blk := ins.IP >> 6; blk != c.lastBlock {
 				c.lastBlock = blk
@@ -605,10 +635,11 @@ func (c *Core) dispatch() {
 			e.done = true
 			e.servedBy = mem.LevelL1
 			c.stats.L1DAccesses++
-			c.port.Issue(mem.Request{
+			c.reqBuf = mem.Request{
 				Addr: ins.Addr.Line(), IP: ins.IP, TriggerIP: ins.IP, Core: c.id,
 				Type: mem.Store, IssueCycle: c.cycle, ROBIndex: -1,
-			})
+			}
+			c.port.Issue(&c.reqBuf)
 		case trace.OpBranch:
 			c.stats.Branches++
 			pred := c.bp.Predict(ins.IP)
@@ -637,7 +668,7 @@ func (c *Core) dispatch() {
 // resp.Req.ROBIndex. It updates the criticality history and fires LoadEvent
 // listeners — this is the paper's training moment: "on a load response back
 // to the processor, check the ROB stall flag and the miss-level flag".
-func (c *Core) CompleteLoad(resp mem.Response) {
+func (c *Core) CompleteLoad(resp *mem.Response) {
 	c.wake = true
 	slot := resp.Req.ROBIndex
 	if slot < 0 || slot >= len(c.rob) {
@@ -672,17 +703,44 @@ func (c *Core) CompleteLoad(resp mem.Response) {
 	}
 	c.CritHist = c.CritHist<<1 | b2u(critical)
 
-	ev := LoadEvent{
-		Core: c.id, IP: e.ip, Addr: e.addr, ServedBy: resp.ServedBy,
-		Latency: e.latency, StalledHead: stalled, AtHead: atHead,
-		HeadStallCycles: e.stallCycles, ROBOccupancy: c.count,
-		MLPAtComplete: c.outstanding, WasPrefetchHit: resp.WasPrefetch,
-		LatePF: resp.LatePF, Cycle: c.cycle,
-		BranchHist: c.BranchHist, CritHist: c.CritHist,
+	if len(c.onLoad) > 0 {
+		c.loadEv = LoadEvent{
+			Core: c.id, IP: e.ip, Addr: e.addr, ServedBy: resp.ServedBy,
+			Latency: e.latency, StalledHead: stalled, AtHead: atHead,
+			HeadStallCycles: e.stallCycles, ROBOccupancy: c.count,
+			MLPAtComplete: c.outstanding, WasPrefetchHit: resp.WasPrefetch,
+			LatePF: resp.LatePF, Cycle: c.cycle,
+			BranchHist: c.BranchHist, CritHist: c.CritHist,
+		}
+		for _, f := range c.onLoad {
+			f(&c.loadEv)
+		}
 	}
-	for _, f := range c.onLoad {
-		f(ev)
+}
+
+// ibufBatch is the pre-decode batch size: dispatch consumes instructions
+// from a flat array refilled from the trace generator in bulk.
+const ibufBatch = 4096
+
+// nextInstr returns the next pre-decoded instruction, refilling the buffer
+// from the generator when exhausted. The generated sequence is exactly the
+// per-call gen.Next() stream (the synthetic generators are pure sequences,
+// independent of simulation time).
+func (c *Core) nextInstr() trace.Instr {
+	if c.ipos == len(c.ibuf) {
+		c.ibuf = c.ibuf[:ibufBatch]
+		if c.batch != nil {
+			c.ibuf = c.ibuf[:c.batch.NextBatch(c.ibuf)]
+		} else {
+			for i := range c.ibuf {
+				c.ibuf[i] = c.gen.Next()
+			}
+		}
+		c.ipos = 0
 	}
+	ins := c.ibuf[c.ipos]
+	c.ipos++
+	return ins
 }
 
 func b2u(b bool) uint32 {
@@ -700,4 +758,12 @@ func (c *Core) DebugHead() string {
 	e := &c.rob[c.head]
 	return fmt.Sprintf("slot=%d op=%v ip=%#x addr=%#x done=%v issued=%v dep=%d pendingLoads=%d outstanding=%d",
 		c.head, e.op, e.ip, uint64(e.addr), e.done, e.issued, e.dependsOn, len(c.pendingLoads), c.outstanding)
+}
+
+// batcherOf returns gen's bulk-decode interface when available.
+func batcherOf(gen trace.Generator) trace.Batcher {
+	if b, ok := gen.(trace.Batcher); ok {
+		return b
+	}
+	return nil
 }

@@ -21,7 +21,7 @@ func newFakeMem(latency uint64, level mem.Level) *fakeMem {
 	return &fakeMem{latency: latency, level: level, accepting: true}
 }
 
-func (f *fakeMem) Issue(req mem.Request) bool {
+func (f *fakeMem) Issue(req *mem.Request) bool {
 	if !f.accepting {
 		return false
 	}
@@ -30,7 +30,7 @@ func (f *fakeMem) Issue(req mem.Request) bool {
 		return true
 	}
 	f.inflight = append(f.inflight, mem.Response{
-		Req: req, ServedBy: f.level, DoneCycle: req.IssueCycle + f.latency,
+		Req: *req, ServedBy: f.level, DoneCycle: req.IssueCycle + f.latency,
 	})
 	return true
 }
@@ -39,7 +39,7 @@ func (f *fakeMem) tick(cycle uint64) {
 	rest := f.inflight[:0]
 	for _, r := range f.inflight {
 		if r.DoneCycle <= cycle {
-			f.core.CompleteLoad(r)
+			f.core.CompleteLoad(&r)
 		} else {
 			rest = append(rest, r)
 		}
@@ -142,7 +142,7 @@ func TestLoadEventListener(t *testing.T) {
 	fm.core = core
 	var events int
 	var badLevel int
-	core.OnLoadComplete(func(ev LoadEvent) {
+	core.OnLoadComplete(func(ev *LoadEvent) {
 		events++
 		if ev.ServedBy != mem.LevelL2 {
 			badLevel++
@@ -171,7 +171,7 @@ func TestRetireEventListener(t *testing.T) {
 	}
 	fm.core = core
 	var retired, loads uint64
-	core.OnRetire(func(ev RetireEvent) {
+	core.OnRetire(func(ev *RetireEvent) {
 		retired++
 		if ev.IsLoad {
 			loads++

@@ -23,9 +23,9 @@ import (
 type Predictor interface {
 	Name() string
 	// OnLoadComplete trains on a completed load.
-	OnLoadComplete(ev cpu.LoadEvent)
+	OnLoadComplete(ev *cpu.LoadEvent)
 	// OnRetire trains on the retire stream (CATCH/FVP walk it).
-	OnRetire(ev cpu.RetireEvent)
+	OnRetire(ev *cpu.RetireEvent)
 	// Critical predicts whether the next dynamic instance of ip accessing
 	// addr will be critical. Prior predictors ignore addr — that is their
 	// documented limitation, not an implementation shortcut.
@@ -33,7 +33,7 @@ type Predictor interface {
 }
 
 // IsCriticalEvent applies the paper's ground-truth definition to a load.
-func IsCriticalEvent(ev cpu.LoadEvent) bool {
+func IsCriticalEvent(ev *cpu.LoadEvent) bool {
 	return ev.StalledHead && ev.ServedBy >= mem.LevelL2
 }
 
@@ -115,7 +115,7 @@ func newCATCH() *catchPred {
 
 func (c *catchPred) Name() string { return "catch" }
 
-func (c *catchPred) OnLoadComplete(ev cpu.LoadEvent) {
+func (c *catchPred) OnLoadComplete(ev *cpu.LoadEvent) {
 	// Any stall makes the whole neighbourhood look costly in the DDG.
 	if ev.StalledHead && ev.ServedBy >= mem.LevelL2 {
 		c.bump(ev.IP, 2)
@@ -125,7 +125,7 @@ func (c *catchPred) OnLoadComplete(ev cpu.LoadEvent) {
 	}
 }
 
-func (c *catchPred) OnRetire(ev cpu.RetireEvent) {
+func (c *catchPred) OnRetire(ev *cpu.RetireEvent) {
 	if !ev.IsLoad {
 		return
 	}
@@ -172,9 +172,9 @@ func newFP() *fpPred { return &fpPred{stall: table.NewMap[uint64](0)} }
 
 func (f *fpPred) Name() string { return "fp" }
 
-func (f *fpPred) OnLoadComplete(cpu.LoadEvent) {}
+func (f *fpPred) OnLoadComplete(*cpu.LoadEvent) {}
 
-func (f *fpPred) OnRetire(ev cpu.RetireEvent) {
+func (f *fpPred) OnRetire(ev *cpu.RetireEvent) {
 	if !ev.IsLoad {
 		return
 	}
@@ -216,14 +216,14 @@ func newFVP() *fvpPred { return &fvpPred{conf: table.NewMap[int](0)} }
 
 func (f *fvpPred) Name() string { return "fvp" }
 
-func (f *fvpPred) OnLoadComplete(ev cpu.LoadEvent) {
+func (f *fvpPred) OnLoadComplete(ev *cpu.LoadEvent) {
 	// In-flight at the retire window: almost every load that ever waited.
 	if ev.StalledHead || ev.AtHead || ev.Latency > 8 {
 		*f.conf.At(ev.IP)++
 	}
 }
 
-func (f *fvpPred) OnRetire(ev cpu.RetireEvent) {
+func (f *fvpPred) OnRetire(ev *cpu.RetireEvent) {
 	if ev.IsLoad && ev.DependChain {
 		*f.conf.At(ev.IP)++ // producer of a value chain
 	}
@@ -252,7 +252,7 @@ func newCBP() *cbpPred { return &cbpPred{t: table.NewMap[cbpEntry](0)} }
 
 func (c *cbpPred) Name() string { return "cbp" }
 
-func (c *cbpPred) OnLoadComplete(ev cpu.LoadEvent) {
+func (c *cbpPred) OnLoadComplete(ev *cpu.LoadEvent) {
 	e := c.t.At(ev.IP)
 	if ev.HeadStallCycles > e.maxSeen {
 		e.maxSeen = ev.HeadStallCycles
@@ -264,7 +264,7 @@ func (c *cbpPred) OnLoadComplete(ev cpu.LoadEvent) {
 	}
 }
 
-func (c *cbpPred) OnRetire(cpu.RetireEvent) {}
+func (c *cbpPred) OnRetire(*cpu.RetireEvent) {}
 
 func (c *cbpPred) Critical(ip uint64, _ mem.Addr) bool {
 	e := c.t.Get(ip)
@@ -295,7 +295,7 @@ func newROBO(robSize int) *roboPred {
 
 func (r *roboPred) Name() string { return "robo" }
 
-func (r *roboPred) OnLoadComplete(ev cpu.LoadEvent) {
+func (r *roboPred) OnLoadComplete(ev *cpu.LoadEvent) {
 	if ev.StalledHead && ev.ROBOccupancy*4 >= r.robSize*3 {
 		e := r.t.At(ev.IP)
 		e.stalls++
@@ -305,7 +305,7 @@ func (r *roboPred) OnLoadComplete(ev cpu.LoadEvent) {
 	}
 }
 
-func (r *roboPred) OnRetire(cpu.RetireEvent) {}
+func (r *roboPred) OnRetire(*cpu.RetireEvent) {}
 
 func (r *roboPred) Critical(ip uint64, _ mem.Addr) bool {
 	e := r.t.Get(ip)
@@ -332,7 +332,7 @@ func newCRISP() *crispPred { return &crispPred{t: table.NewMap[crispEntry](0)} }
 
 func (c *crispPred) Name() string { return "crisp" }
 
-func (c *crispPred) OnLoadComplete(ev cpu.LoadEvent) {
+func (c *crispPred) OnLoadComplete(ev *cpu.LoadEvent) {
 	e := c.t.At(ev.IP)
 	e.samples++
 	e.mlpSum += uint64(ev.MLPAtComplete)
@@ -341,7 +341,7 @@ func (c *crispPred) OnLoadComplete(ev cpu.LoadEvent) {
 	}
 }
 
-func (c *crispPred) OnRetire(cpu.RetireEvent) {}
+func (c *crispPred) OnRetire(*cpu.RetireEvent) {}
 
 func (c *crispPred) Critical(ip uint64, _ mem.Addr) bool {
 	e := c.t.Get(ip)

@@ -7,8 +7,8 @@ import (
 	"clip/internal/mem"
 )
 
-func loadEv(ip uint64, level mem.Level, stalled bool, stallCycles uint64, mlp, robOcc int) cpu.LoadEvent {
-	return cpu.LoadEvent{
+func loadEv(ip uint64, level mem.Level, stalled bool, stallCycles uint64, mlp, robOcc int) *cpu.LoadEvent {
+	return &cpu.LoadEvent{
 		IP: ip, Addr: 0x1000, ServedBy: level, StalledHead: stalled,
 		AtHead: stalled, HeadStallCycles: stallCycles, MLPAtComplete: mlp,
 		ROBOccupancy: robOcc, Latency: 200,
@@ -130,9 +130,9 @@ func TestCRISPMLPGate(t *testing.T) {
 func TestFPTracksStallHeavyIPs(t *testing.T) {
 	p, _ := New("fp", 512)
 	for i := 0; i < 50; i++ {
-		p.OnRetire(cpu.RetireEvent{IP: 0x11, IsLoad: true, StallCycles: 100,
+		p.OnRetire(&cpu.RetireEvent{IP: 0x11, IsLoad: true, StallCycles: 100,
 			ServedBy: mem.LevelDRAM})
-		p.OnRetire(cpu.RetireEvent{IP: 0x12, IsLoad: true, StallCycles: 0,
+		p.OnRetire(&cpu.RetireEvent{IP: 0x12, IsLoad: true, StallCycles: 0,
 			ServedBy: mem.LevelL1})
 	}
 	if !p.Critical(0x11, 0) {
@@ -157,7 +157,7 @@ func TestCATCHFlagsNeighbourhood(t *testing.T) {
 	p, _ := New("catch", 512)
 	// Retire a window of loads, then one stalls: neighbours get flagged too.
 	for _, ip := range []uint64{0x20, 0x21, 0x22} {
-		p.OnRetire(cpu.RetireEvent{IP: ip, IsLoad: true, ServedBy: mem.LevelL2})
+		p.OnRetire(&cpu.RetireEvent{IP: ip, IsLoad: true, ServedBy: mem.LevelL2})
 	}
 	p.OnLoadComplete(loadEv(0x23, mem.LevelDRAM, true, 80, 1, 500))
 	p.OnLoadComplete(loadEv(0x23, mem.LevelDRAM, true, 80, 1, 500))
@@ -185,7 +185,7 @@ func TestIPPredictorsMissDynamicCriticality(t *testing.T) {
 		var score Score
 		for i := 0; i < 4000; i++ {
 			critical := i%2 == 0 // half the instances stall
-			var ev cpu.LoadEvent
+			var ev *cpu.LoadEvent
 			if critical {
 				ev = loadEv(0xAA, mem.LevelDRAM, true, 40, 1, 490)
 			} else {
@@ -194,7 +194,7 @@ func TestIPPredictorsMissDynamicCriticality(t *testing.T) {
 			pred := p.Critical(0xAA, ev.Addr)
 			score.Update(pred, IsCriticalEvent(ev))
 			p.OnLoadComplete(ev)
-			p.OnRetire(cpu.RetireEvent{IP: 0xAA, IsLoad: true,
+			p.OnRetire(&cpu.RetireEvent{IP: 0xAA, IsLoad: true,
 				ServedBy: ev.ServedBy, StallCycles: ev.HeadStallCycles})
 		}
 		// Once warmed, these predictors say "critical" every time; accuracy

@@ -139,9 +139,13 @@ type channel struct {
 type DRAM struct {
 	cfg    Config
 	chans  []channel
-	onResp func(mem.Response)
+	onResp func(*mem.Response)
 	cycle  uint64
 	stats  Stats
+	// resp buffers the response handed to onResp so the pointer passed
+	// through the callback never forces a per-read heap allocation; the
+	// callee consumes it synchronously.
+	resp mem.Response
 
 	// sealed (clipdebug only) marks the shard-parallel tile phase, during
 	// which Issue is forbidden: tile code must stage direct-DRAM reads and
@@ -186,7 +190,7 @@ func MustNew(cfg Config) *DRAM {
 func (d *DRAM) Stats() *Stats { return &d.stats }
 
 // OnResponse registers the fill sink (the LLC, via the NoC adapter).
-func (d *DRAM) OnResponse(f func(mem.Response)) { d.onResp = f }
+func (d *DRAM) OnResponse(f func(*mem.Response)) { d.onResp = f }
 
 // ChannelUtilization returns the most recent per-channel bus utilization —
 // DSPatch's per-controller signal (deliberately myopic, as the paper notes).
@@ -219,7 +223,7 @@ func (d *DRAM) route(addr mem.Addr) (ch, bk int, row int64) {
 // queue, writebacks the write queue. Returns false when the target queue is
 // full — except prefetches, which are dropped (the controller never blocks
 // the chip on a prefetch).
-func (d *DRAM) Issue(req mem.Request) bool {
+func (d *DRAM) Issue(req *mem.Request) bool {
 	if invariant.Enabled {
 		invariant.Check(!d.sealed,
 			"dram: Issue(core %d, %v) during the sealed tile phase; tile code must "+
@@ -232,7 +236,7 @@ func (d *DRAM) Issue(req mem.Request) bool {
 			d.stats.WQFullEvents++
 			return false
 		}
-		c.wq = append(c.wq, wrEntry{req: req, bk: int32(bk), row: row})
+		c.wq = append(c.wq, wrEntry{req: *req, bk: int32(bk), row: row})
 		return true
 	}
 	if len(c.rq) >= d.cfg.RQ {
@@ -242,7 +246,7 @@ func (d *DRAM) Issue(req mem.Request) bool {
 		}
 		return false
 	}
-	c.rq = append(c.rq, rdEntry{req: req, arrived: d.cycle, bk: int32(bk), row: row})
+	c.rq = append(c.rq, rdEntry{req: *req, arrived: d.cycle, bk: int32(bk), row: row})
 	return true
 }
 
@@ -555,7 +559,8 @@ func (d *DRAM) scheduleRead(c *channel) bool {
 	d.stats.ServiceLatency.Add(done - e.arrived)
 
 	if d.onResp != nil {
-		d.onResp(mem.Response{Req: e.req, ServedBy: mem.LevelDRAM, DoneCycle: done})
+		d.resp = mem.Response{Req: e.req, ServedBy: mem.LevelDRAM, DoneCycle: done}
+		d.onResp(&d.resp)
 	}
 	return true
 }

@@ -6,8 +6,8 @@ import (
 	"clip/internal/mem"
 )
 
-func req(addr mem.Addr, ty mem.AccessType) mem.Request {
-	return mem.Request{Addr: addr.Line(), Type: ty}
+func req(addr mem.Addr, ty mem.AccessType) *mem.Request {
+	return &mem.Request{Addr: addr.Line(), Type: ty}
 }
 
 func drain(d *DRAM, from, to uint64) {
@@ -32,7 +32,7 @@ func TestConfigValidation(t *testing.T) {
 func TestReadCompletes(t *testing.T) {
 	d := MustNew(DefaultConfig(1))
 	var resps []mem.Response
-	d.OnResponse(func(r mem.Response) { resps = append(resps, r) })
+	d.OnResponse(func(r *mem.Response) { resps = append(resps, *r) })
 	if !d.Issue(req(0x1000, mem.Load)) {
 		t.Fatal("issue refused")
 	}
@@ -53,7 +53,7 @@ func TestReadCompletes(t *testing.T) {
 func TestRowBufferHitFaster(t *testing.T) {
 	d := MustNew(DefaultConfig(1))
 	var resps []mem.Response
-	d.OnResponse(func(r mem.Response) { resps = append(resps, r) })
+	d.OnResponse(func(r *mem.Response) { resps = append(resps, *r) })
 	d.Issue(req(0x0, mem.Load))
 	drain(d, 0, 200)
 	first := resps[0].DoneCycle
@@ -83,7 +83,7 @@ func TestMoreChannelsMoreThroughput(t *testing.T) {
 	run := func(channels int) uint64 {
 		d := MustNew(DefaultConfig(channels))
 		var last uint64
-		d.OnResponse(func(r mem.Response) {
+		d.OnResponse(func(r *mem.Response) {
 			if r.DoneCycle > last {
 				last = r.DoneCycle
 			}
@@ -115,7 +115,7 @@ func TestBandwidthCeiling(t *testing.T) {
 	d := MustNew(DefaultConfig(1))
 	n := 32
 	var dones []uint64
-	d.OnResponse(func(r mem.Response) { dones = append(dones, r.DoneCycle) })
+	d.OnResponse(func(r *mem.Response) { dones = append(dones, r.DoneCycle) })
 	for i := 0; i < n; i++ {
 		// Same row to isolate the bus constraint.
 		d.Issue(req(mem.Addr(i*64), mem.Load))
@@ -154,7 +154,7 @@ func TestPADCDemandFirst(t *testing.T) {
 	cfg := DefaultConfig(1)
 	d := MustNew(cfg)
 	var order []mem.AccessType
-	d.OnResponse(func(r mem.Response) { order = append(order, r.Req.Type) })
+	d.OnResponse(func(r *mem.Response) { order = append(order, r.Req.Type) })
 	// Prefetches queued first, then a demand; PADC must schedule the demand
 	// ahead of the untouched prefetches (different banks, all row-closed).
 	for i := 0; i < 8; i++ {
@@ -175,7 +175,7 @@ func TestCriticalPrefetchPriority(t *testing.T) {
 	cfg.CriticalPriority = true
 	d := MustNew(cfg)
 	var order []bool // critical flags in completion order
-	d.OnResponse(func(r mem.Response) { order = append(order, r.Req.Critical) })
+	d.OnResponse(func(r *mem.Response) { order = append(order, r.Req.Critical) })
 	for i := 0; i < 8; i++ {
 		d.Issue(req(mem.Addr(i*64), mem.Prefetch))
 	}
@@ -279,13 +279,14 @@ func TestRefreshBlocksChannelAndClosesRows(t *testing.T) {
 	cfg.REFI, cfg.RFC = 500, 100
 	d := MustNew(cfg)
 	var dones []uint64
-	d.OnResponse(func(r mem.Response) { dones = append(dones, r.DoneCycle) })
+	d.OnResponse(func(r *mem.Response) { dones = append(dones, r.DoneCycle) })
 	// Warm a row, let a refresh pass, then access the same row again: the
 	// refresh closed it, so the second access pays RCD again.
 	d.Issue(req(0x0, mem.Load))
 	drain(d, 0, 300)
 	first := dones[0]
-	// Cross the refresh boundary (cycle 500).
+	// Tick through the refresh boundary (cycle 500), then access again.
+	drain(d, 300, 600)
 	d.Issue(req(0x400, mem.Load)) // same bank, same row as 0x0
 	drain(d, 600, 900)
 	if len(dones) != 2 {

@@ -16,7 +16,7 @@ func TestPropertyReadConservation(t *testing.T) {
 		cfg.REFI, cfg.RFC = 700, 90
 		d := MustNew(cfg)
 		responses := map[uint64]int{}
-		d.OnResponse(func(r mem.Response) { responses[r.Req.IP]++ })
+		d.OnResponse(func(r *mem.Response) { responses[r.Req.IP]++ })
 
 		accepted := map[uint64]bool{}
 		var cy uint64
@@ -27,13 +27,13 @@ func TestPropertyReadConservation(t *testing.T) {
 			case 0:
 				id++
 				req := mem.Request{Addr: addr, IP: id, Type: mem.Load, IssueCycle: cy}
-				if d.Issue(req) {
+				if d.Issue(&req) {
 					accepted[id] = true
 				}
 			case 1:
-				d.Issue(mem.Request{Addr: addr, Type: mem.Writeback, IssueCycle: cy})
+				d.Issue(&mem.Request{Addr: addr, Type: mem.Writeback, IssueCycle: cy})
 			default:
-				d.Issue(mem.Request{Addr: addr, Type: mem.Prefetch, IssueCycle: cy})
+				d.Issue(&mem.Request{Addr: addr, Type: mem.Prefetch, IssueCycle: cy})
 			}
 			d.Tick(cy)
 			cy++
@@ -59,11 +59,11 @@ func TestPropertyBankExclusive(t *testing.T) {
 	cfg := DefaultConfig(1)
 	d := MustNew(cfg)
 	var dones []uint64
-	d.OnResponse(func(r mem.Response) { dones = append(dones, r.DoneCycle) })
+	d.OnResponse(func(r *mem.Response) { dones = append(dones, r.DoneCycle) })
 	// Same bank, different rows: guaranteed conflict.
 	rowStride := uint64(cfg.Banks) * uint64(cfg.RowLines) * mem.LineBytes
-	d.Issue(mem.Request{Addr: 0, Type: mem.Load})
-	d.Issue(mem.Request{Addr: mem.Addr(rowStride), Type: mem.Load})
+	d.Issue(&mem.Request{Addr: 0, Type: mem.Load})
+	d.Issue(&mem.Request{Addr: mem.Addr(rowStride), Type: mem.Load})
 	for cy := uint64(0); cy < 2000; cy++ {
 		d.Tick(cy)
 	}

@@ -93,15 +93,29 @@ func (l Level) String() string {
 }
 
 // Request is a memory request travelling down the hierarchy.
+// Field order packs the word-sized members first and the byte-sized flags
+// last: requests are copied through every queue in the hierarchy, so the
+// struct is kept at 56 bytes rather than the 64 the declaration order with
+// interleaved flags would pad it to.
 type Request struct {
-	Addr Addr       // byte address (line-aligned below L1)
-	IP   uint64     // instruction pointer of the triggering instruction
-	Core int        // originating core id
-	Type AccessType // load / store / prefetch / writeback
+	Addr Addr   // byte address (line-aligned below L1)
+	IP   uint64 // instruction pointer of the triggering instruction
 
 	// TriggerIP is the demand load IP that trained the prefetcher into
 	// issuing this prefetch. For demand requests it equals IP.
 	TriggerIP uint64
+
+	// IssueCycle is when the request left the core (or prefetcher).
+	IssueCycle uint64
+
+	// Core is the originating core id.
+	Core int
+
+	// ROBIndex links a demand load back to its ROB entry (-1 otherwise).
+	ROBIndex int
+
+	// Type classifies the access: load / store / prefetch / writeback.
+	Type AccessType
 
 	// Critical is the CLIP criticality flag carried through the hierarchy;
 	// the NoC and DRAM controller prioritise flagged prefetches like demands.
@@ -115,12 +129,6 @@ type Request struct {
 	// pressure; an owned one must be backpressured like a demand, or the
 	// owning MSHR would wait forever.
 	Owned bool
-
-	// IssueCycle is when the request left the core (or prefetcher).
-	IssueCycle uint64
-
-	// ROBIndex links a demand load back to its ROB entry (-1 otherwise).
-	ROBIndex int
 }
 
 // Response is the answer travelling back up.

@@ -79,3 +79,24 @@ func (r *Ring[T]) grow() {
 	}
 	r.buf, r.head = buf, 0
 }
+
+// Grow ensures capacity for at least n elements without further allocation
+// (rounded up to a power of two). Construction-time sizing for queues whose
+// steady-state depth is known keeps the hot path from ever calling grow.
+func (r *Ring[T]) Grow(n int) {
+	if n <= len(r.buf) {
+		return
+	}
+	c := len(r.buf) * 2
+	if c == 0 {
+		c = 8
+	}
+	for c < n {
+		c *= 2
+	}
+	buf := make([]T, c)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = buf, 0
+}

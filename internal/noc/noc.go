@@ -9,14 +9,25 @@
 // links (a flit-accurate wormhole pipeline would shave a few cycles per hop
 // but exhibits the same contention behaviour, which is what matters here:
 // prefetch bursts queue behind each other and delay demand packets).
+//
+// Storage is structure-of-arrays: packets live in a flat slab addressed by
+// int32 ids (free-listed, so the steady state never allocates), routes are
+// computed incrementally from the current node instead of materialized as a
+// path slice, and the per-cycle link walk runs over a uint64 occupancy
+// bitmap with bits.TrailingZeros64 instead of scanning every link. Hot
+// traffic carries a concrete mem.Response payload dispatched through a
+// registered handler (OnDeliver); the closure-based Send remains for tests
+// and cold paths.
 package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"clip/internal/invariant"
 	"clip/internal/mem"
 	"clip/internal/stats"
+	"clip/internal/table"
 )
 
 // Config sizes the mesh.
@@ -71,23 +82,37 @@ const FlitsPerData = 8
 // FlitsPerAddr is the address packet size (Table 3).
 const FlitsPerAddr = 1
 
+// DeliverFunc receives payload packets at their destination. kind and resp
+// are the values given to SendPayload; resp points into the packet slab and
+// must not be retained past the call.
+type DeliverFunc func(kind uint8, dst int, resp *mem.Response, cycle uint64)
+
+// packet is one slab entry. at is the node the packet currently occupies (or
+// is entering the link out of); routing to dst is recomputed per hop, so the
+// remaining path never needs materializing.
 type packet struct {
-	path    []int // link ids remaining
-	flits   int
+	at, dst int32
+	flits   int32
 	high    bool
+	payload bool // resp/kind carry the payload; deliver is unused
+	kind    uint8
 	sent    uint64
+	resp    mem.Response
 	deliver func(cycle uint64)
 }
 
 type link struct {
 	// vcs[0..hiVCs) carry the high class round-robin; the rest the low
 	// class. With CriticalPriority off, every packet uses vcs[0].
-	vcs      []mem.Ring[*packet]
-	hiVCs    int
-	rrHi     int // round-robin cursor over high VCs
-	rrLo     int
-	cur      *packet
-	busyLeft int
+	vcs   []mem.Ring[int32]
+	hiVCs int
+	rrHi  int // round-robin cursor over high VCs
+	rrLo  int
+	// vcMask has bit v set while vcs[v] is non-empty, so the round-robin
+	// pop is one NextRR instead of a ring-length scan.
+	vcMask   uint64
+	cur      int32 // packet id occupying the link, -1 when idle
+	busyLeft int32
 	// hiN/loN mirror the summed VC occupancy per class, maintained on every
 	// push and pop, so the per-cycle link walk is O(1) per link instead of
 	// O(VCs) (verified against the rings by the clipdebug conservation
@@ -115,44 +140,60 @@ func (l *link) loLen() int {
 	return n
 }
 
-// popHi dequeues the next high-class packet round-robin across its VCs.
-func (l *link) popHi() *packet {
-	for i := 0; i < l.hiVCs; i++ {
-		v := (l.rrHi + i) % l.hiVCs
-		if l.vcs[v].Len() > 0 {
-			l.rrHi = (v + 1) % l.hiVCs
-			l.hiN--
-			return l.vcs[v].PopFront()
-		}
+func (l *link) pop(v int) int32 {
+	id := l.vcs[v].PopFront()
+	if l.vcs[v].Len() == 0 {
+		l.vcMask &^= 1 << uint(v)
 	}
-	return nil
+	return id
+}
+
+// popHi dequeues the next high-class packet round-robin across its VCs.
+func (l *link) popHi() int32 {
+	v := table.NextRR(l.vcMask&(1<<uint(l.hiVCs)-1), l.rrHi)
+	if v < 0 {
+		return -1
+	}
+	l.rrHi = (v + 1) % l.hiVCs
+	l.hiN--
+	return l.pop(v)
 }
 
 // popLo dequeues the next low-class packet round-robin across its VCs.
-func (l *link) popLo() *packet {
+func (l *link) popLo() int32 {
 	nLo := len(l.vcs) - l.hiVCs
 	if nLo == 0 {
-		return nil
+		return -1
 	}
-	for i := 0; i < nLo; i++ {
-		v := l.hiVCs + (l.rrLo+i)%nLo
-		if l.vcs[v].Len() > 0 {
-			l.rrLo = (v - l.hiVCs + 1) % nLo
-			l.loN--
-			return l.vcs[v].PopFront()
-		}
+	v := table.NextRR(l.vcMask>>uint(l.hiVCs), l.rrLo)
+	if v < 0 {
+		return -1
 	}
-	return nil
+	l.rrLo = (v + 1) % nLo
+	l.loN--
+	return l.pop(l.hiVCs + v)
 }
 
 // Mesh is the interconnect.
 type Mesh struct {
 	cfg   Config
 	links []link
-	// pending holds packets between links (router pipeline delay).
-	pending []pendingHop
-	cycle   uint64
-	stats   Stats
+	// active is the link occupancy bitmap: bit i set while link i holds a
+	// packet (in a VC or on the wire). The per-cycle walk CLZ-scans it.
+	active []uint64
+	// pkts is the packet slab; free lists retired ids. Packet ids are only
+	// meaningful between inject and deliver, and the slab grows to the peak
+	// in-flight population, so the steady state never allocates.
+	pkts []packet
+	free []int32
+	// pending holds packets between links (router pipeline delay). Release
+	// stamps are monotone in push order (each push uses the current cycle),
+	// so a FIFO ring drains matured entries in exactly the order the old
+	// slice compaction visited them.
+	pending   mem.Ring[pendingHop]
+	onDeliver DeliverFunc
+	cycle     uint64
+	stats     Stats
 
 	// live counts injected-but-undelivered packets; linkActive counts the
 	// subset parked in a VC or occupying a link. Both feed the quiescence
@@ -168,7 +209,7 @@ type Mesh struct {
 }
 
 type pendingHop struct {
-	p     *packet
+	id    int32
 	ready uint64
 }
 
@@ -186,10 +227,21 @@ func New(cfg Config) (*Mesh, error) {
 	}
 	// Four directed links per node is an upper bound; we address links as
 	// node*4+dir with dir: 0=east 1=west 2=north 3=south.
-	m := &Mesh{cfg: cfg, links: make([]link, cfg.Width*cfg.Height*4)}
+	nLinks := cfg.Width * cfg.Height * 4
+	m := &Mesh{
+		cfg: cfg,
+		// The packet slab is sized for steady state up front (appends past
+		// the capacity still grow it): a few packets per node covers the
+		// in-flight population of every benchmark workload, so the tick
+		// phase never reallocates the slab.
+		pkts:   make([]packet, 0, 8*cfg.Width*cfg.Height),
+		links:  make([]link, nLinks),
+		active: make([]uint64, (nLinks+63)/64),
+	}
 	for i := range m.links {
-		m.links[i].vcs = make([]mem.Ring[*packet], cfg.VCs)
+		m.links[i].vcs = make([]mem.Ring[int32], cfg.VCs)
 		m.links[i].hiVCs = hiVCs
+		m.links[i].cur = -1
 	}
 	return m, nil
 }
@@ -209,7 +261,12 @@ func (m *Mesh) Stats() *Stats { return &m.stats }
 // Nodes returns the node count.
 func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
 
-func (m *Mesh) nodeXY(n int) (x, y int) { return n % m.cfg.Width, n / m.cfg.Width }
+// OnDeliver registers the payload-packet sink. Exactly one handler serves
+// the whole mesh (the simulator's response/request router).
+func (m *Mesh) OnDeliver(f DeliverFunc) { m.onDeliver = f }
+
+// SlabGeometry reports the packet-slab capacity (diagnostics / bench JSON).
+func (m *Mesh) SlabGeometry() (pkts, links int) { return cap(m.pkts), len(m.links) }
 
 const (
 	dirEast = iota
@@ -218,37 +275,32 @@ const (
 	dirSouth
 )
 
-// route computes the XY path from src to dst as a list of link ids, sized
-// exactly to the Manhattan distance.
-func (m *Mesh) route(src, dst int) []int {
-	if src == dst {
-		return nil
+// hops returns the Manhattan distance from node a to node b — the length of
+// the remaining XY route, which doubles as the VC-spreading key (the old
+// implementation used len(path) of a materialized route; the two are equal
+// at every hop by construction).
+func (m *Mesh) hops(a, b int32) int {
+	ax, ay := int(a)%m.cfg.Width, int(a)/m.cfg.Width
+	bx, by := int(b)%m.cfg.Width, int(b)/m.cfg.Width
+	return absInt(ax-bx) + absInt(ay-by)
+}
+
+// nextLink returns the link id a packet at node `at` takes toward dst under
+// XY routing (X fully first, then Y), and the node on the link's far side.
+func (m *Mesh) nextLink(at, dst int32) (linkID, nextNode int32) {
+	w := int32(m.cfg.Width)
+	ax, ay := at%w, at/w
+	bx, by := dst%w, dst/w
+	switch {
+	case ax < bx:
+		return at*4 + dirEast, at + 1
+	case ax > bx:
+		return at*4 + dirWest, at - 1
+	case ay < by:
+		return at*4 + dirSouth, at + w
+	default:
+		return at*4 + dirNorth, at - w
 	}
-	x, y := m.nodeXY(src)
-	dx, dy := m.nodeXY(dst)
-	path := make([]int, 0, absInt(dx-x)+absInt(dy-y))
-	cur := src
-	for x != dx {
-		if x < dx {
-			path = append(path, cur*4+dirEast)
-			x++
-		} else {
-			path = append(path, cur*4+dirWest)
-			x--
-		}
-		cur = y*m.cfg.Width + x
-	}
-	for y != dy {
-		if y < dy {
-			path = append(path, cur*4+dirSouth)
-			y++
-		} else {
-			path = append(path, cur*4+dirNorth)
-			y--
-		}
-		cur = y*m.cfg.Width + x
-	}
-	return path
 }
 
 func absInt(v int) int {
@@ -259,7 +311,36 @@ func absInt(v int) int {
 }
 
 // HopCount returns the Manhattan distance between nodes (diagnostics).
-func (m *Mesh) HopCount(src, dst int) int { return len(m.route(src, dst)) }
+func (m *Mesh) HopCount(src, dst int) int { return m.hops(int32(src), int32(dst)) }
+
+func (m *Mesh) allocPkt() int32 {
+	if n := len(m.free); n > 0 {
+		id := m.free[n-1]
+		m.free = m.free[:n-1]
+		return id
+	}
+	m.pkts = append(m.pkts, packet{})
+	return int32(len(m.pkts) - 1)
+}
+
+func (m *Mesh) freePkt(id int32) {
+	m.pkts[id].deliver = nil // do not pin captured state on the free list
+	m.free = append(m.free, id)
+}
+
+// inject performs the shared injection bookkeeping and routes the packet to
+// its first link (or straight to the router stage for zero-hop sends).
+func (m *Mesh) inject(id int32) {
+	p := &m.pkts[id]
+	m.live++
+	m.stats.Packets++
+	m.stats.Flits += uint64(p.flits)
+	if p.at == p.dst {
+		m.pushPending(id, m.cycle+uint64(m.cfg.RouterStage))
+		return
+	}
+	m.enqueue(id)
+}
 
 // Send injects a packet. deliver is invoked (during a later Tick) when the
 // packet reaches dst. Zero-hop sends deliver after the router stage.
@@ -272,33 +353,60 @@ func (m *Mesh) Send(src, dst, flits int, high bool, deliver func(cycle uint64)) 
 	if flits <= 0 {
 		flits = 1
 	}
-	p := &packet{path: m.route(src, dst), flits: flits, high: high,
-		sent: m.cycle, deliver: deliver}
-	m.live++
-	m.stats.Packets++
-	m.stats.Flits += uint64(flits)
-	if len(p.path) == 0 {
-		m.pending = append(m.pending, pendingHop{p: p,
-			ready: m.cycle + uint64(m.cfg.RouterStage)})
-		return
-	}
-	m.enqueue(p)
+	id := m.allocPkt()
+	m.pkts[id] = packet{at: int32(src), dst: int32(dst), flits: int32(flits),
+		high: high, sent: m.cycle, deliver: deliver}
+	m.inject(id)
 }
 
-func (m *Mesh) enqueue(p *packet) {
-	m.linkActive++
-	l := &m.links[p.path[0]]
-	if p.high || !m.cfg.CriticalPriority {
-		// Spread high-class packets over their VCs by hop parity (a cheap
-		// proxy for per-flow VC allocation).
-		v := len(p.path) % l.hiVCs
-		l.vcs[v].Push(p)
-		l.hiN++
-		return
+// SendPayload injects a packet carrying resp, delivered through the
+// OnDeliver handler with the given kind. This is the allocation-free hot
+// path: the payload is copied into the packet slab, so no closure is built
+// per send.
+func (m *Mesh) SendPayload(src, dst, flits int, high bool, kind uint8, resp *mem.Response) {
+	if invariant.Enabled {
+		invariant.Check(!m.sealed,
+			"noc: direct SendPayload(%d->%d) during the sealed tile phase; tile code "+
+				"must stage injections and let the commit phase flush them", src, dst)
+		invariant.Check(m.onDeliver != nil,
+			"noc: SendPayload(%d->%d) with no OnDeliver handler registered", src, dst)
 	}
-	v := l.hiVCs + len(p.path)%(len(l.vcs)-l.hiVCs)
-	l.vcs[v].Push(p)
-	l.loN++
+	if flits <= 0 {
+		flits = 1
+	}
+	id := m.allocPkt()
+	m.pkts[id] = packet{at: int32(src), dst: int32(dst), flits: int32(flits),
+		high: high, payload: true, kind: kind, sent: m.cycle, resp: *resp}
+	m.inject(id)
+}
+
+func (m *Mesh) pushPending(id int32, ready uint64) {
+	if invariant.Enabled && m.pending.Len() > 0 {
+		invariant.Check(m.pending.At(m.pending.Len()-1).ready <= ready,
+			"noc: router-stage release stamps not monotone (%d then %d)",
+			m.pending.At(m.pending.Len()-1).ready, ready)
+	}
+	m.pending.Push(pendingHop{id: id, ready: ready})
+}
+
+func (m *Mesh) enqueue(id int32) {
+	m.linkActive++
+	p := &m.pkts[id]
+	linkID, _ := m.nextLink(p.at, p.dst)
+	l := &m.links[linkID]
+	m.active[linkID>>6] |= 1 << uint(linkID&63)
+	// Spread packets over their class's VCs by remaining-hop parity (a cheap
+	// proxy for per-flow VC allocation).
+	var v int
+	if p.high || !m.cfg.CriticalPriority {
+		v = m.hops(p.at, p.dst) % l.hiVCs
+		l.hiN++
+	} else {
+		v = l.hiVCs + m.hops(p.at, p.dst)%(len(l.vcs)-l.hiVCs)
+		l.loN++
+	}
+	l.vcs[v].Push(id)
+	l.vcMask |= 1 << uint(v)
 }
 
 // Tick advances every link by one flit-cycle.
@@ -306,53 +414,56 @@ func (m *Mesh) Tick(cycle uint64) {
 	m.cycle = cycle
 	m.stats.Cycles++
 
-	// Release packets whose router-stage delay elapsed.
-	if len(m.pending) > 0 {
-		rest := m.pending[:0]
-		for _, ph := range m.pending {
-			if ph.ready <= cycle {
-				m.advance(ph.p)
-			} else {
-				rest = append(rest, ph)
-			}
-		}
-		m.pending = rest
+	// Release packets whose router-stage delay elapsed. Stamps are monotone,
+	// so matured entries form a prefix of the ring.
+	for m.pending.Len() > 0 && m.pending.Front().ready <= cycle {
+		m.advance(m.pending.PopFront().id)
 	}
 
 	// The link walk only matters while some packet sits in a VC or on a
-	// link; an all-idle fabric (responses in router-stage transit only, or
-	// nothing in flight at all) skips the O(links·VCs) scan entirely.
+	// link; the occupancy bitmap narrows it to exactly those links, visited
+	// in ascending id — the order the dense scan used.
 	if m.linkActive > 0 {
-		for i := range m.links {
-			l := &m.links[i]
-			if l.cur == nil {
-				hi, lo := l.hiN, l.loN
-				if hi+lo == 0 {
-					continue
+		for wi, w := range m.active {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &^= 1 << uint(b)
+				i := wi<<6 + b
+				l := &m.links[i]
+				if l.cur < 0 {
+					hi, lo := l.hiN, l.loN
+					if invariant.Enabled {
+						invariant.Check(hi+lo > 0,
+							"noc: active bit set for idle empty link %d", i)
+					}
+					// Weighted arbitration: the high class wins three of every
+					// four grants; the fourth goes to the low class so prefetch
+					// packets (whose upstream MSHRs wait on them) cannot starve
+					// outright — the guaranteed-forward-progress property real
+					// VC arbiters have.
+					l.arb++
+					if l.arb&3 == 0 && lo > 0 {
+						l.cur = l.popLo()
+					} else if hi > 0 {
+						l.cur = l.popHi()
+					} else {
+						l.cur = l.popLo()
+					}
+					l.busyLeft = m.pkts[l.cur].flits
 				}
-				// Weighted arbitration: the high class wins three of every four
-				// grants; the fourth goes to the low class so prefetch packets
-				// (whose upstream MSHRs wait on them) cannot starve outright —
-				// the guaranteed-forward-progress property real VC arbiters have.
-				l.arb++
-				if l.arb&3 == 0 && lo > 0 {
-					l.cur = l.popLo()
-				} else if hi > 0 {
-					l.cur = l.popHi()
-				} else {
-					l.cur = l.popLo()
+				m.stats.LinkBusy++
+				l.busyLeft--
+				if l.busyLeft == 0 {
+					id := l.cur
+					l.cur = -1
+					m.linkActive--
+					if l.hiN+l.loN == 0 {
+						m.active[wi] &^= 1 << uint(b)
+					}
+					p := &m.pkts[id]
+					_, p.at = m.nextLink(p.at, p.dst)
+					m.pushPending(id, cycle+uint64(m.cfg.RouterStage))
 				}
-				l.busyLeft = l.cur.flits
-			}
-			m.stats.LinkBusy++
-			l.busyLeft--
-			if l.busyLeft == 0 {
-				p := l.cur
-				l.cur = nil
-				m.linkActive--
-				p.path = p.path[1:]
-				m.pending = append(m.pending, pendingHop{p: p,
-					ready: cycle + uint64(m.cfg.RouterStage)})
 			}
 		}
 	}
@@ -373,21 +484,18 @@ func (m *Mesh) NextEvent(now uint64) uint64 {
 	if m.linkActive > 0 {
 		return now
 	}
-	next := mem.NoEvent
-	for i := range m.pending {
-		r := m.pending[i].ready
-		if r <= now {
-			return now
+	if m.pending.Len() > 0 {
+		// Monotone stamps: the ring head is the earliest release.
+		if r := m.pending.Front().ready; r > now {
+			return r
 		}
-		if r < next {
-			next = r
-		}
+		return now
 	}
 	if invariant.Enabled {
-		invariant.Check(next != mem.NoEvent,
+		invariant.Check(false,
 			"noc: %d packets in flight but none queued, on a link, or pending", m.live)
 	}
-	return next
+	return mem.NoEvent
 }
 
 // SkipCycles advances the mesh clock over the n cycles [from, from+n) the
@@ -406,23 +514,29 @@ func (m *Mesh) SkipCycles(from, n uint64) {
 }
 
 // advance moves a packet to its next link or delivers it.
-func (m *Mesh) advance(p *packet) {
-	if len(p.path) == 0 {
-		lat := m.cycle - p.sent
-		if p.high {
-			m.stats.HighLatency.Add(lat)
-		} else {
-			m.stats.LowLatency.Add(lat)
-		}
-		m.live--
-		if invariant.Enabled {
-			invariant.Check(m.live >= 0,
-				"noc: delivered more packets than were injected")
-		}
-		p.deliver(m.cycle)
+func (m *Mesh) advance(id int32) {
+	p := &m.pkts[id]
+	if p.at != p.dst {
+		m.enqueue(id)
 		return
 	}
-	m.enqueue(p)
+	lat := m.cycle - p.sent
+	if p.high {
+		m.stats.HighLatency.Add(lat)
+	} else {
+		m.stats.LowLatency.Add(lat)
+	}
+	m.live--
+	if invariant.Enabled {
+		invariant.Check(m.live >= 0,
+			"noc: delivered more packets than were injected")
+	}
+	if p.payload {
+		m.onDeliver(p.kind, int(p.dst), &p.resp, m.cycle)
+	} else {
+		p.deliver(m.cycle)
+	}
+	m.freePkt(id)
 }
 
 // checkConservation asserts (clipdebug only) that every injected packet is
@@ -430,26 +544,33 @@ func (m *Mesh) advance(p *packet) {
 // occupying a link — and that VC class segregation holds: with
 // CriticalPriority, high VCs hold only high-class packets and low VCs only
 // low-class ones, the buffer-partitioning property the paper's
-// criticality-conscious NoC depends on.
+// criticality-conscious NoC depends on. The SoA bookkeeping (occupancy
+// bitmap, per-VC masks, free list) is cross-checked against the rings.
 func (m *Mesh) checkConservation() {
-	queued := len(m.pending)
+	queued := m.pending.Len()
 	onLinks := 0
 	for i := range m.links {
 		l := &m.links[i]
+		var mask uint64
 		for v := range l.vcs {
 			n := l.vcs[v].Len()
 			queued += n
 			onLinks += n
+			if n > 0 {
+				mask |= 1 << uint(v)
+			}
 			if m.cfg.CriticalPriority {
 				for j := 0; j < n; j++ {
-					p := *l.vcs[v].At(j)
+					p := &m.pkts[*l.vcs[v].At(j)]
 					invariant.Check(p.high == (v < l.hiVCs),
 						"noc: link %d VC %d holds a %v-class packet in the %v partition",
 						i, v, cls(p.high), cls(v < l.hiVCs))
 				}
 			}
 		}
-		if l.cur != nil {
+		invariant.Check(mask == l.vcMask,
+			"noc: link %d VC mask %#x diverged from ring occupancy %#x", i, l.vcMask, mask)
+		if l.cur >= 0 {
 			queued++
 			onLinks++
 			invariant.Check(l.busyLeft > 0,
@@ -458,6 +579,10 @@ func (m *Mesh) checkConservation() {
 		invariant.Check(int(l.hiN) == l.hiLen() && int(l.loN) == l.loLen(),
 			"noc: link %d occupancy counters (hi=%d lo=%d) diverged from VCs (hi=%d lo=%d)",
 			i, l.hiN, l.loN, l.hiLen(), l.loLen())
+		busy := l.cur >= 0 || l.hiN+l.loN > 0
+		invariant.Check(busy == (m.active[i>>6]&(1<<uint(i&63)) != 0),
+			"noc: link %d occupancy bitmap bit %v disagrees with state (busy=%v)",
+			i, !busy, busy)
 	}
 	invariant.Check(queued == m.live,
 		"noc: packet conservation violated: %d tracked in flight, %d found in mesh",
@@ -465,6 +590,9 @@ func (m *Mesh) checkConservation() {
 	invariant.Check(onLinks == m.linkActive,
 		"noc: link-occupancy count violated: %d tracked, %d found (skip gate would misfire)",
 		m.linkActive, onLinks)
+	invariant.Check(m.live+len(m.free) == len(m.pkts),
+		"noc: packet slab leak: %d live + %d free != %d slab entries",
+		m.live, len(m.free), len(m.pkts))
 }
 
 func cls(high bool) string {

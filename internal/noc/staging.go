@@ -1,33 +1,59 @@
 package noc
 
-// Staging is a deferred-injection buffer for Mesh.Send. The shard-parallel
-// tick runs per-core tiles concurrently, and tiles must not touch the shared
-// mesh: tile-phase code records injections in a per-tile Staging instead, and
-// the commit phase replays them with FlushTo in ascending core order — the
-// exact injection order the serial per-core loop produces. Because Send only
-// appends to VC rings and stamps times from the mesh clock (which does not
-// advance between the tile phase and the commit), a staged-then-flushed
-// injection is byte-identical to a direct one.
+import "clip/internal/mem"
+
+// Staging is a deferred-injection buffer for Mesh.Send/SendPayload. The
+// shard-parallel tick runs per-core tiles concurrently, and tiles must not
+// touch the shared mesh: tile-phase code records injections in a per-tile
+// Staging instead, and the commit phase replays them with FlushTo in
+// ascending core order — the exact injection order the serial per-core loop
+// produces. Because injection only appends to VC rings and stamps times from
+// the mesh clock (which does not advance between the tile phase and the
+// commit), a staged-then-flushed injection is byte-identical to a direct one.
 //
 // The zero value is an empty buffer ready for use; the backing array is
 // reused across cycles, so a tile in steady state stages without allocating.
+// Payload sends embed the response by value, so staging them allocates
+// nothing either.
 type Staging struct {
 	pending []Injection
 }
 
-// Injection is one recorded Mesh.Send call.
+// Injection is one recorded injection: either a payload send (HasResp, the
+// hot path) or a legacy closure send (Deliver).
 type Injection struct {
 	Src, Dst, Flits int
 	High            bool
+	Kind            uint8
+	HasResp         bool
+	Resp            mem.Response
 	Deliver         func(cycle uint64)
 }
 
-// Send records an injection for later replay. It mirrors Mesh.Send's
+// Send records a closure injection for later replay. It mirrors Mesh.Send's
 // signature so callers can switch between direct and staged injection.
 func (st *Staging) Send(src, dst, flits int, high bool, deliver func(cycle uint64)) {
 	st.pending = append(st.pending, Injection{
 		Src: src, Dst: dst, Flits: flits, High: high, Deliver: deliver,
 	})
+}
+
+// SendPayload records a payload injection for later replay, mirroring
+// Mesh.SendPayload. The response is copied into the buffer entry.
+func (st *Staging) SendPayload(src, dst, flits int, high bool, kind uint8, resp *mem.Response) {
+	st.pending = append(st.pending, Injection{
+		Src: src, Dst: dst, Flits: flits, High: high,
+		Kind: kind, HasResp: true, Resp: *resp,
+	})
+}
+
+// Grow ensures capacity for at least n staged injections without further
+// allocation — called once at construction so steady-state tiles never grow
+// the buffer mid-cycle.
+func (st *Staging) Grow(n int) {
+	if cap(st.pending) < n {
+		st.pending = make([]Injection, 0, n)
+	}
 }
 
 // Len returns the number of staged injections.
@@ -39,8 +65,12 @@ func (st *Staging) Len() int { return len(st.pending) }
 func (st *Staging) FlushTo(m *Mesh) {
 	for i := range st.pending {
 		in := &st.pending[i]
-		m.Send(in.Src, in.Dst, in.Flits, in.High, in.Deliver)
-		in.Deliver = nil
+		if in.HasResp {
+			m.SendPayload(in.Src, in.Dst, in.Flits, in.High, in.Kind, &in.Resp)
+		} else {
+			m.Send(in.Src, in.Dst, in.Flits, in.High, in.Deliver)
+			in.Deliver = nil
+		}
 	}
 	st.pending = st.pending[:0]
 }

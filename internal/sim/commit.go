@@ -61,7 +61,7 @@ func (s *System) drainDirectDRAM(i int) {
 	q := &s.stage[i].dramQ
 	for q.Len() > 0 {
 		e := q.Front()
-		if !s.dram.Issue(e.req) {
+		if !s.dram.Issue(&e.req) {
 			break
 		}
 		if e.bypass {
@@ -77,32 +77,49 @@ func (s *System) drainDirectDRAM(i int) {
 const hermesFillPath = 45
 
 // deliverHermesHeld completes bypassed fills whose on-chip path elapsed.
+// The cached minimum DoneCycle makes the common no-delivery cycle a single
+// compare instead of a scan-and-recopy of every held response.
+//
+//clipvet:slab
 func (s *System) deliverHermesHeld(cy uint64) {
-	if len(s.hermesHold) == 0 {
+	if len(s.hermesHold) == 0 || cy < s.hermesNext {
 		return
 	}
 	rest := s.hermesHold[:0]
-	for _, r := range s.hermesHold {
+	next := mem.NoEvent
+	for i := range s.hermesHold {
+		r := &s.hermesHold[i]
 		if r.DoneCycle > cy {
-			rest = append(rest, r)
+			if r.DoneCycle < next {
+				next = r.DoneCycle
+			}
+			rest = append(rest, *r)
 			continue
 		}
 		s.llc[s.sliceOf(r.Req.Addr)].Fill(r)
 		s.l2[r.Req.Core].Fill(r)
 		s.l1d[r.Req.Core].Fill(r)
 	}
-	s.hermesHold = rest
+	s.hermesHold, s.hermesNext = rest, next
 }
 
-// deliverDRAM routes matured DRAM responses.
+// deliverDRAM routes matured DRAM responses. Nothing matures on most cycles,
+// so the cached minimum DoneCycle turns those into a single compare.
+//
+//clipvet:slab
 func (s *System) deliverDRAM(cy uint64) {
-	if len(s.dramPending) == 0 {
+	if len(s.dramPending) == 0 || cy < s.dramNext {
 		return
 	}
 	rest := s.dramPending[:0]
-	for _, r := range s.dramPending {
+	next := mem.NoEvent
+	for i := range s.dramPending {
+		r := &s.dramPending[i]
 		if r.DoneCycle > cy {
-			rest = append(rest, r)
+			if r.DoneCycle < next {
+				next = r.DoneCycle
+			}
+			rest = append(rest, *r)
 			continue
 		}
 		key := bypassKey(r.Req.Core, r.Req.Addr)
@@ -114,12 +131,15 @@ func (s *System) deliverDRAM(cy uint64) {
 			}
 			// Bypass fill: hold it for the on-chip fill path Hermes still
 			// traverses, then wake the L1 MSHR and install copies.
-			held := r
+			held := *r
 			held.DoneCycle = cy + hermesFillPath
+			if held.DoneCycle < s.hermesNext {
+				s.hermesNext = held.DoneCycle
+			}
 			s.hermesHold = append(s.hermesHold, held)
 			continue
 		}
 		s.llc[s.sliceOf(r.Req.Addr)].Fill(r)
 	}
-	s.dramPending = rest
+	s.dramPending, s.dramNext = rest, next
 }

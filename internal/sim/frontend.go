@@ -25,7 +25,7 @@ type delayedReq struct {
 // Issue implements cpu.MemoryPort.
 //
 //clipvet:tilephase
-func (p *corePort) Issue(req mem.Request) bool {
+func (p *corePort) Issue(req *mem.Request) bool {
 	if p.tlbs == nil {
 		return p.s.l1d[p.core].Issue(req)
 	}
@@ -37,7 +37,7 @@ func (p *corePort) Issue(req mem.Request) bool {
 	if len(p.pending) >= 16 {
 		return false
 	}
-	p.pending = append(p.pending, delayedReq{req: req, ready: p.s.cycle + extra})
+	p.pending = append(p.pending, delayedReq{req: *req, ready: p.s.cycle + extra})
 	return true
 }
 
@@ -65,11 +65,12 @@ func (p *corePort) Tick(cycle uint64) {
 		return
 	}
 	rest := p.pending[:0]
-	for _, d := range p.pending {
-		if d.ready <= cycle && p.s.l1d[p.core].Issue(d.req) {
+	for i := range p.pending {
+		d := &p.pending[i]
+		if d.ready <= cycle && p.s.l1d[p.core].Issue(&d.req) {
 			continue
 		}
-		rest = append(rest, d)
+		rest = append(rest, *d)
 	}
 	p.pending = rest
 }

@@ -1,0 +1,31 @@
+package sim
+
+// SlabGeometry describes the flat-slab layout of a constructed system: how
+// large the one-time NewSystem allocations are for the structures the tick
+// kernels index. Benchmark JSON embeds it so recorded numbers carry the
+// memory shape they were measured on — a baseline produced under a different
+// slab geometry is not measuring the same working set.
+type SlabGeometry struct {
+	Cores        int `json:"cores"`
+	MeshPackets  int `json:"mesh_packets"` // packet-slab capacity (entries)
+	MeshLinks    int `json:"mesh_links"`
+	L1DSlabWords int `json:"l1d_slab_words"` // per-core line-state slab, uint64 words
+	L2SlabWords  int `json:"l2_slab_words"`
+	LLCSlabWords int `json:"llc_slab_words"` // per-slice
+}
+
+// SlabGeometry reports the system's slab layout.
+func (s *System) SlabGeometry() SlabGeometry {
+	g := SlabGeometry{Cores: len(s.cores)}
+	g.MeshPackets, g.MeshLinks = s.mesh.SlabGeometry()
+	if len(s.l1d) > 0 {
+		g.L1DSlabWords = s.l1d[0].SlabWords()
+	}
+	if len(s.l2) > 0 {
+		g.L2SlabWords = s.l2[0].SlabWords()
+	}
+	if len(s.llc) > 0 {
+		g.LLCSlabWords = s.llc[0].SlabWords()
+	}
+	return g
+}

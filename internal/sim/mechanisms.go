@@ -93,15 +93,23 @@ func (s *System) attachMechanisms() error {
 		if s.attachL2 {
 			attach = s.l2[i]
 		}
-		attach.OnAccess(func(ev cache.AccessEvent) { s.onAccess(i, attach, ev) })
+		attach.OnAccess(func(ev *cache.AccessEvent) { s.onAccess(i, attach, ev) })
 		if sink, ok := basePrefetcher(pf).(prefetch.FeedbackSink); ok {
 			attach.OnPFEvict(func(trigger uint64, addr mem.Addr) {
 				sink.Feedback(prefetch.Candidate{Addr: addr, TriggerIP: trigger}, false)
 			})
 		}
 
-		s.cores[i].OnLoadComplete(func(ev cpu.LoadEvent) { s.onLoadComplete(i, ev) })
-		s.cores[i].OnRetire(func(ev cpu.RetireEvent) { s.onRetire(i, ev) })
+		// Register the event listeners only when a mechanism consumes them:
+		// the core skips building events with no listeners, which keeps the
+		// plain-prefetcher hot path free of per-load/per-retire event work.
+		_, berti := basePrefetcher(pf).(*prefetch.Berti)
+		if s.clip != nil || s.critPred != nil || s.scored != nil || s.hermes != nil || berti {
+			s.cores[i].OnLoadComplete(func(ev *cpu.LoadEvent) { s.onLoadComplete(i, ev) })
+		}
+		if s.critPred != nil || s.scored != nil {
+			s.cores[i].OnRetire(func(ev *cpu.RetireEvent) { s.onRetire(i, ev) })
+		}
 	}
 	return nil
 }
@@ -119,7 +127,7 @@ func basePrefetcher(p prefetch.Prefetcher) prefetch.Prefetcher {
 // observation, PPF feedback, prefetcher training and candidate filtering.
 //
 //clipvet:tilephase
-func (s *System) onAccess(i int, attach *cache.Cache, ev cache.AccessEvent) {
+func (s *System) onAccess(i int, attach *cache.Cache, ev *cache.AccessEvent) {
 	if s.clip != nil {
 		s.clip[i].OnAccess(ev.Req.Addr, ev.Hit, ev.Cycle)
 	}
@@ -198,7 +206,7 @@ func (s *System) onAccess(i int, attach *cache.Cache, ev cache.AccessEvent) {
 // onLoadComplete trains every attached mechanism with a finished load.
 //
 //clipvet:tilephase
-func (s *System) onLoadComplete(i int, ev cpu.LoadEvent) {
+func (s *System) onLoadComplete(i int, ev *cpu.LoadEvent) {
 	if s.clip != nil {
 		s.clip[i].OnLoadComplete(ev)
 	}
@@ -225,7 +233,7 @@ func (s *System) onLoadComplete(i int, ev cpu.LoadEvent) {
 // onRetire feeds retire-stream predictors.
 //
 //clipvet:tilephase
-func (s *System) onRetire(i int, ev cpu.RetireEvent) {
+func (s *System) onRetire(i int, ev *cpu.RetireEvent) {
 	if s.critPred != nil {
 		s.critPred[i].OnRetire(ev)
 	}

@@ -41,8 +41,11 @@ type System struct {
 	throttler []throttle.Throttler
 	hermes    []*hermes.Predictor
 
-	// dramPending holds DRAM responses until their DoneCycle.
+	// dramPending holds DRAM responses until their DoneCycle. dramNext
+	// caches the minimum pending DoneCycle so the per-cycle delivery pass
+	// (and the skip horizon) need not rescan the list.
 	dramPending []mem.Response
+	dramNext    uint64
 	// llcRetry holds requests whose LLC slice refused them at NoC delivery.
 	llcRetry []mem.Ring[mem.Request]
 	// hermesBypass marks in-flight direct-to-DRAM loads: key core<<48^line.
@@ -51,6 +54,8 @@ type System struct {
 	// pays (tag/coherence checks, fill path): the bypass removes the cache
 	// *walk* from the DRAM access's start, not the chip from its end.
 	hermesHold []mem.Response
+	// hermesNext caches the minimum held DoneCycle (mem.NoEvent when empty).
+	hermesNext uint64
 
 	epochPrev []epochSnapshot
 
@@ -119,6 +124,8 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg:          cfg,
 		mesh:         noc.MustNew(meshConfig(n, cfg.NoCCriticalPriority)),
 		dram:         dram.MustNew(cfg.dramConfig()),
+		dramNext:     mem.NoEvent,
+		hermesNext:   mem.NoEvent,
 		llcRetry:     make([]mem.Ring[mem.Request], n),
 		pfQ:          make([]mem.Ring[pfEntry], n),
 		stage:        make([]tileStage, n),
@@ -129,7 +136,16 @@ func NewSystem(cfg Config) (*System, error) {
 
 	// DRAM responses are held until their DoneCycle, then routed to the
 	// owning LLC slice (or to L1 directly for Hermes bypass loads).
-	s.dram.OnResponse(func(r mem.Response) { s.dramPending = append(s.dramPending, r) })
+	s.dram.OnResponse(func(r *mem.Response) {
+		if r.DoneCycle < s.dramNext {
+			s.dramNext = r.DoneCycle
+		}
+		s.dramPending = append(s.dramPending, *r)
+	})
+
+	// All hot mesh traffic is payload packets dispatched here by kind; the
+	// per-response closures this replaces allocated on every LLC round trip.
+	s.mesh.OnDeliver(s.onMeshDeliver)
 
 	// Build caches bottom-up per core.
 	for i := 0; i < n; i++ {
@@ -141,14 +157,10 @@ func NewSystem(cfg Config) (*System, error) {
 			InQ: cfg.LLC.InQ,
 		}
 		llc := cache.MustNew(llcCfg, s.dram)
-		// LLC responses travel the mesh back to the requesting core's L2.
-		llc.OnResponse(func(r mem.Response) {
-			dst := r.Req.Core
-			s.mesh.Send(i, dst, noc.FlitsPerData, s.packetHigh(r.Req), func(cy uint64) {
-				r2 := r
-				r2.DoneCycle = cy
-				s.l2[dst].Fill(r2)
-			})
+		// LLC responses travel the mesh back to the requesting core's L2 as
+		// payload packets (kind pktLLCResp).
+		llc.OnResponse(func(r *mem.Response) {
+			s.mesh.SendPayload(i, r.Req.Core, noc.FlitsPerData, s.packetHigh(&r.Req), pktLLCResp, r)
 		})
 		s.llc = append(s.llc, llc)
 	}
@@ -162,7 +174,7 @@ func NewSystem(cfg Config) (*System, error) {
 			InQ: cfg.L2.InQ,
 		}
 		l2 := cache.MustNew(l2Cfg, &l2Lower{s: s, core: i})
-		l2.OnResponse(func(r mem.Response) { s.l1d[i].Fill(r) })
+		l2.OnResponse(func(r *mem.Response) { s.l1d[i].Fill(r) })
 		s.l2 = append(s.l2, l2)
 	}
 
@@ -175,7 +187,7 @@ func NewSystem(cfg Config) (*System, error) {
 			InQ: cfg.L1D.InQ,
 		}
 		l1 := cache.MustNew(l1Cfg, &l1Lower{s: s, core: i})
-		l1.OnResponse(func(r mem.Response) {
+		l1.OnResponse(func(r *mem.Response) {
 			if r.Req.ROBIndex >= 0 && r.Req.Core == i {
 				s.cores[i].CompleteLoad(r)
 			}
@@ -226,7 +238,7 @@ func NewSystem(cfg Config) (*System, error) {
 		tcfg.Seed = mem.HashString(cfg.Workload[i]) ^ cfg.Seed ^ uint64(i)<<32
 		// SPEC-rate semantics: each core runs in a private address space.
 		tcfg.AddrOffset = mem.Addr(uint64(i+1) << 42)
-		gen, err := trace.New(tcfg)
+		gen, err := trace.Shared(tcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -246,6 +258,19 @@ func NewSystem(cfg Config) (*System, error) {
 
 	if err := s.attachMechanisms(); err != nil {
 		return nil, err
+	}
+
+	// Size every per-tile buffer up front so the steady-state tile phase
+	// stages without allocating: NoC injections are bounded by the L2's
+	// per-cycle issue capability, the direct-DRAM queue by directDRAMDepth,
+	// and the retry/prefetch rings by their drain rates.
+	for i := range s.stage {
+		s.stage[i].sends.Grow(32)
+		s.stage[i].dramQ.Grow(directDRAMDepth)
+	}
+	for i := 0; i < n; i++ {
+		s.llcRetry[i].Grow(16)
+		s.pfQ[i].Grow(64)
 	}
 
 	s.skip = !cfg.DisableSkip
@@ -294,9 +319,31 @@ func meshConfig(nodes int, critPrio bool) noc.Config {
 	return c
 }
 
+// Payload-packet kinds carried over the mesh (noc.Mesh.SendPayload).
+const (
+	pktLLCReq  uint8 = iota // L2 miss travelling to its LLC slice (Response.Req)
+	pktLLCResp              // LLC response returning to the requesting core's L2
+)
+
+// onMeshDeliver routes payload packets at their destination node. The
+// response points into the mesh's packet slab and is consumed synchronously.
+//
+//clipvet:slab
+func (s *System) onMeshDeliver(kind uint8, dst int, r *mem.Response, cycle uint64) {
+	switch kind {
+	case pktLLCResp:
+		r.DoneCycle = cycle
+		s.l2[dst].Fill(r)
+	default: // pktLLCReq
+		if !s.llc[dst].Issue(&r.Req) {
+			s.llcRetry[dst].Push(r.Req)
+		}
+	}
+}
+
 // packetHigh classifies a request into the NoC priority classes: demands and
 // CLIP-critical prefetches ride high.
-func (s *System) packetHigh(req mem.Request) bool {
+func (s *System) packetHigh(req *mem.Request) bool {
 	if req.Type == mem.Prefetch {
 		return req.Critical
 	}
@@ -319,14 +366,11 @@ type l2Lower struct {
 // the same ascending-core order the serial loop injected directly.
 //
 //clipvet:tilephase
-func (l *l2Lower) Issue(req mem.Request) bool {
+func (l *l2Lower) Issue(req *mem.Request) bool {
 	s := l.s
 	slice := s.sliceOf(req.Addr)
-	s.stage[l.core].sends.Send(l.core, slice, noc.FlitsPerAddr, s.packetHigh(req), func(cy uint64) {
-		if !s.llc[slice].Issue(req) {
-			s.llcRetry[slice].Push(req)
-		}
-	})
+	resp := mem.Response{Req: *req}
+	s.stage[l.core].sends.SendPayload(l.core, slice, noc.FlitsPerAddr, s.packetHigh(req), pktLLCReq, &resp)
 	return true
 }
 
@@ -343,7 +387,7 @@ type l1Lower struct {
 // the way a full DRAM read queue did when the bypass issued synchronously.
 //
 //clipvet:tilephase
-func (l *l1Lower) Issue(req mem.Request) bool {
+func (l *l1Lower) Issue(req *mem.Request) bool {
 	s := l.s
 	if h := s.hermesFor(l.core); h != nil && req.Type == mem.Load {
 		if h.PredictOffChip(req.IP, req.Addr) {
@@ -355,12 +399,12 @@ func (l *l1Lower) Issue(req mem.Request) bool {
 				if st.dramQ.Len() >= directDRAMDepth {
 					return false
 				}
-				st.dramQ.Push(stagedRead{req: req, bypass: true})
+				st.dramQ.Push(stagedRead{req: *req, bypass: true})
 				return true
 			}
 			// Mispredicted probe: the real Hermes would have burned a DRAM
 			// read; model the wasted bandwidth with a low-priority read.
-			waste := req
+			waste := *req
 			waste.Type = mem.Prefetch
 			waste.ROBIndex = -1
 			if st.dramQ.Len() < directDRAMDepth {
@@ -414,7 +458,7 @@ func (s *System) Tick() {
 		// refused requests rotate to the back, preserving relative order.
 		for n := s.llcRetry[i].Len(); n > 0; n-- {
 			req := s.llcRetry[i].PopFront()
-			if !l.Issue(req) {
+			if !l.Issue(&req) {
 				s.llcRetry[i].Push(req)
 			}
 		}
@@ -472,11 +516,11 @@ func (s *System) horizon(now uint64) uint64 {
 	}
 	fold(s.mesh.NextEvent(now))
 	fold(s.dram.NextEvent(now))
-	for i := range s.dramPending {
-		fold(s.dramPending[i].DoneCycle)
+	if len(s.dramPending) > 0 {
+		fold(s.dramNext)
 	}
-	for i := range s.hermesHold {
-		fold(s.hermesHold[i].DoneCycle)
+	if len(s.hermesHold) > 0 {
+		fold(s.hermesNext)
 	}
 	if s.throttler != nil {
 		fold(s.nextThrottle)

@@ -91,7 +91,7 @@ func (s *System) drainPFQ(i int) {
 		if e.toL2 {
 			target = s.l2[i]
 		}
-		if !target.TryIssue(e.req) {
+		if !target.TryIssue(&e.req) {
 			break
 		}
 		q.PopFront()

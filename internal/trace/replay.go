@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements trace pre-decoding: instead of running the synthetic
+// generator inside the core's dispatch loop, a workload's instruction stream
+// is decoded once into a flat []Instr window shared by every simulation of
+// that workload (a trace-driven simulator reads the same trace file for every
+// configuration it evaluates). Cores then consume instructions with a bulk
+// memcpy per refill, so the generator never runs on the tick hot path.
+//
+// Sharing is safe because generators are deterministic in their Config: two
+// simulations of the same (name, seed, offset, ...) see byte-identical
+// streams whether they decode privately or read the shared window.
+
+// Batcher is an optional Generator fast path: NextBatch fills dst with the
+// next len(dst) instructions of the stream and returns how many it wrote
+// (always len(dst) for the endless synthetic streams).
+type Batcher interface {
+	NextBatch(dst []Instr) int
+}
+
+const (
+	// sharedWindow bounds the pre-decoded prefix per stream (16k Instr,
+	// ~512KB). Runs that consume more fall back to a private generator
+	// clone positioned at the window edge — correctness never depends on
+	// the window size, only how much of the stream is served by memcpy.
+	sharedWindow = 16384
+	// sharedChunk is the growth step: windows extend on demand so short
+	// runs do not pay for the full window.
+	sharedChunk = 4096
+	// maxStreams bounds the cache; once full, new configs decode privately.
+	maxStreams = 256
+)
+
+// stream is one shared pre-decoded prefix. pub holds the published prefix;
+// its backing array is append-only and the atomic store/load pair orders the
+// element writes before any reader indexes them, so readers are lock-free.
+type stream struct {
+	mu  sync.Mutex
+	g   *gen // positioned exactly at len(*pub.Load())
+	pub atomic.Pointer[[]Instr]
+}
+
+var (
+	sharedMu      sync.Mutex
+	sharedStreams = map[string]*stream{}
+)
+
+// Shared returns a Generator for cfg backed by the process-wide pre-decoded
+// stream cache. The returned stream is byte-identical to New(cfg)'s.
+func Shared(cfg Config) (Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Config fully determines the stream, so its printed form is the key.
+	key := fmt.Sprintf("%#v", cfg)
+	sharedMu.Lock()
+	st, ok := sharedStreams[key]
+	if !ok {
+		if len(sharedStreams) >= maxStreams {
+			sharedMu.Unlock()
+			return New(cfg)
+		}
+		g, err := newGen(cfg)
+		if err != nil {
+			sharedMu.Unlock()
+			return nil, err
+		}
+		st = &stream{g: g}
+		sharedStreams[key] = st
+	}
+	sharedMu.Unlock()
+	return &Replay{name: cfg.Name, st: st}, nil
+}
+
+// Replay reads one simulation's view of a shared stream: an index into the
+// published window, then a private continuation generator past its edge.
+type Replay struct {
+	name string
+	prog []Instr // snapshot of the published window
+	pos  int
+	st   *stream
+	cont *gen // continuation past the shared window; nil until needed
+}
+
+// Name implements Generator.
+func (r *Replay) Name() string { return r.name }
+
+// Next implements Generator.
+func (r *Replay) Next() Instr {
+	if r.pos < len(r.prog) {
+		ins := r.prog[r.pos]
+		r.pos++
+		return ins
+	}
+	if r.refill() {
+		ins := r.prog[r.pos]
+		r.pos++
+		return ins
+	}
+	return r.cont.Next()
+}
+
+// NextBatch implements Batcher: bulk-copies from the window (the common
+// case is one memcpy per core refill).
+func (r *Replay) NextBatch(dst []Instr) int {
+	n := 0
+	for n < len(dst) {
+		if r.pos < len(r.prog) {
+			c := copy(dst[n:], r.prog[r.pos:])
+			r.pos += c
+			n += c
+			continue
+		}
+		if r.refill() {
+			continue
+		}
+		for ; n < len(dst); n++ {
+			dst[n] = r.cont.Next()
+		}
+	}
+	return n
+}
+
+// refill advances r.prog past r.pos, growing the shared window if needed.
+// It returns false once the window is exhausted, with r.cont set to a
+// private generator positioned at the window edge.
+func (r *Replay) refill() bool {
+	if r.cont != nil {
+		return false
+	}
+	if p := r.st.pub.Load(); p != nil && r.pos < len(*p) {
+		r.prog = *p
+		return true
+	}
+	st := r.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if p := st.pub.Load(); p != nil && r.pos < len(*p) {
+		r.prog = *p
+		return true
+	}
+	if r.pos >= sharedWindow {
+		// st.g generated exactly sharedWindow instructions; a clone of it
+		// continues the stream privately from here.
+		r.cont = st.g.clone()
+		return false
+	}
+	var cur []Instr
+	if p := st.pub.Load(); p != nil {
+		cur = *p
+	} else {
+		cur = make([]Instr, 0, sharedChunk)
+	}
+	target := len(cur) + sharedChunk
+	if target > sharedWindow {
+		target = sharedWindow
+	}
+	for len(cur) < target {
+		cur = append(cur, st.g.Next())
+	}
+	st.pub.Store(&cur)
+	r.prog = cur
+	return true
+}
+
+// clone deep-copies the generator's mutable state so a continuation advances
+// independently of the shared stream position. The program, chase table and
+// per-site delta sets are immutable after construction and stay shared.
+func (g *gen) clone() *gen {
+	cp := *g
+	rng := *g.rng
+	cp.rng = &rng
+	cp.sites = append([]siteState(nil), g.sites...)
+	return &cp
+}

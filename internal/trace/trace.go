@@ -238,6 +238,10 @@ type progSlot struct {
 // New constructs a Generator from cfg. The construction is deterministic in
 // cfg.Seed and cfg.Name.
 func New(cfg Config) (Generator, error) {
+	return newGen(cfg)
+}
+
+func newGen(cfg Config) (*gen, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
