@@ -1,11 +1,12 @@
 // Command clipvet runs the project's determinism analyzers (see
-// internal/analysis): maporder, wallclock, trainalias, floatsum, hotmap,
-// sharedstate and soaescape.
+// internal/analysis): callgraph, maporder, wallclock, trainalias, floatsum,
+// hotmap, sharedstate, soaescape, hotalloc and detflow.
 //
 // Standalone:
 //
 //	go run ./cmd/clipvet ./...
 //	clipvet -analyzers maporder,floatsum ./internal/experiments/
+//	clipvet -json ./... > diags.json
 //
 // As a go vet tool (unitchecker protocol):
 //
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,17 @@ import (
 
 	"clip/internal/analysis"
 )
+
+// jsonDiag is the machine-readable diagnostic shape emitted under -json, one
+// array of these on stdout. CI turns them into GitHub annotations.
+type jsonDiag struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
+}
 
 func main() {
 	// The go command drives vettools through a three-part protocol before
@@ -46,12 +59,13 @@ func main() {
 	}
 
 	var (
-		names = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		list  = flag.Bool("list", false, "list analyzers and exit")
+		names    = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		jsonMode = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: clipvet [-analyzers a,b] [packages]\n\n"+
+			"usage: clipvet [-analyzers a,b] [-json] [packages]\n\n"+
 				"Enforces the simulator determinism contract (see README).\n\n")
 		flag.PrintDefaults()
 	}
@@ -78,16 +92,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "clipvet:", err)
 		os.Exit(2)
 	}
+
+	// Load returns dependencies before dependents, so one summary table
+	// threaded through the loop gives every package the facts of its whole
+	// in-module dependency cone. SummarizeOnly packages run with no
+	// analyzers: they contribute summaries, not diagnostics.
+	table := analysis.NewSummaryTable()
+	var all []jsonDiag
 	exit := 0
 	for _, pkg := range pkgs {
-		diags, err := analysis.RunAnalyzers(analyzers, fset, pkg.Files, pkg.AllFiles, pkg.Types, pkg.Info)
+		run := analyzers
+		if pkg.SummarizeOnly {
+			run = nil
+		}
+		diags, _, err := analysis.RunAnalyzers(run, fset, pkg.Files, pkg.AllFiles,
+			pkg.Types, pkg.Info, table)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "clipvet:", err)
 			os.Exit(2)
 		}
 		for _, d := range diags {
-			fmt.Println(d)
 			exit = 1
+			if *jsonMode {
+				jd := jsonDiag{
+					File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+					Analyzer: d.Analyzer, Message: d.Message,
+				}
+				for _, id := range d.Chain {
+					jd.Chain = append(jd.Chain, string(id))
+				}
+				all = append(all, jd)
+			} else {
+				fmt.Println(d)
+			}
+		}
+	}
+	if *jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []jsonDiag{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, "clipvet:", err)
+			os.Exit(2)
 		}
 	}
 	os.Exit(exit)

@@ -15,8 +15,29 @@
 // the suite standalone (`clipvet ./...`) and as a `go vet -vettool=`
 // unitchecker.
 //
+// PR 7 added an interprocedural layer: every package's functions are
+// summarized (callgraph.go — allocation sites, shared-state mutation
+// effects, nondeterminism taint, call edges) and the summaries are exported
+// as facts across package boundaries — JSON vetx files under go vet, one
+// in-process SummaryTable threaded in `go list -deps` order standalone.
+// Static calls resolve exactly; interface and func-value calls resolve
+// conservatively to every method or address-taken function with a matching
+// name/arity, so the checks over-approximate rather than miss.
+//
 // # Analyzers
 //
+//   - callgraph: integrity of the //clipvet: annotations that parameterize
+//     the graph — unknown directive names, and function-level directives
+//     (hotpath, tilephase, slab, sink) attached to nothing.
+//   - hotalloc: allocations (make/new/append/closure/boxing/...) in any
+//     function reachable from a //clipvet:hotpath root, reported with the
+//     root-to-sink call chain, unless escaped by //clipvet:allocok at the
+//     function, site or call-edge level.
+//   - detflow: taint from nondeterminism sources (map iteration order
+//     without //clipvet:orderfree, wall-clock reads, the unseeded global
+//     rand, pointer-to-uintptr conversions) to result sinks (stats entry
+//     points, canonical JSON encoding), composed transitively through
+//     function summaries.
 //   - maporder: `for range` over a map in a deterministic package, unless
 //     annotated //clipvet:orderfree.
 //   - wallclock: time.Now/Since/Until, global math/rand, os.Getenv in
@@ -31,10 +52,11 @@
 //     internal/criticality, internal/core, internal/dspatch) — per-access
 //     state there must use the internal/table kernels — unless annotated
 //     //clipvet:hotmap.
-//   - sharedstate: mutation of shared System/Mesh/DRAM state inside a
-//     //clipvet:tilephase function (code that runs concurrently across tiles
-//     during the shard-parallel tick); cross-tile effects must go through the
-//     per-tile staging buffers, unless annotated //clipvet:staged.
+//   - sharedstate: mutation of shared System/Mesh/DRAM state reachable from
+//     a //clipvet:tilephase function (code that runs concurrently across
+//     tiles during the shard-parallel tick) — directly or through helpers,
+//     interface values and func values; cross-tile effects must go through
+//     the per-tile staging buffers, unless annotated //clipvet:staged.
 //   - soaescape: retaining a pointer or reslice into a slab slice (&slab[i],
 //     slab[a:b]) in a struct field, package variable or composite literal
 //     inside a //clipvet:slab function — slab entries are recycled every
@@ -66,11 +88,14 @@ type Analyzer struct {
 	Run  func(*Pass) error
 }
 
-// Diagnostic is one reported finding.
+// Diagnostic is one reported finding. Chain, when set, is the root-to-sink
+// call chain the interprocedural analyzers walked to reach the finding
+// (FuncIDs, outermost first).
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Chain    []FuncID
 }
 
 func (d Diagnostic) String() string {
@@ -88,12 +113,16 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Cur holds this package's freshly-built function summaries; Table holds
+	// Cur plus the facts of every summarized dependency. The interprocedural
+	// analyzers (hotalloc, sharedstate, detflow) resolve call chains here.
+	Cur   *PkgSummaries
+	Table *SummaryTable
+
 	report func(Diagnostic)
 
-	// directives maps filename -> line -> directive names ("orderfree", ...)
-	// present on that line, built lazily from every file's comments.
-	directives map[string]map[int][]string
-	allFiles   []*ast.File
+	dirs     *directiveIndex
+	allFiles []*ast.File
 }
 
 // Reportf records a diagnostic at pos.
@@ -105,33 +134,48 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportChain records a diagnostic at pos carrying an interprocedural call
+// chain (root first).
+func (p *Pass) ReportChain(pos token.Pos, chain []FuncID, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
 // DirectivePrefix is the comment prefix of clipvet annotations.
 const DirectivePrefix = "clipvet:"
 
 // HasDirective reports whether a //clipvet:<name> annotation covers pos:
 // the directive sits on the same line or on the line immediately above.
 func (p *Pass) HasDirective(pos token.Pos, name string) bool {
-	if p.directives == nil {
-		p.buildDirectives()
-	}
-	position := p.Fset.Position(pos)
-	lines := p.directives[position.Filename]
-	for _, l := range []int{position.Line, position.Line - 1} {
-		for _, d := range lines[l] {
-			if d == name {
-				return true
-			}
+	if p.dirs == nil {
+		files := p.allFiles
+		if files == nil {
+			files = p.Files
 		}
+		p.dirs = newDirectiveIndex(p.Fset, files)
 	}
-	return false
+	return p.dirs.has(p.Fset, pos, name)
 }
 
-func (p *Pass) buildDirectives() {
-	p.directives = map[string]map[int][]string{}
-	files := p.allFiles
-	if files == nil {
-		files = p.Files
-	}
+// directive is one //clipvet:<name> comment occurrence.
+type directive struct {
+	name string
+	pos  token.Pos
+}
+
+// directiveIndex maps filename -> line -> directives on that line. It backs
+// both Pass.HasDirective and the summary builder, and retains positions so
+// the callgraph analyzer can lint misplaced or unknown directives.
+type directiveIndex struct {
+	lines map[string]map[int][]directive
+}
+
+func newDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{lines: map[string]map[int][]directive{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -140,16 +184,32 @@ func (p *Pass) buildDirectives() {
 					continue
 				}
 				name, _, _ := strings.Cut(text, " ")
-				pos := p.Fset.Position(c.Pos())
-				m := p.directives[pos.Filename]
+				pos := fset.Position(c.Pos())
+				m := idx.lines[pos.Filename]
 				if m == nil {
-					m = map[int][]string{}
-					p.directives[pos.Filename] = m
+					m = map[int][]directive{}
+					idx.lines[pos.Filename] = m
 				}
-				m[pos.Line] = append(m[pos.Line], name)
+				m[pos.Line] = append(m[pos.Line], directive{name: name, pos: c.Pos()})
 			}
 		}
 	}
+	return idx
+}
+
+// has reports whether a directive named name covers pos (same line or the
+// line immediately above).
+func (idx *directiveIndex) has(fset *token.FileSet, pos token.Pos, name string) bool {
+	position := fset.Position(pos)
+	lines := idx.lines[position.Filename]
+	for _, l := range []int{position.Line, position.Line - 1} {
+		for _, d := range lines[l] {
+			if d.name == name {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // deterministicPkgs are the internal packages whose behaviour must be a pure
@@ -186,9 +246,13 @@ func internalSegment(pkgPath string) string {
 	return seg
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order. CallGraph runs first:
+// it owns the summary/fact layer the three interprocedural analyzers
+// (hotalloc, sharedstate, detflow) consume, and lints the annotations that
+// parameterize it.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, WallClock, TrainAlias, FloatSum, HotMap, SharedState, SoaEscape}
+	return []*Analyzer{CallGraph, MapOrder, WallClock, TrainAlias, FloatSum,
+		HotMap, SharedState, SoaEscape, HotAlloc, DetFlow}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).
@@ -212,18 +276,31 @@ func ByName(names string) ([]*Analyzer, error) {
 }
 
 // RunAnalyzers applies each analyzer to one loaded package and returns the
-// diagnostics sorted by position.
+// diagnostics sorted by position, plus the package's function summaries.
+//
+// deps carries the facts of already-summarized dependencies (nil for a
+// leaf package); the current package's summaries are added to it, so a
+// driver analyzing packages in dependency order can thread one table
+// through every call.
 func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files, allFiles []*ast.File,
-	pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pkg *types.Package, info *types.Info, deps *SummaryTable) ([]Diagnostic, *PkgSummaries, error) {
+	if deps == nil {
+		deps = NewSummaryTable()
+	}
+	dirs := newDirectiveIndex(fset, allFiles)
+	cur := BuildSummaries(fset, files, pkg, info, dirs, deps)
+	deps.Add(cur)
+
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a, Fset: fset, Files: files, allFiles: allFiles,
 			Pkg: pkg, TypesInfo: info,
+			Cur: cur, Table: deps, dirs: dirs,
 			report: func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path(), err)
+			return nil, nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path(), err)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -239,7 +316,7 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files, allFiles []
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags, cur, nil
 }
 
 // NewTypesInfo returns a types.Info with every map the analyzers consult.

@@ -30,6 +30,12 @@ func TestSharedState(t *testing.T) { testAnalyzer(t, SharedState, "clip/internal
 
 func TestSoaEscape(t *testing.T) { testAnalyzer(t, SoaEscape, "clip/internal/cache") }
 
+// The PR 7 interprocedural analyzers: allocation-freedom from hot roots,
+// nondeterminism taint to result sinks, and directive integrity.
+func TestHotAlloc(t *testing.T)  { testAnalyzer(t, HotAlloc, "clip/internal/sim/hotalloc") }
+func TestDetFlow(t *testing.T)   { testAnalyzer(t, DetFlow, "clip/internal/sim/flow") }
+func TestCallGraph(t *testing.T) { testAnalyzer(t, CallGraph, "clip/internal/sim/lint") }
+
 // Outside the deterministic package set the whole suite must stay silent,
 // even over code that would trip every analyzer inside it.
 func TestSuiteSilentOutsideContract(t *testing.T) {
@@ -61,7 +67,7 @@ func testAnalyzer(t *testing.T, a *Analyzer, target string) {
 	t.Helper()
 	l := newFixtureLoader(t)
 	pkg := l.load(target)
-	diags, err := RunAnalyzers([]*Analyzer{a}, l.fset, pkg.files, pkg.files, pkg.tpkg, pkg.info)
+	diags, _, err := RunAnalyzers([]*Analyzer{a}, l.fset, pkg.files, pkg.files, pkg.tpkg, pkg.info, l.table)
 	if err != nil {
 		t.Fatalf("%s on %s: %v", a.Name, target, err)
 	}
@@ -117,12 +123,15 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[stri
 
 // fixtureLoader type-checks testdata/src packages on demand, resolving
 // fixture-internal imports (including the fake time/os/math-rand stand-ins)
-// recursively through itself.
+// recursively through itself. In-module fixture packages are summarized as
+// they load, so table carries the dependency cone's facts in dependency
+// order — the same threading the standalone driver does over `go list -deps`.
 type fixtureLoader struct {
-	t    *testing.T
-	fset *token.FileSet
-	root string
-	pkgs map[string]*fixturePkg
+	t     *testing.T
+	fset  *token.FileSet
+	root  string
+	pkgs  map[string]*fixturePkg
+	table *SummaryTable
 }
 
 type fixturePkg struct {
@@ -134,14 +143,18 @@ type fixturePkg struct {
 func newFixtureLoader(t *testing.T) *fixtureLoader {
 	t.Helper()
 	return &fixtureLoader{
-		t:    t,
-		fset: token.NewFileSet(),
-		root: filepath.Join("testdata", "src"),
-		pkgs: map[string]*fixturePkg{},
+		t:     t,
+		fset:  token.NewFileSet(),
+		root:  filepath.Join("testdata", "src"),
+		pkgs:  map[string]*fixturePkg{},
+		table: NewSummaryTable(),
 	}
 }
 
 func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
 	p := l.load(path)
 	return p.tpkg, nil
 }
@@ -176,5 +189,11 @@ func (l *fixtureLoader) load(path string) *fixturePkg {
 	}
 	p := &fixturePkg{files: files, tpkg: tpkg, info: info}
 	l.pkgs[path] = p
+	// Dependencies finish loading (via Import, above) before their dependents
+	// reach this point, so summaries land in the table in dependency order.
+	if isModulePath(path) {
+		dirs := newDirectiveIndex(l.fset, files)
+		l.table.Add(BuildSummaries(l.fset, files, tpkg, info, dirs, l.table))
+	}
 	return p
 }

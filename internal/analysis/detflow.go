@@ -1,0 +1,49 @@
+package analysis
+
+// DetFlow is the taint analyzer of the determinism contract: it follows
+// values from nondeterminism sources to result sinks. Sources are map
+// iteration order (a range over a map without //clipvet:orderfree),
+// wall-clock reads (time.Now/Since/Until), ambient environment (os.Getenv),
+// the unseeded global math/rand, and pointer-to-uintptr conversions. Sinks
+// are the canonical outputs: encoding/json encoding, the exported entry
+// points of internal/stats, and anything annotated //clipvet:sink.
+//
+// Where maporder and wallclock flag the source expression itself, detflow
+// reports only flows that reach a sink — including interprocedurally: a
+// helper returning a tainted value, or forwarding a parameter into a sink,
+// is summarized (TaintedReturn / ParamSinks) and composed at its call sites
+// across packages, with the call chain in the diagnostic.
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc: "flags values flowing from nondeterminism sources (unordered map " +
+		"ranges, wall-clock, unseeded rand, pointer-to-uintptr) into result " +
+		"sinks (stats, report encoders, canonical JSON), across function and " +
+		"package boundaries",
+	Run: runDetFlow,
+}
+
+func runDetFlow(pass *Pass) error {
+	if !IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, id := range sortedFuncIDs(pass.Cur) {
+		s := pass.Cur.Funcs[id]
+		for _, hit := range s.SinkHits {
+			chain := append([]FuncID{s.ID}, hit.Via...)
+			srcChain := hit.Source.Via
+			msg := "nondeterministic value reaches result sink %s: tainted by %s at %s"
+			args := []any{hit.Sink.Desc, hit.Source.Site.Desc, hit.Source.Site.Pos}
+			if len(srcChain) > 0 {
+				msg += " (via %s)"
+				args = append(args, FormatChain(srcChain))
+			}
+			if len(hit.Via) > 0 {
+				msg += " (sink chain: %s)"
+				args = append(args, FormatChain(chain))
+			}
+			msg += " — sort the keys, seed the source, or derive the value deterministically"
+			pass.ReportChain(hit.At.pos, chain, msg, args...)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// CallGraph is the fact layer's visible analyzer. The summaries themselves
+// (per-function allocation, mutation-effect and taint facts plus call
+// edges) are built for every package and exported across package boundaries
+// — JSON vetx facts under `go vet -vettool=`, an in-process table
+// standalone — whether or not this analyzer is selected; hotalloc,
+// sharedstate and detflow consume them. What CallGraph itself reports is
+// the integrity of the annotations that parameterize the graph: an unknown
+// //clipvet: directive name (a typo silently disables its check), or a
+// function-level directive (hotpath, tilephase, slab, sink) that is not
+// attached to a function declaration and therefore roots nothing.
+var CallGraph = &Analyzer{
+	Name: "callgraph",
+	Doc: "builds the interprocedural function-summary fact layer and lints " +
+		"//clipvet: annotations: unknown directive names and function-level " +
+		"directives (hotpath, tilephase, slab, sink) not attached to a " +
+		"function declaration",
+	Run: runCallGraph,
+}
+
+// knownDirectives is the complete annotation vocabulary; funcDirectives are
+// the ones that must sit on a function declaration to mean anything.
+var (
+	knownDirectives = map[string]bool{
+		"orderfree": true, "floatorder": true, "hotmap": true, "staged": true,
+		"slabok": true, "allocok": true, "tilephase": true, "hotpath": true,
+		"slab": true, "sink": true,
+	}
+	funcDirectives = map[string]bool{
+		"tilephase": true, "hotpath": true, "slab": true, "sink": true,
+	}
+)
+
+func runCallGraph(pass *Pass) error {
+	if pass.dirs == nil {
+		files := pass.allFiles
+		if files == nil {
+			files = pass.Files
+		}
+		pass.dirs = newDirectiveIndex(pass.Fset, files)
+	}
+
+	// Lines on which a function declaration may claim a directive: the
+	// declaration's own line and the line above it (HasDirective's window).
+	declLines := map[string]map[int]bool{}
+	claim := func(pos token.Pos) {
+		p := pass.Fset.Position(pos)
+		m := declLines[p.Filename]
+		if m == nil {
+			m = map[int]bool{}
+			declLines[p.Filename] = m
+		}
+		m[p.Line] = true
+		m[p.Line-1] = true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				claim(n.Pos())
+			case *ast.FuncLit:
+				claim(n.Pos())
+			}
+			return true
+		})
+	}
+
+	// Deterministic iteration over the directive index.
+	var fnames []string
+	for fname := range pass.dirs.lines {
+		fnames = append(fnames, fname)
+	}
+	sort.Strings(fnames)
+	for _, fname := range fnames {
+		lines := pass.dirs.lines[fname]
+		var nums []int
+		for l := range lines {
+			nums = append(nums, l)
+		}
+		sort.Ints(nums)
+		for _, l := range nums {
+			for _, d := range lines[l] {
+				if !d.pos.IsValid() || !inFiles(pass, d.pos) {
+					continue
+				}
+				if !knownDirectives[d.name] {
+					pass.Reportf(d.pos,
+						"unknown clipvet directive //clipvet:%s — a typo here silently "+
+							"disables the check it was meant to configure (known: orderfree, "+
+							"floatorder, hotmap, staged, slabok, allocok, tilephase, hotpath, "+
+							"slab, sink)", d.name)
+					continue
+				}
+				if funcDirectives[d.name] && !declLines[fname][l] {
+					pass.Reportf(d.pos,
+						"//clipvet:%s must be attached to a function declaration (same "+
+							"line or the line above) — here it roots nothing", d.name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// inFiles reports whether pos falls inside one of the analyzed (non-test)
+// files: test files carry want-comments and are exempt.
+func inFiles(pass *Pass, pos token.Pos) bool {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// HotAlloc proves the allocation-free property of the tick kernels: every
+// function reachable from a //clipvet:hotpath root (System.Tick, the
+// tile/commit phases, the cache/NoC/DRAM tick methods, prefetcher Train)
+// must not allocate. The summary layer records the allocation sites —
+// make/new, growing append, address-taken composite literals, slice/map
+// literals, capturing closures, string conversions, fmt-style variadic
+// boxing — and this analyzer walks the call graph from the roots, reporting
+// each reachable site with the root-to-sink call chain.
+//
+// Escapes: //clipvet:allocok on an allocation line excuses that site; on a
+// function declaration it marks the whole function (and the subtree only it
+// reaches) a cold slow path; on a call line it cuts that edge. Every escape
+// needs a one-line justification.
+//
+// Reachability is conservative: interface calls resolve to every known
+// method with the same name and parameter count, func-value calls to every
+// address-taken function with a compatible parameter count. A dependency
+// function that is itself a //clipvet:hotpath root is not re-traversed —
+// its own package's run covers it (and reports with exact positions).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flags heap allocations in functions reachable from //clipvet:hotpath " +
+		"roots, with the root-to-sink call chain; annotate //clipvet:allocok " +
+		"(with a justification) for cold slow paths",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	var roots []*FuncSummary
+	for _, id := range sortedFuncIDs(pass.Cur) {
+		if s := pass.Cur.Funcs[id]; s.Hotpath && !s.AllocOK {
+			roots = append(roots, s)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	reached := reach(pass.Table, roots, reachOpts{
+		skip: func(s *FuncSummary, local bool) bool {
+			// Cold subtrees stop; dependency-package roots were already
+			// checked (with exact positions) by their own package's run.
+			return s.AllocOK || (!local && s.Hotpath)
+		},
+		cutEdge: func(e *CallEdge) bool { return e.AllocOK },
+		local:   func(s *FuncSummary) bool { return pass.Cur.Funcs[s.ID] == s },
+	})
+
+	seen := map[string]bool{} // dedup by allocation-site position
+	for _, r := range reached {
+		s := r.fn
+		if len(s.Allocs) == 0 {
+			continue
+		}
+		chain := r.chain()
+		at, local := chainAnchor(pass, r)
+		for _, a := range s.Allocs {
+			if seen[a.Pos] {
+				continue
+			}
+			seen[a.Pos] = true
+			if local {
+				pass.ReportChain(a.pos, chain,
+					"%s on the hot path (reachable from %s: %s) — hoist the "+
+						"allocation to construction time or annotate //clipvet:allocok "+
+						"with a justification", a.Desc, DisplayID(chain[0]), FormatChain(chain))
+			} else {
+				pass.ReportChain(at, chain,
+					"call chain reaches %s at %s in %s (chain: %s) — hoist the "+
+						"allocation or annotate //clipvet:allocok with a justification",
+					a.Desc, a.Pos, DisplayID(s.ID), FormatChain(chain))
+			}
+		}
+	}
+	return nil
+}
+
+// reachNode is one function reached by the BFS, with its parent link for
+// chain reconstruction.
+type reachNode struct {
+	fn     *FuncSummary
+	parent *reachNode
+	edge   *CallEdge // edge from parent that reached fn (nil for roots)
+}
+
+// chain reconstructs the root-to-here FuncID chain.
+func (n *reachNode) chain() []FuncID {
+	var rev []FuncID
+	for c := n; c != nil; c = c.parent {
+		rev = append(rev, c.fn.ID)
+	}
+	out := make([]FuncID, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// chainAnchor picks the report position for a reached function: the site
+// itself when the function is in the current package (local true), else the
+// call-site of the last edge leaving the current package.
+func chainAnchor(pass *Pass, n *reachNode) (token.Pos, bool) {
+	if pass.Cur.Funcs[n.fn.ID] == n.fn {
+		return token.NoPos, true
+	}
+	for c := n; c != nil; c = c.parent {
+		if c.edge != nil && c.edge.pos.IsValid() {
+			return c.edge.pos, false
+		}
+	}
+	// Degenerate: no local edge (root itself imported) — anchor at the root.
+	return token.NoPos, true
+}
+
+type reachOpts struct {
+	// skip stops traversal at (and excludes reporting of) a function.
+	skip func(s *FuncSummary, local bool) bool
+	// cutEdge drops one call edge.
+	cutEdge func(e *CallEdge) bool
+	// local reports whether the summary belongs to the current package.
+	local func(s *FuncSummary) bool
+}
+
+// reach walks the call graph breadth-first from roots, shortest chain first,
+// returning every reached function (roots included) in visit order.
+func reach(tbl *SummaryTable, roots []*FuncSummary, opts reachOpts) []*reachNode {
+	var out []*reachNode
+	visited := map[FuncID]bool{}
+	var queue []*reachNode
+	for _, r := range roots {
+		if visited[r.ID] {
+			continue
+		}
+		visited[r.ID] = true
+		n := &reachNode{fn: r}
+		queue = append(queue, n)
+		out = append(out, n)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for i := range n.fn.Calls {
+			e := &n.fn.Calls[i]
+			if opts.cutEdge != nil && opts.cutEdge(e) {
+				continue
+			}
+			callees := tbl.ResolveEdge(e)
+			for _, c := range callees {
+				if visited[c.ID] {
+					continue
+				}
+				visited[c.ID] = true
+				if opts.skip != nil && opts.skip(c, opts.local != nil && opts.local(c)) {
+					continue
+				}
+				cn := &reachNode{fn: c, parent: n, edge: e}
+				queue = append(queue, cn)
+				out = append(out, cn)
+			}
+		}
+	}
+	return out
+}
+
+// sortedFuncIDs returns p's FuncIDs in stable order.
+func sortedFuncIDs(p *PkgSummaries) []FuncID {
+	ids := make([]FuncID, 0, len(p.Funcs))
+	for id := range p.Funcs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

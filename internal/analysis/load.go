@@ -24,6 +24,12 @@ type Package struct {
 	AllFiles []*ast.File // includes test files when loaded (directive scan)
 	Types    *types.Package
 	Info     *types.Info
+
+	// SummarizeOnly marks an in-module dependency that was loaded only so
+	// the interprocedural analyzers can build its function summaries: it was
+	// pulled in by -deps rather than matched by the patterns, so drivers run
+	// the suite over it but suppress its diagnostics.
+	SummarizeOnly bool
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -41,10 +47,15 @@ type listPkg struct {
 
 // Load resolves patterns with the go tool, parses each matched in-module
 // package, and type-checks it against gc export data — the same compiled
-// artifacts the build uses, produced offline by `go list -export`. Only the
-// matched packages are parsed from source; all imports (stdlib and
-// intra-module alike) come from export data, which keeps a whole-tree run
-// under a second after the build cache is warm.
+// artifacts the build uses, produced offline by `go list -export`. All
+// imports (stdlib and intra-module alike) type-check from export data, which
+// keeps a whole-tree run under a second after the build cache is warm.
+//
+// In-module packages that appear only as dependencies of the patterns are
+// parsed too, marked SummarizeOnly: the interprocedural analyzers need their
+// function summaries even when their own diagnostics are not wanted. The
+// returned slice preserves `go list -deps` order — dependencies before
+// dependents — so a driver can thread one SummaryTable straight through.
 func Load(dir string, patterns []string) ([]*Package, *token.FileSet, error) {
 	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,CgoFiles,Export,DepOnly,Standard,Module,Error"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -71,7 +82,10 @@ func Load(dir string, patterns []string) ([]*Package, *token.FileSet, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard {
+		if p.Standard {
+			continue
+		}
+		if !p.DepOnly || isModulePath(p.ImportPath) {
 			target := p
 			targets = append(targets, &target)
 		}
@@ -104,7 +118,7 @@ func Load(dir string, patterns []string) ([]*Package, *token.FileSet, error) {
 		}
 		pkgs = append(pkgs, &Package{
 			Path: t.ImportPath, Files: files, AllFiles: files,
-			Types: tpkg, Info: info,
+			Types: tpkg, Info: info, SummarizeOnly: t.DepOnly,
 		})
 	}
 	return pkgs, fset, nil

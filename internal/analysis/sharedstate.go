@@ -17,13 +17,24 @@ import (
 //     read-only allowlist (NextEvent, utilization and occupancy probes) —
 //     Send and Issue mutate queues and must be staged instead.
 //
+// Since PR 7 the check is interprocedural: the call graph propagates
+// mutation-effect summaries, so a tile-phase function calling an unannotated
+// helper — directly, through an interface value, or through a func value —
+// that writes un-indexed System/Mesh/DRAM state is reported at the call
+// chain. Interface calls resolve conservatively (every method with the same
+// name and parameter count), which is what catches mutations behind
+// interface values.
+//
 // Commit-phase helpers that a tile-phase function legitimately shares source
-// with carry a //clipvet:staged annotation with a one-line justification.
+// with carry a //clipvet:staged annotation with a one-line justification —
+// on the mutation line to excuse the write, or on a call line to cut the
+// traversal at that edge.
 var SharedState = &Analyzer{
 	Name: "sharedstate",
-	Doc: "flags shared System/Mesh/DRAM mutation inside //clipvet:tilephase " +
-		"functions; cross-tile effects must go through per-tile staging buffers " +
-		"(annotate //clipvet:staged for commit-phase code)",
+	Doc: "flags shared System/Mesh/DRAM mutation reachable from " +
+		"//clipvet:tilephase functions (including through interface and " +
+		"func-value calls); cross-tile effects must go through per-tile staging " +
+		"buffers (annotate //clipvet:staged for commit-phase code)",
 	Run: runSharedState,
 }
 
@@ -67,6 +78,9 @@ func sharedTypeName(t types.Type) string {
 }
 
 func runSharedState(pass *Pass) error {
+	// Direct checks: the body of every tile-phase function in this package,
+	// with exact positions.
+	var roots []*FuncSummary
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -74,6 +88,52 @@ func runSharedState(pass *Pass) error {
 				continue
 			}
 			checkTilePhase(pass, fd.Body)
+		}
+	}
+	for _, id := range sortedFuncIDs(pass.Cur) {
+		if s := pass.Cur.Funcs[id]; s.TilePhase {
+			roots = append(roots, s)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Interprocedural: walk the call graph from the tile-phase roots; any
+	// reachable helper with a recorded shared-state mutation is a staging
+	// violation at the call chain. Tile-phase functions themselves are
+	// covered by the direct check (theirs or their own package's).
+	reached := reach(pass.Table, roots, reachOpts{
+		skip:    func(s *FuncSummary, local bool) bool { return s.TilePhase },
+		cutEdge: func(e *CallEdge) bool { return e.Staged },
+		local:   func(s *FuncSummary) bool { return pass.Cur.Funcs[s.ID] == s },
+	})
+	seen := map[string]bool{}
+	for _, r := range reached {
+		s := r.fn
+		if s.TilePhase || len(s.SharedMuts) == 0 {
+			continue
+		}
+		chain := r.chain()
+		at, local := chainAnchor(pass, r)
+		for _, m := range s.SharedMuts {
+			if seen[m.Pos] {
+				continue
+			}
+			seen[m.Pos] = true
+			if local {
+				pass.ReportChain(m.pos, chain,
+					"%s reachable from tile-phase %s (chain: %s): cross-tile effects "+
+						"must go through the per-tile staging buffers and commit serially "+
+						"(annotate //clipvet:staged if this is commit-phase code)",
+					m.Desc, DisplayID(chain[0]), FormatChain(chain))
+			} else {
+				pass.ReportChain(at, chain,
+					"tile-phase call chain reaches %s at %s in %s (chain: %s): "+
+						"stage the effect in the tile's buffer instead (annotate "+
+						"//clipvet:staged if this is commit-phase code)",
+					m.Desc, m.Pos, DisplayID(s.ID), FormatChain(chain))
+			}
 		}
 	}
 	return nil
@@ -99,30 +159,15 @@ func checkTilePhase(pass *Pass, body *ast.BlockStmt) {
 // reaches a shared structure without passing an index expression mutates
 // per-System (not per-tile) state and is reported.
 func checkSharedWrite(pass *Pass, lhs ast.Expr) {
-	indexed := false
-	for {
-		switch e := lhs.(type) {
-		case *ast.SelectorExpr:
-			if name := sharedTypeName(pass.TypesInfo.Types[e.X].Type); name != "" && !indexed {
-				if !pass.HasDirective(lhs.Pos(), "staged") {
-					pass.Reportf(lhs.Pos(),
-						"tile-phase write to shared %s state: cross-tile effects must go "+
-							"through the per-tile staging buffers and commit serially "+
-							"(annotate //clipvet:staged if this is commit-phase code)", name)
-				}
-				return
-			}
-			lhs = e.X
-		case *ast.IndexExpr:
-			indexed = true
-			lhs = e.X
-		case *ast.ParenExpr:
-			lhs = e.X
-		case *ast.StarExpr:
-			lhs = e.X
-		default:
-			return
-		}
+	name, pos := sharedWriteTarget(pass.TypesInfo, lhs)
+	if name == "" {
+		return
+	}
+	if !pass.HasDirective(pos, "staged") {
+		pass.Reportf(pos,
+			"tile-phase write to shared %s state: cross-tile effects must go "+
+				"through the per-tile staging buffers and commit serially "+
+				"(annotate //clipvet:staged if this is commit-phase code)", name)
 	}
 }
 

@@ -1,0 +1,652 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// This file is the taint half of the summary builder: a flow-insensitive,
+// per-function dataflow that tracks which values derive from nondeterminism
+// sources (wall-clock reads, unseeded global rand, map iteration order
+// without //clipvet:orderfree, pointer-to-uintptr conversions) and which
+// derive from the function's own parameters. The result is compact labels in
+// the exported summaries — TaintedReturn, ParamToReturn, ParamSinks,
+// SinkHits — which compose transitively: dependencies are summarized first,
+// so a chain time.Now -> helper() -> report() resolves without whole-program
+// analysis.
+//
+// The label domain is a bitset: bit 0 is "derived from a nondeterminism
+// source", bit i+1 is "derived from parameter i" (functions beyond 62
+// parameters do not occur). The per-function engine iterates the body to a
+// fixpoint (labels only grow, so it converges), then a harvest pass records
+// return labels and sink hits; a package-level fixpoint re-runs functions
+// until mutually-recursive summaries stabilize.
+
+const srcBit uint64 = 1
+
+func paramBit(i int) uint64 {
+	if i >= 62 {
+		return 0
+	}
+	return 1 << (uint(i) + 1)
+}
+
+// funcBody retains the AST a summary was built from, for the taint fixpoint.
+type funcBody struct {
+	body   *ast.BlockStmt
+	params []types.Object // declared parameter objects, in order
+	ftype  *ast.FuncType
+}
+
+// taintFixpoint computes the taint fields of every summary in the package,
+// iterating until mutually-recursive functions stabilize.
+func (b *summaryBuilder) taintFixpoint(files []*ast.File) {
+	bodies := map[FuncID]*funcBody{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			id, _ := b.funcID(fd)
+			if id == "" {
+				continue
+			}
+			bodies[id] = &funcBody{body: fd.Body, params: b.paramObjs(fd.Type), ftype: fd.Type}
+			// Nested literals, in the same order walkBody numbered them.
+			litN := 0
+			base := id
+			var visit func(n ast.Node) bool
+			visit = func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					litN++
+					litID := FuncID(fmt.Sprintf("%s$%d", base, litN))
+					bodies[litID] = &funcBody{body: lit.Body, params: b.paramObjs(lit.Type), ftype: lit.Type}
+					return false
+				}
+				return true
+			}
+			ast.Inspect(fd.Body, visit)
+		}
+	}
+
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for _, id := range b.order {
+			fb := bodies[id]
+			s := b.sums.Funcs[id]
+			if fb == nil || s == nil {
+				continue
+			}
+			e := &taintEngine{b: b, s: s, fb: fb, state: map[types.Object]uint64{},
+				traces: map[types.Object]*Trace{}}
+			e.run()
+			if e.commit() {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func (b *summaryBuilder) paramObjs(ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			out = append(out, b.info.Defs[name])
+		}
+	}
+	return out
+}
+
+// taintEngine runs the per-function dataflow.
+type taintEngine struct {
+	b  *summaryBuilder
+	s  *FuncSummary
+	fb *funcBody
+
+	state  map[types.Object]uint64
+	traces map[types.Object]*Trace
+
+	// Harvested results, compared against the summary by commit.
+	taintedReturn *Trace
+	paramToReturn map[int]bool
+	paramSinks    []ParamSink
+	sinkHits      []SinkHit
+}
+
+func (e *taintEngine) run() {
+	for i, p := range e.fb.params {
+		if p != nil {
+			e.state[p] = paramBit(i)
+		}
+	}
+	// Propagate to a fixpoint: labels are monotone, so iterate until stable.
+	for iter := 0; iter < 10; iter++ {
+		if !e.propagate(e.fb.body, nil) {
+			break
+		}
+	}
+	e.paramToReturn = map[int]bool{}
+	e.harvest(e.fb.body, nil)
+}
+
+// commit writes the harvested facts into the summary, reporting change.
+func (e *taintEngine) commit() bool {
+	s := e.s
+	changed := false
+	if (s.TaintedReturn == nil) != (e.taintedReturn == nil) {
+		changed = true
+	}
+	s.TaintedReturn = e.taintedReturn
+	var ptr []int
+	for i := range e.fb.params {
+		if e.paramToReturn[i] {
+			ptr = append(ptr, i)
+		}
+	}
+	if len(ptr) != len(s.ParamToReturn) {
+		changed = true
+	}
+	s.ParamToReturn = ptr
+	if len(e.paramSinks) != len(s.ParamSinks) {
+		changed = true
+	}
+	s.ParamSinks = e.paramSinks
+	if len(e.sinkHits) != len(s.SinkHits) {
+		changed = true
+	}
+	s.SinkHits = e.sinkHits
+	return changed
+}
+
+// mapRangeTaint returns the order-nondeterminism trace if st ranges over a
+// map without an //clipvet:orderfree annotation in a deterministic package.
+func (e *taintEngine) mapRangeTaint(st *ast.RangeStmt) *Trace {
+	if !IsDeterministic(e.b.pkg.Path()) {
+		return nil
+	}
+	t := e.b.info.Types[st.X].Type
+	if t == nil {
+		return nil
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return nil
+	}
+	if e.b.dirs.has(e.b.fset, st.For, "orderfree") {
+		return nil
+	}
+	return &Trace{Site: e.b.site(st.For, "map iteration order (no //clipvet:orderfree)")}
+}
+
+// propagate walks stmts once, merging labels; reports whether any label grew.
+// order, when non-nil, is the enclosing unordered-map-range trace: every
+// value assigned under it additionally carries the source bit.
+func (e *taintEngine) propagate(n ast.Node, order *Trace) bool {
+	changed := false
+	var walk func(n ast.Node, order *Trace)
+	walk = func(n ast.Node, order *Trace) {
+		switch st := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return // analyzed as its own function
+		case *ast.RangeStmt:
+			bits, tr := e.taintOf(st.X)
+			inner := order
+			if mt := e.mapRangeTaint(st); mt != nil {
+				inner = mt
+			}
+			for _, v := range []ast.Expr{st.Key, st.Value} {
+				if v != nil {
+					if e.mergeInto(v, bits, tr) {
+						changed = true
+					}
+				}
+			}
+			walk(st.Body, inner)
+			return
+		case *ast.AssignStmt:
+			for _, rhs := range st.Rhs {
+				walk(rhs, order) // nested literals etc.
+			}
+			bits := uint64(0)
+			var tr *Trace
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					rb, rtr := e.taintOf(st.Rhs[i])
+					rb, rtr = e.applyOrder(rb, rtr, order)
+					if e.mergeInto(st.Lhs[i], rb, rtr) {
+						changed = true
+					}
+				}
+				return
+			}
+			for _, rhs := range st.Rhs {
+				rb, rtr := e.taintOf(rhs)
+				bits |= rb
+				if tr == nil {
+					tr = rtr
+				}
+			}
+			bits, tr = e.applyOrder(bits, tr, order)
+			for _, lhs := range st.Lhs {
+				if e.mergeInto(lhs, bits, tr) {
+					changed = true
+				}
+			}
+			return
+		case *ast.GenDecl:
+			for _, spec := range st.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rb uint64
+					var rtr *Trace
+					if len(vs.Values) == len(vs.Names) {
+						rb, rtr = e.taintOf(vs.Values[i])
+					} else if len(vs.Values) == 1 {
+						rb, rtr = e.taintOf(vs.Values[0])
+					}
+					rb, rtr = e.applyOrder(rb, rtr, order)
+					if rb != 0 && e.mergeObj(e.b.info.Defs[name], rb, rtr) {
+						changed = true
+					}
+				}
+			}
+			return
+		case *ast.IncDecStmt:
+			if order != nil {
+				if e.mergeInto(st.X, srcBit, order) {
+					changed = true
+				}
+			}
+			return
+		}
+		// Generic recursion.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			switch c.(type) {
+			case *ast.AssignStmt, *ast.RangeStmt, *ast.GenDecl, *ast.FuncLit, *ast.IncDecStmt:
+				walk(c, order)
+				return false
+			}
+			return true
+		})
+	}
+	walk(n, order)
+	return changed
+}
+
+// applyOrder adds the map-order source bit under an unordered range body.
+func (e *taintEngine) applyOrder(bits uint64, tr *Trace, order *Trace) (uint64, *Trace) {
+	if order == nil {
+		return bits, tr
+	}
+	if tr == nil {
+		tr = order
+	}
+	return bits | srcBit, tr
+}
+
+// mergeInto merges bits into the root object of an lvalue expression.
+func (e *taintEngine) mergeInto(lhs ast.Expr, bits uint64, tr *Trace) bool {
+	if bits == 0 {
+		return false
+	}
+	obj := rootObj(e.b.info, lhs)
+	return e.mergeObj(obj, bits, tr)
+}
+
+func (e *taintEngine) mergeObj(obj types.Object, bits uint64, tr *Trace) bool {
+	if obj == nil || bits == 0 {
+		return false
+	}
+	old := e.state[obj]
+	if old|bits == old {
+		return false
+	}
+	e.state[obj] = old | bits
+	if bits&srcBit != 0 && e.traces[obj] == nil && tr != nil {
+		e.traces[obj] = tr
+	}
+	return true
+}
+
+// rootObj finds the base identifier object of an lvalue (x, x.f, x[i].g, *p).
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := info.Defs[v]; obj != nil {
+				return obj
+			}
+			return info.Uses[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// taintOf computes the label of an expression, with the provenance of its
+// source component.
+func (e *taintEngine) taintOf(x ast.Expr) (uint64, *Trace) {
+	var bits uint64
+	var tr *Trace
+	merge := func(b uint64, t *Trace) {
+		bits |= b
+		if tr == nil && b&srcBit != 0 {
+			tr = t
+		}
+	}
+	switch x := x.(type) {
+	case nil:
+		return 0, nil
+	case *ast.Ident:
+		obj := rootObj(e.b.info, x)
+		if obj == nil {
+			return 0, nil
+		}
+		return e.state[obj], e.traces[obj]
+	case *ast.CallExpr:
+		return e.callTaint(x)
+	case *ast.FuncLit:
+		return 0, nil
+	}
+
+	// Pointer-to-uintptr conversion is itself a source: the numeric value of
+	// a pointer is allocator-dependent.
+	if b, t, ok := e.uintptrSource(x); ok {
+		return b, t
+	}
+
+	// Generic: union over child expressions.
+	switch x := x.(type) {
+	case *ast.BinaryExpr:
+		merge(e.taintOf(x.X))
+		merge(e.taintOf(x.Y))
+	case *ast.UnaryExpr:
+		merge(e.taintOf(x.X))
+	case *ast.ParenExpr:
+		merge(e.taintOf(x.X))
+	case *ast.StarExpr:
+		merge(e.taintOf(x.X))
+	case *ast.SelectorExpr:
+		merge(e.taintOf(x.X))
+	case *ast.IndexExpr:
+		merge(e.taintOf(x.X))
+		merge(e.taintOf(x.Index))
+	case *ast.SliceExpr:
+		merge(e.taintOf(x.X))
+	case *ast.TypeAssertExpr:
+		merge(e.taintOf(x.X))
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				merge(e.taintOf(kv.Value))
+			} else {
+				merge(e.taintOf(elt))
+			}
+		}
+	case *ast.KeyValueExpr:
+		merge(e.taintOf(x.Value))
+	}
+	return bits, tr
+}
+
+// uintptrSource recognizes uintptr(p) / uintptr(unsafe.Pointer(p)).
+func (e *taintEngine) uintptrSource(x ast.Expr) (uint64, *Trace, bool) {
+	call, ok := x.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return 0, nil, false
+	}
+	tv, ok := e.b.info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return 0, nil, false
+	}
+	bt, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || bt.Kind() != types.Uintptr {
+		return 0, nil, false
+	}
+	at := e.b.info.Types[call.Args[0]].Type
+	if at == nil {
+		return 0, nil, false
+	}
+	switch u := at.Underlying().(type) {
+	case *types.Pointer:
+		return srcBit, &Trace{Site: e.b.site(call.Pos(),
+			"pointer-to-uintptr conversion (allocator-dependent value)")}, true
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return srcBit, &Trace{Site: e.b.site(call.Pos(),
+				"pointer-to-uintptr conversion (allocator-dependent value)")}, true
+		}
+	}
+	return 0, nil, false
+}
+
+// callTaint computes the label of a call's result.
+func (e *taintEngine) callTaint(call *ast.CallExpr) (uint64, *Trace) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := e.b.info.Types[fun]; ok && tv.IsType() {
+		if b, t, ok2 := e.uintptrSource(call); ok2 {
+			return b, t
+		}
+		return e.taintOf(call.Args[0]) // conversion passes taint through
+	}
+	// Builtins pass taint through their arguments.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := e.b.info.Uses[id].(*types.Builtin); isBuiltin {
+			var bits uint64
+			var tr *Trace
+			for _, a := range call.Args {
+				ab, at := e.taintOf(a)
+				bits |= ab
+				if tr == nil {
+					tr = at
+				}
+			}
+			return bits, tr
+		}
+	}
+
+	callee := calleeFunc(e.b.info, fun)
+	if callee != nil && callee.Pkg() != nil {
+		key := callee.Pkg().Path() + "." + callee.Name()
+		// Methods share the "pkg.Name" key shape with package-level functions,
+		// but the source table names only the latter: rand.Intn draws from the
+		// unseeded global source while (*rand.Rand).Intn is explicitly seeded.
+		if desc, ok := sourceFuncs[key]; ok && callee.Type().(*types.Signature).Recv() == nil {
+			return srcBit, &Trace{Site: e.b.site(call.Pos(), desc+" ("+key+")")}
+		}
+		if sum := e.lookup(funcObjID(callee)); sum != nil {
+			var bits uint64
+			var tr *Trace
+			if sum.TaintedReturn != nil {
+				bits |= srcBit
+				tr = &Trace{
+					Site: sum.TaintedReturn.Site,
+					Via:  append([]FuncID{sum.ID}, sum.TaintedReturn.Via...),
+				}
+			}
+			for _, pi := range sum.ParamToReturn {
+				if pi < len(call.Args) {
+					ab, at := e.taintOf(call.Args[pi])
+					bits |= ab
+					if tr == nil {
+						tr = at
+					}
+				}
+			}
+			return bits, tr
+		}
+		if !isModulePath(callee.Pkg().Path()) {
+			return 0, nil // unmodelled stdlib: assumed deterministic
+		}
+	}
+	// Unknown callee (func value, interface, missing summary): conservative
+	// pass-through of every argument's taint.
+	var bits uint64
+	var tr *Trace
+	for _, a := range call.Args {
+		ab, at := e.taintOf(a)
+		bits |= ab
+		if tr == nil {
+			tr = at
+		}
+	}
+	return bits, tr
+}
+
+// lookup resolves an in-module FuncID against the package being built, then
+// the dependency table.
+func (e *taintEngine) lookup(id FuncID) *FuncSummary {
+	if s := e.b.sums.Funcs[id]; s != nil {
+		return s
+	}
+	return e.b.deps.Fn(id)
+}
+
+// harvest records return labels and sink hits using the stable state.
+func (e *taintEngine) harvest(n ast.Node, order *Trace) {
+	var walk func(n ast.Node, order *Trace)
+	walk = func(n ast.Node, order *Trace) {
+		switch st := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.RangeStmt:
+			inner := order
+			if mt := e.mapRangeTaint(st); mt != nil {
+				inner = mt
+			}
+			walk(st.Body, inner)
+			return
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				bits, tr := e.taintOf(r)
+				bits, tr = e.applyOrder(bits, tr, order)
+				if bits&srcBit != 0 && e.taintedReturn == nil {
+					e.taintedReturn = tr
+					if e.taintedReturn == nil {
+						e.taintedReturn = &Trace{Site: e.b.site(st.Pos(), "nondeterministic value")}
+					}
+				}
+				for i := range e.fb.params {
+					if bits&paramBit(i) != 0 {
+						e.paramToReturn[i] = true
+					}
+				}
+			}
+			// Still scan result expressions for sink calls.
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			switch cc := c.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.RangeStmt, *ast.ReturnStmt:
+				walk(cc, order)
+				return false
+			case *ast.CallExpr:
+				e.checkSinkCall(cc, order)
+				return true
+			}
+			return true
+		})
+	}
+	walk(n, order)
+	// Top-level call exprs when n is itself a statement list are handled by
+	// the Inspect above.
+}
+
+// checkSinkCall records a SinkHit or ParamSink when a tainted value reaches
+// a result sink.
+func (e *taintEngine) checkSinkCall(call *ast.CallExpr, order *Trace) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := e.b.info.Types[fun]; ok && tv.IsType() {
+		return
+	}
+	callee := calleeFunc(e.b.info, fun)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	path := callee.Pkg().Path()
+	var sum *FuncSummary
+	if isModulePath(path) || path == e.b.pkg.Path() {
+		sum = e.lookup(funcObjID(callee))
+	}
+
+	direct := sinkPkgs[path] || isStatsSink(path, callee) || (sum != nil && sum.Sink)
+	if direct {
+		sinkSite := e.b.site(call.Pos(), path+"."+callee.Name())
+		for _, a := range call.Args {
+			bits, tr := e.taintOf(a)
+			bits, tr = e.applyOrder(bits, tr, order)
+			if bits&srcBit != 0 {
+				src := tr
+				if src == nil {
+					src = &Trace{Site: e.b.site(a.Pos(), "nondeterministic value")}
+				}
+				e.sinkHits = append(e.sinkHits, SinkHit{At: sinkSite, Sink: sinkSite, Source: *src})
+			}
+			for pi := range e.fb.params {
+				if bits&paramBit(pi) != 0 {
+					e.paramSinks = append(e.paramSinks, ParamSink{Param: pi, Sink: sinkSite})
+				}
+			}
+		}
+	}
+	if sum != nil {
+		for _, ps := range sum.ParamSinks {
+			if ps.Param >= len(call.Args) {
+				continue
+			}
+			bits, tr := e.taintOf(call.Args[ps.Param])
+			bits, tr = e.applyOrder(bits, tr, order)
+			via := append([]FuncID{sum.ID}, ps.Via...)
+			if bits&srcBit != 0 {
+				src := tr
+				if src == nil {
+					src = &Trace{Site: e.b.site(call.Pos(), "nondeterministic value")}
+				}
+				e.sinkHits = append(e.sinkHits, SinkHit{
+					At:   e.b.site(call.Pos(), "call forwarding into sink"),
+					Sink: ps.Sink, Source: *src, Via: via,
+				})
+			}
+			for pi := range e.fb.params {
+				if bits&paramBit(pi) != 0 {
+					e.paramSinks = append(e.paramSinks, ParamSink{Param: pi, Sink: ps.Sink, Via: via})
+				}
+			}
+		}
+	}
+}
+
+// isStatsSink reports whether callee is an exported entry point of the stats
+// package — the canonical result-recording layer.
+func isStatsSink(path string, callee *types.Func) bool {
+	return internalSegment(path) == "stats" && callee.Exported()
+}

@@ -13,7 +13,14 @@ type DRAM struct {
 	recentUtil   float64
 }
 
-func (d *DRAM) Issue(r Request) bool              { return true }
+// Issue mutates controller state, so its summary carries a shared-DRAM
+// effect that propagates to tile-phase callers — including callers that only
+// see the controller through an interface value.
+func (d *DRAM) Issue(r Request) bool {
+	d.RQFullEvents++
+	return true
+}
+
 func (d *DRAM) NextEvent() uint64                 { return 0 }
 func (d *DRAM) ChannelUtilization(ch int) float64 { return d.recentUtil }
 func (d *DRAM) GlobalUtilization() float64        { return d.recentUtil }

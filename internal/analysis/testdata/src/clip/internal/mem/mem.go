@@ -1,0 +1,10 @@
+// Package mem is an in-module fixture dependency for the hotalloc tests: its
+// function summaries ride the table across the package boundary, so an
+// allocation behind a cross-package call anchors at the local call site.
+package mem
+
+// Grow allocates a fresh slice; hot callers are flagged at their call site.
+func Grow() []int { return make([]int, 8) }
+
+// Reserve is allocation-free: compaction into existing capacity.
+func Reserve(buf []int) []int { return buf[:0] }

@@ -1,0 +1,77 @@
+// Package flow exercises the detflow analyzer: values produced by
+// nondeterminism sources (map iteration order, wall-clock reads, the
+// unseeded global rand source, pointer-derived uintptr bits) must not reach
+// result sinks (stats entry points, canonical JSON encoding).
+package flow
+
+import (
+	"encoding/json"
+	"math/rand"
+	"time"
+	"unsafe"
+
+	"clip/internal/stats"
+)
+
+// Encode leaks map iteration order into the canonical report encoding.
+func Encode(m map[string]int) ([]byte, error) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return json.Marshal(keys) // want "nondeterministic value reaches result sink encoding/json.Marshal"
+}
+
+// Sorted iterates a sorted projection instead: clean.
+func Sorted(m map[string]int) ([]byte, error) {
+	return json.Marshal(sortedKeys(m))
+}
+
+func sortedKeys(m map[string]int) []string { return nil }
+
+// Timestamp funnels the wall clock into a stats entry point.
+func Timestamp(t0 time.Time) {
+	stats.Record("elapsed", float64(time.Since(t0))) // want "nondeterministic value reaches result sink clip/internal/stats.Record"
+}
+
+// stamp returns a wall-clock-tainted value; callers inherit the taint
+// through its summary.
+func stamp() float64 { return float64(time.Since(time.Time{})) }
+
+// Emit reports a composed source: the helper shows up on the via chain.
+func Emit() {
+	stats.Record("stamp", stamp()) // want "via sim/flow.stamp"
+}
+
+// record forwards its argument into the sink; taint travels through its
+// ParamSinks summary.
+func record(v float64) { stats.Record("fwd", v) }
+
+// Leak pushes map-order taint through the forwarding helper.
+func Leak(m map[int]int) {
+	for _, v := range m {
+		record(float64(v)) // want "sink chain: sim/flow.Leak -> sim/flow.record"
+	}
+}
+
+// Draw leaks the unseeded global source; the seeded instance is clean.
+func Draw(r *rand.Rand) {
+	stats.Record("draw", rand.Float64()) // want "unseeded global rand"
+	stats.Record("seeded", float64(r.Intn(8)))
+}
+
+// Address leaks allocator-dependent pointer bits.
+func Address(p *int) {
+	stats.Record("addr", float64(uintptr(unsafe.Pointer(p)))) // want "pointer-to-uintptr conversion"
+}
+
+// Waived carries the order-free waiver: a commutative count cannot carry
+// iteration order into the value.
+func Waived(m map[string]int) {
+	n := 0
+	//clipvet:orderfree commutative count; order cannot reach the value
+	for range m {
+		n++
+	}
+	stats.Record("count", float64(n))
+}

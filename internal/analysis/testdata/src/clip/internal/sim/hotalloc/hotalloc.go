@@ -1,0 +1,76 @@
+// Package hotalloc exercises the hotalloc analyzer: every function reachable
+// from a //clipvet:hotpath root must be allocation-free unless a
+// //clipvet:allocok escape (function-, site- or call-edge-level) justifies
+// the allocation.
+package hotalloc
+
+import (
+	"fmt"
+
+	"clip/internal/mem"
+)
+
+// handler dispatches per-event work; conservative resolution follows the
+// interface call to every concrete method with matching name and arity.
+type handler interface{ Handle(x int) }
+
+// logger is the concrete handler the interface call over-approximates to.
+type logger struct{ lines []int }
+
+func (l *logger) Handle(x int) {
+	l.lines = append(l.lines, x) // want "append may grow its backing array on the hot path"
+}
+
+// Tick is the hot root.
+//
+//clipvet:hotpath
+func Tick(h handler, cb func(int)) {
+	helper()
+	h.Handle(1)
+	cb(2)
+	_ = mem.Grow()  // want "call chain reaches make allocates"
+	fmt.Printf("t") // want "fmt.Printf allocates"
+	coldPath()
+	okSite()
+	escapedEdge() //clipvet:allocok constructor-only path, verified cold under profiling
+}
+
+// helper is an unannotated local callee: the allocation anchors at its own
+// site, with the root-to-sink chain in the message.
+func helper() {
+	buf := make([]int, 4) // want "make allocates on the hot path"
+	_ = buf
+}
+
+// registered builds the callback Tick invokes through its func-value
+// parameter; any address-taken function of matching arity is a candidate
+// callee. registered itself is unreachable from the root, so the closure
+// value it allocates (the literal below) is not flagged — only the append
+// inside the literal, which the hot root reaches through cb.
+func registered() func(int) {
+	var log []int
+	return func(x int) {
+		log = append(log, x) // want "append may grow its backing array on the hot path"
+	}
+}
+
+// coldPath carries a function-level escape: reachable but excused.
+//
+//clipvet:allocok report-time cold path, measured off the critical loop
+func coldPath() {
+	_ = make([]byte, 64)
+}
+
+// okSite carries a site-level escape on the allocating statement.
+func okSite() {
+	_ = make([]int, 1) //clipvet:allocok scratch retains capacity across ticks
+}
+
+// escapedEdge allocates, but Tick's call edge is annotated //clipvet:allocok,
+// cutting the chain there; an unescaped hot caller would still be flagged.
+func escapedEdge() *int {
+	return new(int)
+}
+
+// orphan allocates and nothing hot reaches it: silent.
+func orphan() []int { return make([]int, 16) }

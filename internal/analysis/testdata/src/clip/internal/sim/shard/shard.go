@@ -59,6 +59,28 @@ func (s *System) drainTile(i int) {
 	s.finished++
 }
 
+// ticker hides a mutating method on the shared System behind an interface
+// value: the syntactic receiver check cannot see sim.System, but bump's
+// mutation-effect summary can.
+type ticker interface{ bump() }
+
+// issuer mirrors how cores hold their memory port: a shared structure
+// reached through an interface-typed variable.
+type issuer interface{ Issue(r dram.Request) bool }
+
+// bump is an unannotated helper; its mutation effect propagates to
+// tile-phase callers through the summary table.
+func (s *System) bump() {
+	s.finished++ // want "write to shared sim.System state reachable from tile-phase"
+}
+
+//clipvet:tilephase
+func (s *System) tickIface(t ticker) {
+	t.bump()
+	var q issuer = s.dram
+	q.Issue(dram.Request{Addr: 0x80}) // want "tile-phase call chain reaches write to shared dram.DRAM state"
+}
+
 // commit has no annotation, so the analyzer ignores its shared writes.
 func (s *System) commit() {
 	s.finished++

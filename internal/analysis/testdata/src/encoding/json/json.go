@@ -1,0 +1,6 @@
+// Package json is a fixture stand-in for encoding/json: the canonical
+// detflow result sink (values reaching Marshal reach the report encoding).
+package json
+
+// Marshal mimics json.Marshal.
+func Marshal(v any) ([]byte, error) { return nil, nil }

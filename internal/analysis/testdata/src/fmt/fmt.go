@@ -1,0 +1,9 @@
+// Package fmt is a fixture stand-in for the real fmt package: calls into it
+// are allocation facts for hotalloc (argument boxing, string building).
+package fmt
+
+// Printf mimics fmt.Printf.
+func Printf(format string, args ...any) (int, error) { return 0, nil }
+
+// Sprintf mimics fmt.Sprintf.
+func Sprintf(format string, args ...any) string { return "" }

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 )
 
@@ -66,14 +67,15 @@ func unitcheckFile(cfgPath string, analyzers []*Analyzer) (*vetConfig, []Diagnos
 	if err := json.Unmarshal(data, cfg); err != nil {
 		return nil, nil, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
 	}
-	// The go command requires the facts file to exist even though clipvet's
-	// analyzers are all package-local and export no facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return cfg, nil, err
+	// Out-of-module dependencies (stdlib) are modelled by fact tables inside
+	// the analyzers, not by summaries, so their VetxOnly visits just need the
+	// facts file to exist: write it empty and return.
+	if cfg.VetxOnly && !isModulePath(cfg.ImportPath) {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				return cfg, nil, err
+			}
 		}
-	}
-	if cfg.VetxOnly {
 		return cfg, nil, nil
 	}
 
@@ -107,8 +109,63 @@ func unitcheckFile(cfgPath string, analyzers []*Analyzer) (*vetConfig, []Diagnos
 	if err != nil {
 		return cfg, nil, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
 	}
-	diags, err := RunAnalyzers(analyzers, fset, nonTest, all, tpkg, info)
-	return cfg, diags, err
+
+	// Facts: each in-module dependency's vetx file carries its PkgSummaries as
+	// JSON (empty for stdlib). Loading them gives the interprocedural analyzers
+	// the same dependency cone the standalone driver threads in memory.
+	table := NewSummaryTable()
+	if err := loadVetxFacts(table, cfg.PackageVetx); err != nil {
+		return cfg, nil, err
+	}
+
+	run := analyzers
+	if cfg.VetxOnly {
+		run = nil // facts pass: summarize, export, no diagnostics
+	}
+	diags, cur, err := RunAnalyzers(run, fset, nonTest, all, tpkg, info, table)
+	if err != nil {
+		return cfg, nil, err
+	}
+	if cfg.VetxOutput != "" {
+		facts, err := json.Marshal(cur)
+		if err != nil {
+			return cfg, nil, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+			return cfg, nil, err
+		}
+	}
+	return cfg, diags, nil
+}
+
+// loadVetxFacts merges every non-empty dependency vetx file (JSON-encoded
+// PkgSummaries, written by this tool's own facts passes) into table.
+// Dependency paths are visited in sorted order so the table's conservative
+// resolution indexes are deterministic.
+func loadVetxFacts(table *SummaryTable, packageVetx map[string]string) error {
+	paths := make([]string, 0, len(packageVetx))
+	for path := range packageVetx {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if !isModulePath(path) {
+			continue
+		}
+		data, err := os.ReadFile(packageVetx[path])
+		if err != nil {
+			return fmt.Errorf("reading facts for %s: %v", path, err)
+		}
+		if len(data) == 0 {
+			continue
+		}
+		ps := new(PkgSummaries)
+		if err := json.Unmarshal(data, ps); err != nil {
+			return fmt.Errorf("decoding facts for %s: %v", path, err)
+		}
+		table.Add(ps)
+	}
+	return nil
 }
 
 type resolvingImporter struct {

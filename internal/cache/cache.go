@@ -30,6 +30,7 @@ import (
 // through every cache instance (bring-up / debugging aid).
 var TraceLine mem.Addr
 
+//clipvet:allocok debug-only line tracing; dead unless TraceLine is set
 func (c *Cache) trace(event string, req *mem.Request) {
 	if TraceLine != 0 && req.Addr.Line() == TraceLine {
 		fmt.Printf("  [%s cy%d] %s type=%v owned=%v fill=%v\n",
@@ -251,6 +252,8 @@ func (c *Cache) OnPFEvict(f func(trigger uint64, addr mem.Addr)) { c.onPFEvict =
 // false (caller must retry) when the input queue is full — except
 // prefetches, which are dropped instead of retried, matching the paper's
 // "dropped and not allocated to the MSHR" semantics.
+//
+//clipvet:hotpath
 func (c *Cache) Issue(req *mem.Request) bool {
 	if c.inQ.Len() >= c.cfg.InQ {
 		if req.Type == mem.Prefetch && !req.Owned {
@@ -366,6 +369,8 @@ func log2(n int) int {
 
 // Tick advances one cycle: drain writebacks, process ready requests, deliver
 // ready responses upward.
+//
+//clipvet:hotpath
 func (c *Cache) Tick(cycle uint64) {
 	c.cycle = cycle
 	c.drainWritebacks()
@@ -406,6 +411,7 @@ func (c *Cache) SkipTick(cycle uint64) {
 
 func (c *Cache) drainWritebacks() {
 	for c.wbQ.Len() > 0 {
+		//clipvet:staged only the serially-ticked LLC has DRAM as lower; tile-phase L1/L2 drain into the staged l2Lower
 		if c.lower == nil || !c.lower.Issue(c.wbQ.Front()) {
 			return
 		}
@@ -522,7 +528,7 @@ func (c *Cache) lookup(req *mem.Request, first bool) bool {
 		}
 		// Demands and owned prefetches (an upper-level MSHR depends on
 		// the fill coming back up) wait for the outstanding fill.
-		c.mshrWait[i] = append(c.mshrWait[i], waiter{req: *req, arrived: c.cycle})
+		c.mshrWait[i] = append(c.mshrWait[i], waiter{req: *req, arrived: c.cycle}) //clipvet:allocok MSHR waiter lists are slab-carved; overflow migration is rare
 		return true
 	}
 
@@ -546,6 +552,7 @@ func (c *Cache) lookup(req *mem.Request, first bool) bool {
 	if c.down.Type == mem.Prefetch {
 		c.down.Owned = true // this MSHR now depends on the fill returning
 	}
+	//clipvet:staged only the serially-ticked LLC has DRAM as lower; tile-phase L1/L2 miss into the staged l2Lower
 	if !c.lower.Issue(&c.down) {
 		if req.Type == mem.Prefetch && !req.Owned {
 			c.trace("lower-busy-drop-pf", req)
@@ -576,7 +583,7 @@ func (c *Cache) lookup(req *mem.Request, first bool) bool {
 			c.cfg.Name, c.MSHRInUse(), c.cfg.MSHRs)
 	}
 	if req.Type != mem.Prefetch {
-		c.mshrWait[idx] = append(c.mshrWait[idx], waiter{req: *req, arrived: c.cycle})
+		c.mshrWait[idx] = append(c.mshrWait[idx], waiter{req: *req, arrived: c.cycle}) //clipvet:allocok MSHR waiter lists are slab-carved; overflow migration is rare
 	} else {
 		c.stats.PFIssued++
 	}
@@ -585,6 +592,8 @@ func (c *Cache) lookup(req *mem.Request, first bool) bool {
 
 // Fill delivers a response from the lower level: install the line, wake
 // MSHR waiters. The response is consumed during the call.
+//
+//clipvet:hotpath
 func (c *Cache) Fill(resp *mem.Response) {
 	lineAddr := resp.Req.Addr.Line()
 	c.trace("fill", &resp.Req)
@@ -726,7 +735,7 @@ func (c *Cache) respond(resp mem.Response) {
 	if resp.Req.Type == mem.Prefetch && resp.Req.FillLevel >= c.cfg.Level {
 		return // reached (or passed) its fill level: terminate
 	}
-	c.respQ = append(c.respQ, resp)
+	c.respQ = append(c.respQ, resp) //clipvet:allocok respQ retains capacity across ticks
 }
 
 func (c *Cache) deliver() {

@@ -324,6 +324,8 @@ func (c *Core) HeadStalled() bool {
 
 // Tick advances the core one cycle: retire, complete ALU work, issue pending
 // loads, then fetch/dispatch.
+//
+//clipvet:hotpath
 func (c *Core) Tick(cycle uint64) {
 	c.cycle = cycle
 	c.stats.Cycles++
@@ -439,11 +441,11 @@ func (c *Core) schedule(slot int, at uint64) {
 	}
 	c.wheelLive++
 	if at-c.cycle >= wheelSize {
-		c.overflow = append(c.overflow, wheelEntry{slot: slot, seq: c.rob[slot].seq, at: at})
+		c.overflow = append(c.overflow, wheelEntry{slot: slot, seq: c.rob[slot].seq, at: at}) //clipvet:allocok overflow list retains capacity; beyond-horizon completions are rare
 		return
 	}
 	idx := at % wheelSize
-	c.wheel[idx] = append(c.wheel[idx], wheelEntry{slot: slot, seq: c.rob[slot].seq, at: at})
+	c.wheel[idx] = append(c.wheel[idx], wheelEntry{slot: slot, seq: c.rob[slot].seq, at: at}) //clipvet:allocok wheel buckets retain capacity across ticks
 }
 
 func (c *Core) completeALU() {
@@ -471,12 +473,12 @@ func (c *Core) completeALU() {
 			if ev.at-c.cycle < wheelSize {
 				e := &c.rob[ev.slot]
 				if e.valid && e.seq == ev.seq {
-					c.wheel[ev.at%wheelSize] = append(c.wheel[ev.at%wheelSize], ev)
+					c.wheel[ev.at%wheelSize] = append(c.wheel[ev.at%wheelSize], ev) //clipvet:allocok wheel buckets retain capacity across ticks
 				} else {
 					c.wheelLive-- // stale: dropped instead of refiled
 				}
 			} else {
-				rest = append(rest, ev)
+				rest = append(rest, ev) //clipvet:allocok appends into overflow[:0]; never exceeds original capacity
 			}
 		}
 		c.overflow = rest
@@ -554,14 +556,14 @@ func (c *Core) issueLoads() {
 			continue
 		}
 		if ports == 0 || examined >= scanLimit {
-			kept = append(kept, pl[idx:]...)
+			kept = append(kept, pl[idx:]...) //clipvet:allocok appends into pl[:0]; never exceeds original capacity
 			break
 		}
 		examined++
 		if e.dependsOn >= 0 {
 			dep := &c.rob[e.dependsOn]
 			if dep.valid && !dep.done {
-				kept = append(kept, slot) // producer not ready
+				kept = append(kept, slot) //clipvet:allocok producer not ready; appends into pl[:0], never exceeds original capacity
 				continue
 			}
 		}
@@ -569,13 +571,14 @@ func (c *Core) issueLoads() {
 			Addr: e.addr.Line(), IP: e.ip, TriggerIP: e.ip, Core: c.id,
 			Type: mem.Load, IssueCycle: c.cycle, ROBIndex: slot,
 		}
+		//clipvet:staged c.port is this core's private L1D (tile-local); interface resolution over-approximates to DRAM.Issue
 		if c.port.Issue(&c.reqBuf) {
 			e.issued = true
 			c.outstanding++
 			c.stats.L1DAccesses++
 			ports--
 		} else {
-			kept = append(kept, pl[idx:]...) // L1 saturated: retry next cycle
+			kept = append(kept, pl[idx:]...) //clipvet:allocok L1 saturated, retry next cycle; appends into pl[:0], never exceeds original capacity
 			break
 		}
 	}
@@ -622,7 +625,7 @@ func (c *Core) dispatch() {
 			}
 			c.lastLoadSlot = slot
 			if len(c.pendingLoads) < c.cfg.LQSize {
-				c.pendingLoads = append(c.pendingLoads, slot)
+				c.pendingLoads = append(c.pendingLoads, slot) //clipvet:allocok bounded by LQSize; retains capacity across ticks
 			} else {
 				// LQ full: treat as an immediate L1 hit to keep draining; rare.
 				e.done = true
@@ -639,6 +642,7 @@ func (c *Core) dispatch() {
 				Addr: ins.Addr.Line(), IP: ins.IP, TriggerIP: ins.IP, Core: c.id,
 				Type: mem.Store, IssueCycle: c.cycle, ROBIndex: -1,
 			}
+			//clipvet:staged c.port is this core's private L1D (tile-local); interface resolution over-approximates to DRAM.Issue
 			c.port.Issue(&c.reqBuf)
 		case trace.OpBranch:
 			c.stats.Branches++
@@ -668,6 +672,8 @@ func (c *Core) dispatch() {
 // resp.Req.ROBIndex. It updates the criticality history and fires LoadEvent
 // listeners — this is the paper's training moment: "on a load response back
 // to the processor, check the ROB stall flag and the miss-level flag".
+//
+//clipvet:hotpath
 func (c *Core) CompleteLoad(resp *mem.Response) {
 	c.wake = true
 	slot := resp.Req.ROBIndex

@@ -223,6 +223,8 @@ func (d *DRAM) route(addr mem.Addr) (ch, bk int, row int64) {
 // queue, writebacks the write queue. Returns false when the target queue is
 // full — except prefetches, which are dropped (the controller never blocks
 // the chip on a prefetch).
+//
+//clipvet:hotpath
 func (d *DRAM) Issue(req *mem.Request) bool {
 	if invariant.Enabled {
 		invariant.Check(!d.sealed,
@@ -236,7 +238,7 @@ func (d *DRAM) Issue(req *mem.Request) bool {
 			d.stats.WQFullEvents++
 			return false
 		}
-		c.wq = append(c.wq, wrEntry{req: *req, bk: int32(bk), row: row})
+		c.wq = append(c.wq, wrEntry{req: *req, bk: int32(bk), row: row}) //clipvet:allocok per-channel queues retain capacity across ticks
 		return true
 	}
 	if len(c.rq) >= d.cfg.RQ {
@@ -246,7 +248,7 @@ func (d *DRAM) Issue(req *mem.Request) bool {
 		}
 		return false
 	}
-	c.rq = append(c.rq, rdEntry{req: *req, arrived: d.cycle, bk: int32(bk), row: row})
+	c.rq = append(c.rq, rdEntry{req: *req, arrived: d.cycle, bk: int32(bk), row: row}) //clipvet:allocok per-channel queues retain capacity across ticks
 	return true
 }
 
@@ -260,6 +262,8 @@ func (d *DRAM) QueueOccupancy() int {
 }
 
 // Tick advances one memory-controller cycle on every channel.
+//
+//clipvet:hotpath
 func (d *DRAM) Tick(cycle uint64) {
 	d.cycle = cycle
 	// Cycles counts channel-cycles so Utilization() stays in [0,1]
@@ -505,7 +509,7 @@ func (d *DRAM) scheduleRead(c *channel) bool {
 		return false
 	}
 	e := c.rq[best]
-	c.rq = append(c.rq[:best], c.rq[best+1:]...)
+	c.rq = append(c.rq[:best], c.rq[best+1:]...) //clipvet:allocok per-bank pending lists retain capacity across ticks
 
 	bk, row := e.bk, e.row
 	b := &c.banks[bk]
@@ -599,7 +603,7 @@ func (d *DRAM) scheduleWrite(c *channel) bool {
 		b.busyUntil = ready
 		c.utilWindow += uint64(d.cfg.Transfer)
 		d.stats.BusBusyCycles += uint64(d.cfg.Transfer)
-		c.wq = append(c.wq[:i], c.wq[i+1:]...)
+		c.wq = append(c.wq[:i], c.wq[i+1:]...) //clipvet:allocok per-bank pending lists retain capacity across ticks
 		d.stats.Writes++
 		return true
 	}

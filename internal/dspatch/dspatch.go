@@ -99,6 +99,8 @@ func sigOf(ip uint64, addr mem.Addr) uint64 {
 // Train implements prefetch.Prefetcher: trains the base prefetcher and the
 // dual patterns, then emits the base candidates plus the selected pattern's
 // expansion.
+//
+//clipvet:hotpath
 func (d *DSPatch) Train(a prefetch.Access) []prefetch.Candidate {
 	out := d.base.Train(a)
 
@@ -140,7 +142,7 @@ func (d *DSPatch) Train(a prefetch.Access) []prefetch.Candidate {
 		if pattern&(1<<o) == 0 || o == off {
 			continue
 		}
-		out = append(out, prefetch.Candidate{
+		out = append(out, prefetch.Candidate{ //clipvet:allocok candidate scratch retains capacity across Train calls
 			Addr:      regionBase + mem.Addr(o*mem.LineBytes),
 			TriggerIP: a.IP, FillLevel: mem.LevelL2, Confidence: 0.5,
 		})

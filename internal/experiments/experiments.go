@@ -7,7 +7,6 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
 	"sync"
 
 	"clip/internal/core"
@@ -151,13 +150,7 @@ func homMixes(sc Scale) []workload.Mix {
 		}
 	}
 	if len(picked) < sc.HomMixes {
-		rest := make([]string, 0, len(byName))
-		//clipvet:orderfree collect-only; sorted before use
-		for n := range byName {
-			rest = append(rest, n)
-		}
-		sort.Strings(rest)
-		for _, n := range rest {
+		for _, n := range stats.SortedKeys(byName) {
 			if len(picked) == sc.HomMixes {
 				break
 			}

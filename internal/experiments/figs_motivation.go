@@ -149,8 +149,10 @@ func Fig4(sc Scale) (*Report, error) {
 		agg[name] = &criticality.Score{}
 	}
 	for _, f := range futs {
-		//clipvet:orderfree integer confusion-matrix sums are commutative
-		for name, sc2 := range f.res.PredScores {
+		// Iterate the registry, not the map: a stray PredScores key would have
+		// nil-derefed agg[name] anyway, and a missing one sums zeros.
+		for _, name := range criticality.Names() {
+			sc2 := f.res.PredScores[name]
 			a := agg[name]
 			a.TruePos += sc2.TruePos
 			a.FalsePos += sc2.FalsePos

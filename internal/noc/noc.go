@@ -319,13 +319,13 @@ func (m *Mesh) allocPkt() int32 {
 		m.free = m.free[:n-1]
 		return id
 	}
-	m.pkts = append(m.pkts, packet{})
+	m.pkts = append(m.pkts, packet{}) //clipvet:allocok packet pool grows to steady state, then recycles through the free list
 	return int32(len(m.pkts) - 1)
 }
 
 func (m *Mesh) freePkt(id int32) {
-	m.pkts[id].deliver = nil // do not pin captured state on the free list
-	m.free = append(m.free, id)
+	m.pkts[id].deliver = nil    // do not pin captured state on the free list
+	m.free = append(m.free, id) //clipvet:allocok free list is bounded by the packet pool size
 }
 
 // inject performs the shared injection bookkeeping and routes the packet to
@@ -410,6 +410,8 @@ func (m *Mesh) enqueue(id int32) {
 }
 
 // Tick advances every link by one flit-cycle.
+//
+//clipvet:hotpath
 func (m *Mesh) Tick(cycle uint64) {
 	m.cycle = cycle
 	m.stats.Cycles++

@@ -76,6 +76,8 @@ func NewBerti() *Berti {
 func (b *Berti) Name() string { return "berti" }
 
 // Train implements Prefetcher.
+//
+//clipvet:hotpath
 func (b *Berti) Train(a Access) []Candidate {
 	e := b.table.Get(a.IP)
 	if e == nil {
@@ -130,7 +132,7 @@ func (b *Berti) Train(a Access) []Candidate {
 	for j := 0; j < e.nDeltas; j++ {
 		cov := float64(e.deltas[j].timelyHits) / float64(e.accesses)
 		if cov >= bertiLoCoverage {
-			top = append(top, bertiScored{e.deltas[j].delta, cov})
+			top = append(top, bertiScored{e.deltas[j].delta, cov}) //clipvet:allocok candidate scratch retains capacity across Train calls
 		}
 	}
 	b.scratchTop = top
@@ -164,7 +166,7 @@ func (b *Berti) Train(a Access) []Candidate {
 		if target <= 0 {
 			continue
 		}
-		out = append(out, Candidate{
+		out = append(out, Candidate{ //clipvet:allocok candidate scratch retains capacity across Train calls
 			Addr:      mem.Addr(uint64(target) << mem.LineShift),
 			TriggerIP: a.IP, FillLevel: fill, Confidence: s.coverage,
 		})

@@ -58,6 +58,8 @@ func shortKey(ip uint64, off int) uint64 {
 }
 
 // Train implements Prefetcher.
+//
+//clipvet:hotpath
 func (b *Bingo) Train(a Access) []Candidate {
 	rid := a.Addr.Region()
 	off := int(a.Addr.LineID() % bingoRegionLines)
@@ -97,7 +99,7 @@ func (b *Bingo) Train(a Access) []Candidate {
 		if fp&(1<<o) == 0 || o == off {
 			continue
 		}
-		out = append(out, Candidate{
+		out = append(out, Candidate{ //clipvet:allocok candidate scratch retains capacity across Train calls
 			Addr:      regionBase + mem.Addr(o*mem.LineBytes),
 			TriggerIP: a.IP, FillLevel: mem.LevelL2,
 			Confidence: conf(okLong),

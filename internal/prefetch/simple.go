@@ -33,6 +33,8 @@ func NewStride() *Stride {
 func (s *Stride) Name() string { return "stride" }
 
 // Train implements Prefetcher.
+//
+//clipvet:hotpath
 func (s *Stride) Train(a Access) []Candidate {
 	line := a.Addr.LineID()
 	e := s.table.Get(a.IP)
@@ -65,7 +67,7 @@ func (s *Stride) Train(a Access) []Candidate {
 		if t <= 0 {
 			break
 		}
-		out = append(out, Candidate{
+		out = append(out, Candidate{ //clipvet:allocok candidate scratch retains capacity across Train calls
 			Addr:      mem.Addr(uint64(t) << mem.LineShift),
 			TriggerIP: a.IP, FillLevel: mem.LevelL1, Confidence: 0.5,
 		})
@@ -97,6 +99,8 @@ func NewStream() *Stream { return &Stream{} }
 func (s *Stream) Name() string { return "stream" }
 
 // Train implements Prefetcher.
+//
+//clipvet:hotpath
 func (s *Stream) Train(a Access) []Candidate {
 	page := a.Addr.PageID()
 	line := a.Addr.LineID()
@@ -134,7 +138,7 @@ func (s *Stream) Train(a Access) []Candidate {
 			if t <= 0 {
 				break
 			}
-			out = append(out, Candidate{
+			out = append(out, Candidate{ //clipvet:allocok candidate scratch retains capacity across Train calls
 				Addr:      mem.Addr(uint64(t) << mem.LineShift),
 				TriggerIP: a.IP, FillLevel: mem.LevelL1, Confidence: 0.5,
 			})

@@ -88,6 +88,8 @@ func NewSPPPPF() *SPPPPF {
 func (s *SPPPPF) Name() string { return "spppf" }
 
 // Train implements Prefetcher.
+//
+//clipvet:hotpath
 func (s *SPPPPF) Train(a Access) []Candidate {
 	pid := a.Addr.PageID()
 	line := a.Addr.LineID()
@@ -132,7 +134,7 @@ func (s *SPPPPF) Train(a Access) []Candidate {
 			if conf >= 0.6 {
 				cand.FillLevel = mem.LevelL1
 			}
-			out = append(out, cand)
+			out = append(out, cand) //clipvet:allocok candidate scratch retains capacity across Train calls
 		}
 		if conf < sppMinConf && d >= sppBaseDepth {
 			break

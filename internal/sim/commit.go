@@ -93,7 +93,7 @@ func (s *System) deliverHermesHeld(cy uint64) {
 			if r.DoneCycle < next {
 				next = r.DoneCycle
 			}
-			rest = append(rest, *r)
+			rest = append(rest, *r) //clipvet:allocok compaction append into [:0]; never exceeds original capacity
 			continue
 		}
 		s.llc[s.sliceOf(r.Req.Addr)].Fill(r)
@@ -119,7 +119,7 @@ func (s *System) deliverDRAM(cy uint64) {
 			if r.DoneCycle < next {
 				next = r.DoneCycle
 			}
-			rest = append(rest, *r)
+			rest = append(rest, *r) //clipvet:allocok compaction append into [:0]; never exceeds original capacity
 			continue
 		}
 		key := bypassKey(r.Req.Core, r.Req.Addr)
@@ -136,7 +136,7 @@ func (s *System) deliverDRAM(cy uint64) {
 			if held.DoneCycle < s.hermesNext {
 				s.hermesNext = held.DoneCycle
 			}
-			s.hermesHold = append(s.hermesHold, held)
+			s.hermesHold = append(s.hermesHold, held) //clipvet:allocok retry ring retains capacity across ticks
 			continue
 		}
 		s.llc[s.sliceOf(r.Req.Addr)].Fill(r)

@@ -138,9 +138,9 @@ func NewSystem(cfg Config) (*System, error) {
 	// owning LLC slice (or to L1 directly for Hermes bypass loads).
 	s.dram.OnResponse(func(r *mem.Response) {
 		if r.DoneCycle < s.dramNext {
-			s.dramNext = r.DoneCycle
+			s.dramNext = r.DoneCycle //clipvet:staged fires inside DRAM.Tick, serial commit phase
 		}
-		s.dramPending = append(s.dramPending, *r)
+		s.dramPending = append(s.dramPending, *r) //clipvet:staged commit-phase response staging buffer
 	})
 
 	// All hot mesh traffic is payload packets dispatched here by kind; the
@@ -160,6 +160,7 @@ func NewSystem(cfg Config) (*System, error) {
 		// LLC responses travel the mesh back to the requesting core's L2 as
 		// payload packets (kind pktLLCResp).
 		llc.OnResponse(func(r *mem.Response) {
+			//clipvet:staged fires inside the LLC's serial commit-phase Tick
 			s.mesh.SendPayload(i, r.Req.Core, noc.FlitsPerData, s.packetHigh(&r.Req), pktLLCResp, r)
 		})
 		s.llc = append(s.llc, llc)
@@ -435,6 +436,8 @@ func (s *System) hermesFor(core int) *hermes.Predictor {
 // throttlers) is serial and unchanged. With skipping enabled, provably
 // quiescent components get their per-cycle accounting applied in place of a
 // full walk; results are byte-identical across all four mode combinations.
+//
+//clipvet:hotpath
 func (s *System) Tick() {
 	cy := s.cycle
 	skip := s.skip

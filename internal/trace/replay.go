@@ -130,6 +130,8 @@ func (r *Replay) NextBatch(dst []Instr) int {
 // refill advances r.prog past r.pos, growing the shared window if needed.
 // It returns false once the window is exhausted, with r.cont set to a
 // private generator positioned at the window edge.
+//
+//clipvet:allocok grows the shared window once per chunk; amortized over thousands of instructions
 func (r *Replay) refill() bool {
 	if r.cont != nil {
 		return false
@@ -172,6 +174,8 @@ func (r *Replay) refill() bool {
 // clone deep-copies the generator's mutable state so a continuation advances
 // independently of the shared stream position. The program, chase table and
 // per-site delta sets are immutable after construction and stay shared.
+//
+//clipvet:allocok runs once per core, at shared-window exhaustion
 func (g *gen) clone() *gen {
 	cp := *g
 	rng := *g.rng
