@@ -25,6 +25,18 @@
 // TickParallel/shard1 measurement against SimulatorThroughput on a per-core
 // basis: both workloads run the same tile code, so the shard path staging a
 // tick must not allocate materially more per core than the serial loop.
+//
+// Two auxiliary outputs support the trajectory beyond the single-snapshot
+// baseline: -history appends the full report as one JSON line to a .jsonl
+// log (BENCH_history.jsonl in this repo), and -deltamd renders the baseline
+// comparison as a markdown table (CI appends it to the GitHub step summary).
+//
+// -pgo-refresh regenerates the committed PGO profile instead of measuring:
+// it CPU-profiles the SimulatorThroughput + TickBusy mix — the busy-loop
+// shapes the build should be optimized for — and writes the pprof file
+// (conventionally default.pgo). Refresh it whenever hot-path functions are
+// renamed or restructured: samples attached to functions that no longer
+// exist guide nothing.
 package main
 
 import (
@@ -33,8 +45,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"testing"
+	"time"
 
 	"clip"
 )
@@ -85,8 +99,15 @@ func run() int {
 		maxAlloc  = flag.Float64("maxallocgrowth", 0.10, "allowed fractional allocs/op growth vs the baseline (0 = no check)")
 		parity    = flag.Float64("shardallocparity", 0.10, "allowed fractional per-core allocs/op excess of TickParallel/shard1 over SimulatorThroughput (0 = no check)")
 		stamp     = flag.String("stamp", "", "timestamp to embed in the JSON (explicit input, kept out of comparisons)")
+		history   = flag.String("history", "", "append this run's report as one JSON line to this file")
+		deltaMD   = flag.String("deltamd", "", "with -baseline: append a markdown before/after table to this file (\"-\" = stdout)")
+		pgoOut    = flag.String("pgo-refresh", "", "profile the benchmark mix and write a PGO pprof file here instead of measuring")
+		pgoSecs   = flag.Float64("pgo-seconds", 15, "minimum profiling duration for -pgo-refresh")
 	)
 	flag.Parse()
+	if *pgoOut != "" {
+		return refreshPGO(*pgoOut, *pgoSecs)
+	}
 	if *out == "" && *baseline == "" {
 		*out = "-"
 	}
@@ -167,6 +188,13 @@ func run() int {
 		}
 	}
 
+	if *history != "" {
+		if err := appendHistory(*history, &rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
 	failed := false
 	if *baseline != "" {
 		data, err := os.ReadFile(*baseline)
@@ -178,6 +206,12 @@ func run() int {
 		if err := json.Unmarshal(data, &base); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", *baseline, err)
 			return 2
+		}
+		if *deltaMD != "" {
+			if err := writeDeltaMD(*deltaMD, &base, &rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
 		}
 		for _, name := range benchNames {
 			b, ok := base.Benchmarks[name]
@@ -248,5 +282,116 @@ func run() int {
 	if failed {
 		return 1
 	}
+	return 0
+}
+
+// appendHistory adds one compact JSON line for this run to the .jsonl
+// trajectory log. The log is append-only: successive runs on the same host
+// give the performance trend that the single-snapshot baseline cannot.
+func appendHistory(path string, rep *Report) error {
+	line, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeDeltaMD renders the baseline comparison as a markdown table and
+// appends it to path ("-" = stdout). CI points this at the GitHub step
+// summary so a bench-smoke run publishes its before/after deltas next to
+// the pass/fail verdict.
+func writeDeltaMD(path string, base, rep *Report) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintf(w, "### Benchmark delta vs baseline\n\n")
+	fmt.Fprintf(w, "| benchmark | baseline cycles/s | now cycles/s | Δ | baseline allocs/op | now allocs/op | Δ |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---:|---:|---:|\n")
+	pct := func(now, was float64) string {
+		if was <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(now-was)/was)
+	}
+	for _, name := range benchNames {
+		got := rep.Benchmarks[name]
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "| `%s` | missing | %.0f | n/a | missing | %d | n/a |\n",
+				name, got.CyclesPerSec, got.AllocsPerOp)
+			continue
+		}
+		cyclesDelta := pct(got.CyclesPerSec, b.CyclesPerSec)
+		if b.GOMAXPROCS != 0 && b.GOMAXPROCS != got.GOMAXPROCS {
+			// Different host shape: cycles/s is not comparable (the parallel
+			// benchmarks scale with cores by design); allocs/op still is.
+			cyclesDelta = fmt.Sprintf("shape differs (P=%d vs %d)", b.GOMAXPROCS, got.GOMAXPROCS)
+		}
+		fmt.Fprintf(w, "| `%s` | %.0f | %.0f | %s | %d | %d | %s |\n",
+			name, b.CyclesPerSec, got.CyclesPerSec, cyclesDelta,
+			b.AllocsPerOp, got.AllocsPerOp,
+			pct(float64(got.AllocsPerOp), float64(b.AllocsPerOp)))
+	}
+	fmt.Fprintf(w, "\nskip speedup: %.2fx (baseline %.2fx)\n\n", rep.SkipSpeedup, base.SkipSpeedup)
+	return nil
+}
+
+// refreshPGO CPU-profiles the busy-loop benchmark mix (SimulatorThroughput
+// plus every TickBusy prefetcher) for at least secs seconds and writes the
+// profile to path — the input for -pgo builds. The idle and shard-parallel
+// benchmarks are deliberately absent: their time is spent in the skipping
+// fast path and the scheduler, which PGO inlining decisions do not help.
+func refreshPGO(path string, secs float64) int {
+	mix := []clip.Config{clip.BenchThroughputConfig()}
+	for _, name := range benchNames {
+		const pfx = "TickBusy/"
+		if len(name) > len(pfx) && name[:len(pfx)] == pfx {
+			mix = append(mix, clip.BenchTickBusyConfig(name[len(pfx):]))
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	start := time.Now()
+	runs := 0
+	for time.Since(start).Seconds() < secs {
+		for _, cfg := range mix {
+			if _, err := clip.Run(cfg); err != nil {
+				pprof.StopCPUProfile()
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			runs++
+		}
+	}
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d runs of the %d-config busy mix over %.1fs\n",
+		path, runs, len(mix), time.Since(start).Seconds())
 	return 0
 }

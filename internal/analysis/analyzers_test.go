@@ -32,9 +32,14 @@ func TestSoaEscape(t *testing.T) { testAnalyzer(t, SoaEscape, "clip/internal/cac
 
 // The PR 7 interprocedural analyzers: allocation-freedom from hot roots,
 // nondeterminism taint to result sinks, and directive integrity.
-func TestHotAlloc(t *testing.T)  { testAnalyzer(t, HotAlloc, "clip/internal/sim/hotalloc") }
-func TestDetFlow(t *testing.T)   { testAnalyzer(t, DetFlow, "clip/internal/sim/flow") }
-func TestCallGraph(t *testing.T) { testAnalyzer(t, CallGraph, "clip/internal/sim/lint") }
+func TestHotAlloc(t *testing.T) { testAnalyzer(t, HotAlloc, "clip/internal/sim/hotalloc") }
+
+// TestHotAllocRetire pins hotalloc on the batched ROB-commit shape of the
+// SoA core: a seeded allocation inside a done-run loop must be flagged, the
+// capacity-retaining wheel range-file append must stay excused.
+func TestHotAllocRetire(t *testing.T) { testAnalyzer(t, HotAlloc, "clip/internal/cpu/retire") }
+func TestDetFlow(t *testing.T)        { testAnalyzer(t, DetFlow, "clip/internal/sim/flow") }
+func TestCallGraph(t *testing.T)      { testAnalyzer(t, CallGraph, "clip/internal/sim/lint") }
 
 // Outside the deterministic package set the whole suite must stay silent,
 // even over code that would trip every analyzer inside it.

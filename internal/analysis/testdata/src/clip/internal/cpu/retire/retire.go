@@ -1,0 +1,57 @@
+// Package retire exercises the hotalloc analyzer over the batched ROB-commit
+// shape the real core uses: a //clipvet:hotpath root that scans a done bitmap
+// word-by-word and commits the run in one loop. The seeded allocation sits
+// inside that done-run loop — exactly where a careless telemetry append would
+// land in retireRun — and must be flagged; the wheel-style range-file append
+// is excused at the site and must stay silent.
+package retire
+
+type core struct {
+	doneW  []uint64
+	stall  []uint64
+	served []uint8
+	byLvl  [4]uint64
+	log    []uint64
+	head   int
+}
+
+// Tick is the batched commit root: everything reachable from it must be
+// allocation-free unless escaped.
+//
+//clipvet:hotpath
+func (c *core) Tick() {
+	n := c.doneRun(c.head, 64)
+	c.retireRun(n)
+	c.refile(uint64(n))
+}
+
+// doneRun is pure bit scanning: allocation-free, nothing to report.
+func (c *core) doneRun(pos, max int) int {
+	run := 0
+	for run < max {
+		if c.doneW[pos>>6]>>uint(pos&63)&1 == 0 {
+			break
+		}
+		run++
+		pos++
+	}
+	return run
+}
+
+// retireRun carries the seeded allocation: per-retire telemetry appended
+// inside the done-run commit loop grows its backing array on the hot path.
+func (c *core) retireRun(n int) {
+	slot := c.head
+	for k := 0; k < n; k++ {
+		c.byLvl[c.served[slot]] += c.stall[slot]
+		c.log = append(c.log, c.stall[slot]) // want "append may grow its backing array on the hot path"
+		slot++
+	}
+	c.head = slot
+}
+
+// refile mirrors the wheel range-file: the bucket append is excused at the
+// site because buckets retain their capacity across ticks.
+func (c *core) refile(at uint64) {
+	c.log = append(c.log, at) //clipvet:allocok wheel buckets retain capacity across ticks
+}

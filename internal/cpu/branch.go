@@ -24,15 +24,18 @@ const (
 	pcptWeightMin = -64
 )
 
-// NewPerceptron constructs a predictor with zeroed weights.
+// NewPerceptron constructs a predictor with zeroed weights. The weight
+// tables are carved from one flat slab so a predictor costs three
+// allocations regardless of the table count.
 func NewPerceptron() *Perceptron {
 	p := &Perceptron{
 		tables:   make([][]int8, pcptTables),
 		theta:    int32(2*pcptTables + 7),
 		tableSel: make([]uint32, pcptTables),
 	}
+	backing := make([]int8, pcptTables*pcptEntries)
 	for i := range p.tables {
-		p.tables[i] = make([]int8, pcptEntries)
+		p.tables[i] = backing[i*pcptEntries : (i+1)*pcptEntries : (i+1)*pcptEntries]
 	}
 	return p
 }

@@ -11,10 +11,19 @@
 // captures exactly the signals every evaluated criticality predictor consumes:
 // which loads stall the ROB head, for how long, from which level, at what ROB
 // occupancy and MLP.
+//
+// The ROB is a structure of arrays: the per-slot flags live in []uint64
+// bitmaps (valid/done/issued/chain plus the pending- and ready-load sets) and
+// the payload fields in flat columns, so retire consumes contiguous done-runs
+// with one word scan, dispatch fills slots in per-kind spans between branches,
+// and completeALU drains a wheel bucket by setting done bits directly. See
+// DESIGN.md §10 for the layout and the staleness proofs the fast paths rely
+// on.
 package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"clip/internal/invariant"
 	"clip/internal/mem"
@@ -128,31 +137,13 @@ func (s *Stats) IPC() float64 {
 	return float64(s.Retired) / float64(s.Cycles)
 }
 
+// wheelEntry files one non-load completion. No sequence number is needed: a
+// non-load slot's done bit is only ever set by its own wheel entry, and an
+// un-done slot cannot retire, so the slot cannot be reallocated before the
+// entry fires (completeALU asserts this under -tags clipdebug).
 type wheelEntry struct {
-	slot int
-	seq  uint64
 	at   uint64
-}
-
-// robEntry packs word-sized fields first: dispatch rewrites one entry per
-// instruction, and the flag-interleaved declaration order would pad the
-// struct from 64 to 88 bytes.
-type robEntry struct {
-	seq         uint64
-	ip          uint64
-	addr        mem.Addr
-	doneCycle   uint64 // for non-loads: completion time
-	stallCycles uint64 // head-of-ROB stall cycles attributed
-	latency     uint64
-	dependsOn   int // ROB slot of the load this load depends on, -1 none
-	op          trace.Op
-	servedBy    mem.Level
-	valid       bool
-	done        bool
-	issued      bool // load sent to L1D
-	wasPF       bool
-	latePF      bool
-	dependChain bool
+	slot int32
 }
 
 // Core is one simulated core.
@@ -161,13 +152,55 @@ type Core struct {
 	id  int
 	gen trace.Generator
 	// batch is gen's bulk-decode fast path when it implements trace.Batcher
-	// (pre-decoded replays): one memcpy per ibuf refill.
+	// (pre-decoded replays): one memcpy per ibuf refill. win is the zero-copy
+	// variant (trace.Windower): dispatch reads the shared pre-decoded window
+	// in place, no copy at all, until the window is exhausted.
 	batch trace.Batcher
+	win   trace.Windower
 	port  MemoryPort
 
-	rob        []robEntry
+	// The ROB as a structure of arrays. The flag bitmaps pack one bit per
+	// slot into []uint64 words (bit i of word i/64 is slot i):
+	//
+	//	validW  — slot holds a dispatched, un-retired instruction
+	//	doneW   — instruction has completed execution
+	//	issuedW — load was sent to the L1D (diagnostics/invariants only)
+	//	chainW  — load was data-dependent on an older load (RetireEvent)
+	//	pendW   — load sits in the load queue waiting to issue
+	//	readyW  — pending load whose producer (if any) has completed
+	//
+	// The payload columns are indexed by slot and carved from three backing
+	// slabs (uint64/uint8/int32) so a core costs a fixed handful of
+	// allocations regardless of ROB size. addrCol holds mem.Addr values,
+	// opCol trace.Op values and servedCol mem.Level values as their raw
+	// machine types; accessors cast at the use site. depCol records the
+	// producer slot a load was *blocked on* at dispatch (-1 otherwise);
+	// childCol is the inverse link used by CompleteLoad to wake the single
+	// dependent.
+	validW, doneW, issuedW, chainW []uint64
+	pendW, readyW                  []uint64
+	ipCol                          []uint64
+	addrCol                        []uint64 // mem.Addr values
+	stallCol                       []uint64 // head-of-ROB stall cycles attributed
+	opCol                          []uint8  // trace.Op values
+	servedCol                      []uint8  // mem.Level values
+	depCol, childCol               []int32
+
+	robSize    int
 	head, tail int
 	count      int
+
+	// pendHead is the oldest pending load's slot (-1 when pendW is empty);
+	// pendLen counts pending loads (the load-queue occupancy). The pending
+	// set never contains stale slots — loads leave it exactly when issued —
+	// so a ring scan of pendW from pendHead visits loads in age order.
+	pendHead int
+	pendLen  int
+	// readyCount counts pending loads that are issuable right now. It is
+	// maintained at dispatch (producer already complete, or no producer) and
+	// at CompleteLoad (producer returns → wake the blocked dependent), so
+	// NextEvent never rescans the load queue.
+	readyCount int
 
 	cycle           uint64
 	fetchStallUntil uint64
@@ -177,14 +210,15 @@ type Core struct {
 	outstanding     int    // loads in flight
 	lastLoadSlot    int    // youngest load's ROB slot (for dependence)
 
-	pendingLoads []int // ROB slots waiting to issue to L1D
-
 	// wheel schedules non-load completions without scanning the ROB: slot
-	// indices are filed under (completionCycle mod wheelSize); each entry
-	// carries the allocation sequence number to ignore stale slots.
+	// indices are filed under (completionCycle mod wheelSize).
 	wheel    [][]wheelEntry
-	seq      uint64
 	overflow []wheelEntry // completions beyond the wheel horizon
+	// overflowMin is the earliest `at` among overflow entries (NoEvent when
+	// none): completeALU refiles overflow entries into the wheel eagerly the
+	// moment they come within the horizon, and NextEvent derives a real
+	// deadline instead of forcing per-cycle ticking while any exist.
+	overflowMin uint64
 
 	// wheelLive counts entries filed and not yet drained (wheel + overflow);
 	// earliestWheel is a monotone lower bound on the earliest live entry's
@@ -216,11 +250,12 @@ type Core struct {
 	onLoad   []func(*LoadEvent)
 	onRetire []func(*RetireEvent)
 
-	// ibuf is the pre-decoded instruction buffer: dispatch reads a flat
-	// array and the generator only runs on (rare) batch refills, keeping
-	// the per-instruction hot path free of interface calls.
+	// ibuf is the pre-decoded instruction window dispatch reads: either a
+	// borrowed view of the shared trace window (win path, zero-copy) or the
+	// private priv buffer refilled in bulk from the generator.
 	ibuf []trace.Instr
 	ipos int
+	priv []trace.Instr
 
 	// reqBuf/loadEv/retireEv buffer the values handed to the memory port
 	// and event listeners, so the pointers passed through interfaces and
@@ -242,18 +277,44 @@ func New(id int, cfg Config, gen trace.Generator, port MemoryPort, budget uint64
 	if gen == nil || port == nil {
 		return nil, fmt.Errorf("cpu: nil generator or memory port")
 	}
+	size := cfg.ROBSize
+	words := (size + 63) / 64
 	c := &Core{
 		cfg:          cfg,
 		id:           id,
 		gen:          gen,
 		batch:        batcherOf(gen),
+		win:          windowerOf(gen),
 		port:         port,
-		rob:          make([]robEntry, cfg.ROBSize),
+		robSize:      size,
+		pendHead:     -1,
 		budget:       budget,
 		lastLoadSlot: -1,
+		overflowMin:  mem.NoEvent,
 		bp:           NewPerceptron(),
 		wheel:        make([][]wheelEntry, wheelSize),
-		ibuf:         make([]trace.Instr, 0, ibufBatch),
+	}
+	// Carve the SoA columns out of three typed slabs (one allocation each).
+	u64 := make([]uint64, 6*words+3*size)
+	carve := func(n int) []uint64 {
+		s := u64[:n:n]
+		u64 = u64[n:]
+		return s
+	}
+	c.validW, c.doneW, c.issuedW = carve(words), carve(words), carve(words)
+	c.chainW, c.pendW, c.readyW = carve(words), carve(words), carve(words)
+	c.ipCol, c.addrCol, c.stallCol = carve(size), carve(size), carve(size)
+	u8 := make([]uint8, 2*size)
+	c.opCol, c.servedCol = u8[:size:size], u8[size:]
+	i32 := make([]int32, 2*size)
+	c.depCol, c.childCol = i32[:size:size], i32[size:]
+	for i := range c.depCol {
+		c.depCol[i] = -1
+		c.childCol[i] = -1
+	}
+	if c.win == nil {
+		c.priv = make([]trace.Instr, ibufBatch)
+		c.ibuf = c.priv[:0]
 	}
 	// Carve every wheel bucket out of one flat allocation with a few entries
 	// of capacity; buckets are drained to [:0] each revolution, so the
@@ -265,6 +326,11 @@ func New(id int, cfg Config, gen trace.Generator, port MemoryPort, budget uint64
 	}
 	return c, nil
 }
+
+// bitOf/setBit/clearBit are the bitmap primitives; all inline.
+func bitOf(w []uint64, i int) bool { return w[i>>6]&(1<<uint(i&63)) != 0 }
+func setBit(w []uint64, i int)     { w[i>>6] |= 1 << uint(i&63) }
+func clearBit(w []uint64, i int)   { w[i>>6] &^= 1 << uint(i&63) }
 
 // ID returns the core id.
 func (c *Core) ID() int { return c.id }
@@ -319,7 +385,7 @@ func (c *Core) ROBOccupancy() int { return c.count }
 // HeadStalled reports whether the ROB head is an incomplete instruction —
 // the paper's "ROB stall flag".
 func (c *Core) HeadStalled() bool {
-	return c.count > 0 && !c.rob[c.head].done
+	return c.count > 0 && !bitOf(c.doneW, c.head)
 }
 
 // Tick advances the core one cycle: retire, complete ALU work, issue pending
@@ -346,18 +412,13 @@ func (c *Core) Tick(cycle uint64) {
 //
 // The horizon is sound because every per-cycle action of Tick is covered:
 // completeALU fires no earlier than earliestWheel (a lower bound on live
-// wheel entries), retire and dispatch need the conditions checked here, and
-// issueLoads can only act when some pending load is issuable — which makes
-// the core non-quiescent outright (an L1-refused load retries every cycle).
+// wheel *and overflow* entries — schedule folds both before choosing where
+// to file), retire and dispatch need the conditions checked here, and
+// issueLoads can only act when readyCount > 0 — which makes the core
+// non-quiescent outright (an L1-refused load retries every cycle).
 func (c *Core) NextEvent(now uint64) uint64 {
-	if c.count == 0 || c.rob[c.head].done {
+	if c.count == 0 || bitOf(c.doneW, c.head) {
 		return now // retire and/or dispatch can proceed immediately
-	}
-	if len(c.overflow) > 0 {
-		// Beyond-horizon completions are refiled by the per-cycle wheel
-		// revolution; never skip over that machinery (unused in practice:
-		// ALU latencies sit far below the wheel size).
-		return now
 	}
 	next := mem.NoEvent
 	if c.wheelLive > 0 {
@@ -366,19 +427,10 @@ func (c *Core) NextEvent(now uint64) uint64 {
 		}
 		next = c.earliestWheel
 	}
-	for _, slot := range c.pendingLoads {
-		e := &c.rob[slot]
-		if !e.valid || e.done || e.issued {
-			continue
-		}
-		if e.dependsOn >= 0 {
-			if dep := &c.rob[e.dependsOn]; dep.valid && !dep.done {
-				continue // producer in flight; CompleteLoad wakes us
-			}
-		}
+	if c.readyCount > 0 {
 		return now // an issuable load retries the L1 port every cycle
 	}
-	if c.count < len(c.rob) {
+	if c.count < c.robSize {
 		// Dispatch is open; it resumes as soon as the fetch stall ends. (With
 		// a full ROB dispatch is a silent no-op, so no deadline from it.)
 		if now >= c.fetchStallUntil {
@@ -409,9 +461,9 @@ func (c *Core) SkipCycles(from, n uint64) {
 			c.id, from, from+n, c.NextEvent(from), c.wake)
 	}
 	c.stats.Cycles += n
-	if c.count > 0 && !c.rob[c.head].done {
+	if c.count > 0 && !bitOf(c.doneW, c.head) {
 		c.stats.ROBStallCycles += n
-		c.rob[c.head].stallCycles += n
+		c.stallCol[c.head] += n
 	}
 	if from < c.fetchStallUntil {
 		d := c.fetchStallUntil - from
@@ -431,7 +483,10 @@ const wheelSize = 512
 // share one cycle in practice).
 const wheelBucketCap = 8
 
-// schedule files a completion event for slot at cycle `at`.
+// schedule files a completion event for slot at cycle `at`. Dispatch files
+// its spans directly into buckets (latencies are always below the horizon)
+// and updates the live/earliest bookkeeping once per span; this general form
+// also handles beyond-horizon completions via the overflow list.
 func (c *Core) schedule(slot int, at uint64) {
 	if at <= c.cycle {
 		at = c.cycle + 1
@@ -441,54 +496,56 @@ func (c *Core) schedule(slot int, at uint64) {
 	}
 	c.wheelLive++
 	if at-c.cycle >= wheelSize {
-		c.overflow = append(c.overflow, wheelEntry{slot: slot, seq: c.rob[slot].seq, at: at}) //clipvet:allocok overflow list retains capacity; beyond-horizon completions are rare
+		if at < c.overflowMin {
+			c.overflowMin = at
+		}
+		c.overflow = append(c.overflow, wheelEntry{slot: int32(slot), at: at}) //clipvet:allocok overflow list retains capacity; beyond-horizon completions are rare
 		return
 	}
-	idx := at % wheelSize
-	c.wheel[idx] = append(c.wheel[idx], wheelEntry{slot: slot, seq: c.rob[slot].seq, at: at}) //clipvet:allocok wheel buckets retain capacity across ticks
+	c.wheel[at%wheelSize] = append(c.wheel[at%wheelSize], wheelEntry{slot: int32(slot), at: at}) //clipvet:allocok wheel buckets retain capacity across ticks
 }
 
+// completeALU drains this cycle's wheel bucket by setting done bits directly.
+// The entries are fresh by construction (see wheelEntry), so no per-entry
+// revalidation is needed on the fast path.
+//
+//clipvet:hotpath
 func (c *Core) completeALU() {
+	if len(c.overflow) > 0 && c.overflowMin-c.cycle < wheelSize {
+		c.refileOverflow()
+	}
 	idx := c.cycle % wheelSize
 	if events := c.wheel[idx]; len(events) > 0 {
-		for _, ev := range events {
+		for i := range events {
+			slot := int(events[i].slot)
 			if invariant.Enabled {
 				// A bucket is reached exactly at its entries' completion
 				// cycle; firing later means the loop skipped past a deadline.
-				invariant.Check(ev.at == c.cycle,
-					"cpu %d: wheel entry for cycle %d fired at %d", c.id, ev.at, c.cycle)
+				invariant.Check(events[i].at == c.cycle,
+					"cpu %d: wheel entry for cycle %d fired at %d", c.id, events[i].at, c.cycle)
+				invariant.Check(bitOf(c.validW, slot) && !bitOf(c.doneW, slot) && trace.Op(c.opCol[slot]) != trace.OpLoad,
+					"cpu %d: stale wheel entry for slot %d", c.id, slot)
 			}
-			e := &c.rob[ev.slot]
-			if e.valid && e.seq == ev.seq && !e.done && e.op != trace.OpLoad {
-				e.done = true
-			}
+			c.doneW[slot>>6] |= 1 << uint(slot&63)
 		}
 		c.wheelLive -= len(events)
-		c.wheel[idx] = c.wheel[idx][:0]
-	}
-	if len(c.overflow) > 0 && c.cycle%wheelSize == 0 {
-		// Re-file overflow events that are now within the horizon.
-		rest := c.overflow[:0]
-		for _, ev := range c.overflow {
-			if ev.at-c.cycle < wheelSize {
-				e := &c.rob[ev.slot]
-				if e.valid && e.seq == ev.seq {
-					c.wheel[ev.at%wheelSize] = append(c.wheel[ev.at%wheelSize], ev) //clipvet:allocok wheel buckets retain capacity across ticks
-				} else {
-					c.wheelLive-- // stale: dropped instead of refiled
-				}
-			} else {
-				rest = append(rest, ev) //clipvet:allocok appends into overflow[:0]; never exceeds original capacity
-			}
-		}
-		c.overflow = rest
+		c.wheel[idx] = events[:0]
 	}
 	if c.wheelLive == 0 {
 		c.earliestWheel = mem.NoEvent
 	} else if c.earliestWheel <= c.cycle {
-		// Everything filed at or before this cycle has drained; the bound
-		// stays a valid lower bound on the remaining live entries.
-		c.earliestWheel = c.cycle + 1
+		if c.wheelLive == len(c.overflow) {
+			// Only beyond-horizon completions remain live: the earliest
+			// overflow `at` is the exact next completion deadline, so the
+			// skip loop can jump straight to it (refileOverflow runs before
+			// the bucket drain, so an entry landing in this very cycle's
+			// bucket still fires on time).
+			c.earliestWheel = c.overflowMin
+		} else {
+			// Everything filed at or before this cycle has drained; the bound
+			// stays a valid lower bound on the remaining live entries.
+			c.earliestWheel = c.cycle + 1
+		}
 	}
 	if invariant.Enabled {
 		invariant.Check(c.wheelLive >= 0,
@@ -496,19 +553,128 @@ func (c *Core) completeALU() {
 	}
 }
 
+// refileOverflow moves overflow entries that have come within the wheel
+// horizon into their buckets and recomputes the earliest remaining overflow
+// deadline. Entries cannot be stale: their slots cannot retire before the
+// completion fires (see wheelEntry).
+//
+//clipvet:allocok appends into overflow[:0] and capacity-retaining wheel buckets
+func (c *Core) refileOverflow() {
+	rest := c.overflow[:0]
+	min := mem.NoEvent
+	for _, ev := range c.overflow {
+		if ev.at-c.cycle < wheelSize {
+			c.wheel[ev.at%wheelSize] = append(c.wheel[ev.at%wheelSize], ev)
+		} else {
+			if ev.at < min {
+				min = ev.at
+			}
+			rest = append(rest, ev)
+		}
+	}
+	c.overflow = rest
+	c.overflowMin = min
+}
+
 func (c *Core) accountStall() {
-	if c.HeadStalled() {
+	if c.count > 0 && !bitOf(c.doneW, c.head) {
 		c.stats.ROBStallCycles++
-		c.rob[c.head].stallCycles++
+		c.stallCol[c.head]++
 	}
 }
 
+// retire commits up to RetireWidth instructions from a contiguous done-run at
+// the ROB head. The run length comes from one word scan of the done bitmap;
+// with no retire listeners the stats are batched over the whole run.
+//
+//clipvet:hotpath
 func (c *Core) retire() {
-	for n := 0; n < c.cfg.RetireWidth && c.count > 0; n++ {
-		e := &c.rob[c.head]
-		if !e.done {
+	max := c.cfg.RetireWidth
+	if c.count < max {
+		max = c.count
+	}
+	if max == 0 {
+		return
+	}
+	n := c.doneRun(c.head, max)
+	if n == 0 {
+		return
+	}
+	if len(c.onRetire) > 0 {
+		c.retireRunSlow(n)
+		return
+	}
+	c.retireRun(n)
+}
+
+// doneRun returns the length of the contiguous run of done bits starting at
+// ring position pos, capped at max.
+func (c *Core) doneRun(pos, max int) int {
+	n := 0
+	for n < max {
+		w := c.doneW[pos>>6] >> uint(pos&63)
+		run := bits.TrailingZeros64(^w)
+		if run == 0 {
 			break
 		}
+		lim := 64 - pos&63
+		if rem := c.robSize - pos; rem < lim {
+			lim = rem
+		}
+		capped := run >= lim
+		if run > lim {
+			run = lim
+		}
+		if n+run >= max {
+			return max
+		}
+		n += run
+		if !capped {
+			break
+		}
+		pos += run
+		if pos == c.robSize {
+			pos = 0
+		}
+	}
+	return n
+}
+
+// retireRun is the listener-free fast path: stall accounting per slot, one
+// batched update for the retire counters and the budget check.
+//
+//clipvet:hotpath
+func (c *Core) retireRun(n int) {
+	slot := c.head
+	for k := 0; k < n; k++ {
+		c.stats.StallsByLevel[c.servedCol[slot]] += c.stallCol[slot]
+		if c.lastLoadSlot == slot {
+			c.lastLoadSlot = -1
+		}
+		c.validW[slot>>6] &^= 1 << uint(slot&63)
+		slot++
+		if slot == c.robSize {
+			slot = 0
+		}
+	}
+	c.head = slot
+	c.count -= n
+	c.stats.Retired += uint64(n)
+	c.retiredTotal += uint64(n)
+	if c.finishCycle == 0 && c.retiredTotal >= c.budget {
+		c.finishCycle = c.cycle
+		if c.onFinished != nil {
+			c.onFinished()
+		}
+	}
+}
+
+// retireRunSlow materializes one RetireEvent per committed instruction, in
+// program order, with the exact per-entry side-effect interleaving the event
+// consumers observe.
+func (c *Core) retireRunSlow(n int) {
+	for k := 0; k < n; k++ {
+		slot := c.head
 		c.stats.Retired++
 		c.retiredTotal++
 		if c.finishCycle == 0 && c.retiredTotal >= c.budget {
@@ -517,84 +683,191 @@ func (c *Core) retire() {
 				c.onFinished()
 			}
 		}
-		c.stats.StallsByLevel[e.servedBy] += e.stallCycles
-		if len(c.onRetire) > 0 {
-			c.retireEv = RetireEvent{
-				Core: c.id, IP: e.ip, Op: e.op, Addr: e.addr,
-				IsLoad: e.op == trace.OpLoad, ServedBy: e.servedBy,
-				StallCycles: e.stallCycles, DependChain: e.dependChain,
-				Cycle: c.cycle,
-			}
-			for _, f := range c.onRetire {
-				f(&c.retireEv)
-			}
+		c.stats.StallsByLevel[c.servedCol[slot]] += c.stallCol[slot]
+		c.retireEv = RetireEvent{
+			Core: c.id, IP: c.ipCol[slot], Op: trace.Op(c.opCol[slot]), Addr: mem.Addr(c.addrCol[slot]),
+			IsLoad: trace.Op(c.opCol[slot]) == trace.OpLoad, ServedBy: mem.Level(c.servedCol[slot]),
+			StallCycles: c.stallCol[slot], DependChain: bitOf(c.chainW, slot),
+			Cycle: c.cycle,
 		}
-		if c.lastLoadSlot == c.head {
+		for _, f := range c.onRetire {
+			f(&c.retireEv)
+		}
+		if c.lastLoadSlot == slot {
 			c.lastLoadSlot = -1
 		}
-		e.valid = false
+		clearBit(c.validW, slot)
 		c.head++
-		if c.head == len(c.rob) {
+		if c.head == c.robSize {
 			c.head = 0
 		}
 		c.count--
 	}
 }
 
+// issueLoads walks the pending-load bitmap from the oldest entry (the ring
+// scan from pendHead visits loads in age order) and issues ready loads to
+// the L1D. Blocked loads (readyW bit clear) are skipped; CompleteLoad flips
+// their bit when the producer returns, so no per-cycle dependence rescan is
+// needed.
+//
+//clipvet:hotpath
 func (c *Core) issueLoads() {
+	if c.pendLen == 0 {
+		return
+	}
 	ports := c.cfg.LoadPorts
-	pl := c.pendingLoads
-	kept := pl[:0]
 	// Bound per-cycle scheduling effort: examine the oldest few ready loads
 	// (an age-ordered LQ scheduler), and stop on L1 backpressure — when the
 	// L1 refuses one request it refuses them all this cycle.
 	const scanLimit = 16
 	examined := 0
-	for idx, slot := range pl {
-		e := &c.rob[slot]
-		if !e.valid || e.done || e.issued {
-			continue
-		}
+	pos := c.pendHead
+	for left := c.pendLen; left > 0; left-- {
+		pos = c.nextPending(pos)
 		if ports == 0 || examined >= scanLimit {
-			kept = append(kept, pl[idx:]...) //clipvet:allocok appends into pl[:0]; never exceeds original capacity
 			break
 		}
 		examined++
-		if e.dependsOn >= 0 {
-			dep := &c.rob[e.dependsOn]
-			if dep.valid && !dep.done {
-				kept = append(kept, slot) //clipvet:allocok producer not ready; appends into pl[:0], never exceeds original capacity
-				continue
+		if invariant.Enabled {
+			invariant.Check(bitOf(c.validW, pos) && !bitOf(c.doneW, pos) && !bitOf(c.issuedW, pos),
+				"cpu %d: stale pending-load slot %d", c.id, pos)
+			dep := int(c.depCol[pos])
+			blocked := !bitOf(c.readyW, pos)
+			invariant.Check(!blocked || (dep >= 0 && bitOf(c.validW, dep) && !bitOf(c.doneW, dep)),
+				"cpu %d: slot %d blocked without an in-flight producer (dep=%d)", c.id, pos, dep)
+		}
+		if !bitOf(c.readyW, pos) {
+			// Producer in flight; CompleteLoad wakes us.
+			pos++
+			if pos == c.robSize {
+				pos = 0
 			}
+			continue
 		}
 		c.reqBuf = mem.Request{
-			Addr: e.addr.Line(), IP: e.ip, TriggerIP: e.ip, Core: c.id,
-			Type: mem.Load, IssueCycle: c.cycle, ROBIndex: slot,
+			Addr: mem.Addr(c.addrCol[pos]).Line(), IP: c.ipCol[pos], TriggerIP: c.ipCol[pos], Core: c.id,
+			Type: mem.Load, IssueCycle: c.cycle, ROBIndex: pos,
 		}
 		//clipvet:staged c.port is this core's private L1D (tile-local); interface resolution over-approximates to DRAM.Issue
-		if c.port.Issue(&c.reqBuf) {
-			e.issued = true
-			c.outstanding++
-			c.stats.L1DAccesses++
-			ports--
-		} else {
-			kept = append(kept, pl[idx:]...) //clipvet:allocok L1 saturated, retry next cycle; appends into pl[:0], never exceeds original capacity
-			break
+		if !c.port.Issue(&c.reqBuf) {
+			break // L1 saturated, retry next cycle
+		}
+		setBit(c.issuedW, pos)
+		clearBit(c.pendW, pos)
+		clearBit(c.readyW, pos)
+		c.pendLen--
+		c.readyCount--
+		c.outstanding++
+		c.stats.L1DAccesses++
+		ports--
+		pos++
+		if pos == c.robSize {
+			pos = 0
 		}
 	}
-	c.pendingLoads = kept
+	if c.pendLen == 0 {
+		c.pendHead = -1
+	} else {
+		c.pendHead = c.nextPending(c.pendHead)
+	}
 }
 
+// nextPending returns the first pending slot at or (ring-)after pos. The
+// caller guarantees pendLen > 0.
+func (c *Core) nextPending(pos int) int {
+	wi := pos >> 6
+	if w := c.pendW[wi] >> uint(pos&63); w != 0 {
+		return pos + bits.TrailingZeros64(w)
+	}
+	nw := len(c.pendW)
+	for i := 1; ; i++ {
+		j := wi + i
+		if j >= nw {
+			j -= nw
+		}
+		if w := c.pendW[j]; w != 0 {
+			return j<<6 + bits.TrailingZeros64(w)
+		}
+		if invariant.Enabled {
+			invariant.Check(i <= nw, "cpu %d: pendW scan found no set bit (pendLen=%d)", c.id, c.pendLen)
+		}
+	}
+}
+
+// dispatch fills ROB slots from the pre-decoded window in per-kind spans:
+// the run of non-branch instructions up to the next branch dispatches as one
+// batch (dispatchSpan), branches are handled individually because a
+// mispredict redirects fetch. Wheel bookkeeping (live count, earliest bound)
+// is committed once per dispatch call rather than per instruction.
+//
+//clipvet:hotpath
 func (c *Core) dispatch() {
 	if c.cycle < c.fetchStallUntil {
 		c.stats.FetchStallCycles++
 		return
 	}
-	for n := 0; n < c.cfg.IssueWidth; n++ {
-		if c.count == len(c.rob) {
-			return // ROB full
+	width := c.cfg.IssueWidth
+	filed := 0
+	minAt := mem.NoEvent
+	for width > 0 && c.count < c.robSize {
+		if c.ipos == len(c.ibuf) {
+			c.refillIbuf()
 		}
-		ins := c.nextInstr()
+		k := len(c.ibuf) - c.ipos
+		if k > width {
+			k = width
+		}
+		if free := c.robSize - c.count; k > free {
+			k = free
+		}
+		if k <= 0 {
+			break // defensive: generators are endless, refill never under-fills
+		}
+		buf := c.ibuf[c.ipos : c.ipos+k]
+		span := 0
+		for span < k && buf[span].Op != trace.OpBranch {
+			span++
+		}
+		if span > 0 {
+			f, m := c.dispatchSpan(buf[:span])
+			filed += f
+			if m < minAt {
+				minAt = m
+			}
+			width -= span
+		}
+		if span < k {
+			at, redirect := c.dispatchBranch(&buf[span])
+			filed++
+			if at < minAt {
+				minAt = at
+			}
+			width--
+			if redirect {
+				break // stop dispatching this cycle: fetch redirect
+			}
+		}
+	}
+	if filed > 0 {
+		if c.wheelLive == 0 || minAt < c.earliestWheel {
+			c.earliestWheel = minAt
+		}
+		c.wheelLive += filed
+	}
+}
+
+// dispatchSpan enters a run of non-branch instructions into the ROB,
+// returning the number of wheel entries filed and their earliest completion
+// cycle (the caller commits the wheel bookkeeping once per dispatch).
+//
+//clipvet:hotpath
+func (c *Core) dispatchSpan(buf []trace.Instr) (int, uint64) {
+	filed := 0
+	minAt := mem.NoEvent
+	slot := c.tail
+	for i := range buf {
+		ins := &buf[i]
 		if c.fetchCheck != nil {
 			if blk := ins.IP >> 6; blk != c.lastBlock {
 				c.lastBlock = blk
@@ -606,37 +879,16 @@ func (c *Core) dispatch() {
 				}
 			}
 		}
-		slot := c.tail
-		e := &c.rob[slot]
-		c.seq++
-		*e = robEntry{seq: c.seq, valid: true, ip: ins.IP, op: ins.Op, addr: ins.Addr, dependsOn: -1}
-		c.tail++
-		if c.tail == len(c.rob) {
-			c.tail = 0
-		}
-		c.count++
-
+		c.initSlot(slot, ins)
 		switch ins.Op {
 		case trace.OpLoad:
-			c.stats.Loads++
-			if ins.DependsOnPrevLoad && c.lastLoadSlot >= 0 && c.rob[c.lastLoadSlot].valid {
-				e.dependsOn = c.lastLoadSlot
-				e.dependChain = true
-			}
-			c.lastLoadSlot = slot
-			if len(c.pendingLoads) < c.cfg.LQSize {
-				c.pendingLoads = append(c.pendingLoads, slot) //clipvet:allocok bounded by LQSize; retains capacity across ticks
-			} else {
-				// LQ full: treat as an immediate L1 hit to keep draining; rare.
-				e.done = true
-				e.servedBy = mem.LevelL1
-			}
+			c.dispatchLoad(slot, ins)
 		case trace.OpStore:
 			c.stats.Stores++
 			// Stores complete via the store buffer; still send the write to
 			// the cache for traffic/allocation effects.
-			e.done = true
-			e.servedBy = mem.LevelL1
+			setBit(c.doneW, slot)
+			c.servedCol[slot] = uint8(mem.LevelL1)
 			c.stats.L1DAccesses++
 			c.reqBuf = mem.Request{
 				Addr: ins.Addr.Line(), IP: ins.IP, TriggerIP: ins.IP, Core: c.id,
@@ -644,27 +896,109 @@ func (c *Core) dispatch() {
 			}
 			//clipvet:staged c.port is this core's private L1D (tile-local); interface resolution over-approximates to DRAM.Issue
 			c.port.Issue(&c.reqBuf)
-		case trace.OpBranch:
-			c.stats.Branches++
-			pred := c.bp.Predict(ins.IP)
-			c.bp.Update(ins.Taken, pred)
-			c.BranchHist = c.BranchHist<<1 | b2u(ins.Taken)
-			e.doneCycle = c.cycle + 1
-			c.schedule(slot, e.doneCycle)
-			if pred != ins.Taken {
-				c.stats.Mispredicts++
-				c.fetchStallUntil = c.cycle + uint64(c.cfg.MispredictPenalty)
-				// Stop dispatching this cycle: redirect.
-				return
-			}
 		default: // ALU
 			lat := uint64(ins.ExecLat)
 			if lat == 0 {
 				lat = 1
 			}
-			e.doneCycle = c.cycle + lat
-			c.schedule(slot, e.doneCycle)
+			// Latencies are always below the wheel horizon (ExecLat <= 255 <
+			// wheelSize), so file straight into the bucket.
+			at := c.cycle + lat
+			c.wheel[at%wheelSize] = append(c.wheel[at%wheelSize], wheelEntry{slot: int32(slot), at: at}) //clipvet:allocok wheel buckets retain capacity across ticks
+			filed++
+			if at < minAt {
+				minAt = at
+			}
 		}
+		slot++
+		if slot == c.robSize {
+			slot = 0
+		}
+	}
+	c.tail = slot
+	c.count += len(buf)
+	c.ipos += len(buf)
+	return filed, minAt
+}
+
+// dispatchBranch enters one branch, returning its wheel completion cycle and
+// whether a mispredict redirected fetch (ending this cycle's dispatch).
+func (c *Core) dispatchBranch(ins *trace.Instr) (uint64, bool) {
+	if c.fetchCheck != nil {
+		if blk := ins.IP >> 6; blk != c.lastBlock {
+			c.lastBlock = blk
+			if stall := c.fetchCheck(ins.IP); stall > 0 {
+				c.stats.FetchStallCycles += stall
+				c.fetchStallUntil = c.cycle + stall
+			}
+		}
+	}
+	slot := c.tail
+	c.initSlot(slot, ins)
+	c.tail++
+	if c.tail == c.robSize {
+		c.tail = 0
+	}
+	c.count++
+	c.ipos++
+	c.stats.Branches++
+	pred := c.bp.Predict(ins.IP)
+	c.bp.Update(ins.Taken, pred)
+	c.BranchHist = c.BranchHist<<1 | b2u(ins.Taken)
+	at := c.cycle + 1
+	c.wheel[at%wheelSize] = append(c.wheel[at%wheelSize], wheelEntry{slot: int32(slot), at: at}) //clipvet:allocok wheel buckets retain capacity across ticks
+	if pred != ins.Taken {
+		c.stats.Mispredicts++
+		c.fetchStallUntil = c.cycle + uint64(c.cfg.MispredictPenalty)
+		return at, true
+	}
+	return at, false
+}
+
+// initSlot resets slot's bitmap bits and fills the payload columns common to
+// every instruction kind.
+func (c *Core) initSlot(slot int, ins *trace.Instr) {
+	setBit(c.validW, slot)
+	clearBit(c.doneW, slot)
+	clearBit(c.issuedW, slot)
+	clearBit(c.chainW, slot)
+	c.ipCol[slot] = ins.IP
+	c.addrCol[slot] = uint64(ins.Addr)
+	c.opCol[slot] = uint8(ins.Op)
+	c.stallCol[slot] = 0
+	c.servedCol[slot] = 0
+	c.depCol[slot] = -1
+	c.childCol[slot] = -1
+}
+
+// dispatchLoad enters one load: dependence linking, load-queue admission and
+// ready-set classification.
+func (c *Core) dispatchLoad(slot int, ins *trace.Instr) {
+	c.stats.Loads++
+	dep := -1
+	if ins.DependsOnPrevLoad && c.lastLoadSlot >= 0 && bitOf(c.validW, c.lastLoadSlot) {
+		dep = c.lastLoadSlot
+		setBit(c.chainW, slot)
+	}
+	c.lastLoadSlot = slot
+	if c.pendLen < c.cfg.LQSize {
+		setBit(c.pendW, slot)
+		if c.pendLen == 0 {
+			c.pendHead = slot
+		}
+		c.pendLen++
+		if dep >= 0 && !bitOf(c.doneW, dep) {
+			// Producer still in flight: blocked until its CompleteLoad.
+			c.depCol[slot] = int32(dep)
+			c.childCol[dep] = int32(slot)
+		} else {
+			setBit(c.readyW, slot)
+			c.readyCount++
+		}
+	} else {
+		// LQ full: treat as an immediate L1 hit to keep draining; rare.
+		setBit(c.doneW, slot)
+		c.servedCol[slot] = uint8(mem.LevelL1)
 	}
 }
 
@@ -677,29 +1011,37 @@ func (c *Core) dispatch() {
 func (c *Core) CompleteLoad(resp *mem.Response) {
 	c.wake = true
 	slot := resp.Req.ROBIndex
-	if slot < 0 || slot >= len(c.rob) {
+	if slot < 0 || slot >= c.robSize {
 		return
 	}
-	e := &c.rob[slot]
-	if !e.valid || e.op != trace.OpLoad || e.done {
+	if !bitOf(c.validW, slot) || trace.Op(c.opCol[slot]) != trace.OpLoad || bitOf(c.doneW, slot) {
 		return
 	}
 	// Sample the ROB-stall flag before completing the load: the paper checks
 	// the flag at the moment the response arrives, and the stalled head is
 	// most often this very load.
-	stalled := c.HeadStalled()
+	stalled := c.count > 0 && !bitOf(c.doneW, c.head)
 	atHead := c.count > 0 && c.head == slot
-	e.done = true
-	e.servedBy = resp.ServedBy
-	e.latency = resp.Latency()
-	e.wasPF = resp.WasPrefetch
-	e.latePF = resp.LatePF
+	setBit(c.doneW, slot)
+	c.servedCol[slot] = uint8(resp.ServedBy)
 	if c.outstanding > 0 {
 		c.outstanding--
 	}
+	if child := c.childCol[slot]; child >= 0 {
+		// The returning producer unblocks its single dependent load.
+		c.childCol[slot] = -1
+		cs := int(child)
+		if invariant.Enabled {
+			invariant.Check(bitOf(c.pendW, cs) && !bitOf(c.issuedW, cs) && int(c.depCol[cs]) == slot,
+				"cpu %d: slot %d woke a non-blocked dependent %d", c.id, slot, cs)
+		}
+		setBit(c.readyW, cs)
+		c.readyCount++
+	}
 
+	lat := resp.Latency()
 	lv := int(resp.ServedBy)
-	c.stats.LoadLatency[lv].Sum += e.latency
+	c.stats.LoadLatency[lv].Sum += lat
 	c.stats.LoadLatency[lv].Count++
 
 	critical := stalled && resp.ServedBy >= mem.LevelL2
@@ -711,9 +1053,9 @@ func (c *Core) CompleteLoad(resp *mem.Response) {
 
 	if len(c.onLoad) > 0 {
 		c.loadEv = LoadEvent{
-			Core: c.id, IP: e.ip, Addr: e.addr, ServedBy: resp.ServedBy,
-			Latency: e.latency, StalledHead: stalled, AtHead: atHead,
-			HeadStallCycles: e.stallCycles, ROBOccupancy: c.count,
+			Core: c.id, IP: c.ipCol[slot], Addr: mem.Addr(c.addrCol[slot]), ServedBy: resp.ServedBy,
+			Latency: lat, StalledHead: stalled, AtHead: atHead,
+			HeadStallCycles: c.stallCol[slot], ROBOccupancy: c.count,
 			MLPAtComplete: c.outstanding, WasPrefetchHit: resp.WasPrefetch,
 			LatePF: resp.LatePF, Cycle: c.cycle,
 			BranchHist: c.BranchHist, CritHist: c.CritHist,
@@ -724,29 +1066,38 @@ func (c *Core) CompleteLoad(resp *mem.Response) {
 	}
 }
 
-// ibufBatch is the pre-decode batch size: dispatch consumes instructions
-// from a flat array refilled from the trace generator in bulk.
+// ibufBatch is the pre-decode batch size for the private fallback buffer:
+// dispatch consumes instructions from a flat array refilled from the trace
+// generator in bulk.
 const ibufBatch = 4096
 
-// nextInstr returns the next pre-decoded instruction, refilling the buffer
-// from the generator when exhausted. The generated sequence is exactly the
-// per-call gen.Next() stream (the synthetic generators are pure sequences,
-// independent of simulation time).
-func (c *Core) nextInstr() trace.Instr {
-	if c.ipos == len(c.ibuf) {
-		c.ibuf = c.ibuf[:ibufBatch]
-		if c.batch != nil {
-			c.ibuf = c.ibuf[:c.batch.NextBatch(c.ibuf)]
-		} else {
-			for i := range c.ibuf {
-				c.ibuf[i] = c.gen.Next()
-			}
+// refillIbuf replenishes the dispatch window. The fast path borrows the next
+// chunk of the shared pre-decoded trace window in place (no copy); once that
+// is exhausted the core falls back to bulk-copying batches into a private
+// buffer, and finally to per-instruction generator calls. Every path yields
+// exactly the per-call gen.Next() stream (the synthetic generators are pure
+// sequences, independent of simulation time).
+func (c *Core) refillIbuf() {
+	if c.win != nil {
+		if w := c.win.Window(); len(w) > 0 {
+			c.ibuf = w
+			c.ipos = 0
+			return
 		}
-		c.ipos = 0
+		// Shared window exhausted; switch to the private batch buffer.
+		c.win = nil
+		c.priv = make([]trace.Instr, ibufBatch) //clipvet:allocok once per core, at shared-window exhaustion
 	}
-	ins := c.ibuf[c.ipos]
-	c.ipos++
-	return ins
+	buf := c.priv[:ibufBatch]
+	if c.batch != nil {
+		buf = buf[:c.batch.NextBatch(buf)]
+	} else {
+		for i := range buf {
+			buf[i] = c.gen.Next()
+		}
+	}
+	c.ibuf = buf
+	c.ipos = 0
 }
 
 func b2u(b bool) uint32 {
@@ -761,15 +1112,24 @@ func (c *Core) DebugHead() string {
 	if c.count == 0 {
 		return "empty"
 	}
-	e := &c.rob[c.head]
+	h := c.head
 	return fmt.Sprintf("slot=%d op=%v ip=%#x addr=%#x done=%v issued=%v dep=%d pendingLoads=%d outstanding=%d",
-		c.head, e.op, e.ip, uint64(e.addr), e.done, e.issued, e.dependsOn, len(c.pendingLoads), c.outstanding)
+		h, trace.Op(c.opCol[h]), c.ipCol[h], c.addrCol[h], bitOf(c.doneW, h), bitOf(c.issuedW, h),
+		c.depCol[h], c.pendLen, c.outstanding)
 }
 
 // batcherOf returns gen's bulk-decode interface when available.
 func batcherOf(gen trace.Generator) trace.Batcher {
 	if b, ok := gen.(trace.Batcher); ok {
 		return b
+	}
+	return nil
+}
+
+// windowerOf returns gen's zero-copy window interface when available.
+func windowerOf(gen trace.Generator) trace.Windower {
+	if w, ok := gen.(trace.Windower); ok {
+		return w
 	}
 	return nil
 }

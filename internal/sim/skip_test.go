@@ -62,6 +62,13 @@ func skipMatrix() map[string]Config {
 	mixed.DSPatch = true
 	m["het-dspatch"] = mixed
 
+	// A criticality predictor registers the core's OnRetire listener, so this
+	// config pins the retire-event path (per-entry event materialization)
+	// that the listener-free fast path skips.
+	crit := base("605.mcf_s-665B")
+	crit.CritPredictor = "catch"
+	m["critpred"] = crit
+
 	return m
 }
 

@@ -25,7 +25,7 @@ func soaMatrix() []struct {
 	name string
 	cfg  Config
 } {
-	picks := []string{"clip", "hermes", "throttler", "het-dspatch"}
+	picks := []string{"clip", "hermes", "throttler", "het-dspatch", "critpred"}
 	all := skipMatrix()
 	var out []struct {
 		name string

@@ -24,6 +24,17 @@ type Batcher interface {
 	NextBatch(dst []Instr) int
 }
 
+// Windower is an optional Generator fast path one step beyond Batcher: Window
+// returns a read-only view of the next pre-decoded instructions *in place*
+// (no copy), advancing the stream past them. An empty return means the
+// zero-copy window is exhausted for good and the caller must fall back to
+// Next/NextBatch, which continue the stream seamlessly. Callers must not
+// mutate the returned slice: its backing array is shared between every
+// simulation replaying the same workload.
+type Windower interface {
+	Window() []Instr
+}
+
 const (
 	// sharedWindow bounds the pre-decoded prefix per stream (16k Instr,
 	// ~512KB). Runs that consume more fall back to a private generator
@@ -104,6 +115,19 @@ func (r *Replay) Next() Instr {
 		return ins
 	}
 	return r.cont.Next()
+}
+
+// Window implements Windower: it hands out the not-yet-consumed tail of the
+// published window without copying, growing the shared window if needed, and
+// returns nil once the window is exhausted (the continuation generator then
+// serves Next/NextBatch).
+func (r *Replay) Window() []Instr {
+	if r.pos >= len(r.prog) && !r.refill() {
+		return nil
+	}
+	w := r.prog[r.pos:]
+	r.pos = len(r.prog)
+	return w
 }
 
 // NextBatch implements Batcher: bulk-copies from the window (the common
