@@ -12,11 +12,16 @@
 // through the root clip package) via testing.Benchmark, so the JSON numbers
 // are directly comparable to `go test -bench` output on the same host.
 //
-// Besides cycles/s it records allocations per op for every benchmark; the
-// baseline comparison fails on allocation growth beyond -maxallocgrowth.
-// Unlike cycles/s, allocs/op is host-independent and near-deterministic, so
-// a tight gate on it catches hot-path allocation regressions that wall-clock
-// noise would mask.
+// Besides cycles/s it records allocations and allocated bytes per op for
+// every benchmark; the baseline comparison fails on growth beyond
+// -maxallocgrowth / -maxbytesgrowth. Unlike cycles/s, allocs/op and bytes/op
+// are host-independent and near-deterministic, so tight gates on them catch
+// hot-path allocation regressions that wall-clock noise would mask.
+//
+// -interleave BEFORE,AFTER runs two clipbench binaries in alternating
+// windows and reports the median paired cycles/s delta per benchmark: on a
+// shared host whose clock rate drifts between distant windows, paired
+// back-to-back runs are the only A/B comparison worth reading.
 //
 // Every measured benchmark must be present in the baseline: a missing entry
 // fails the comparison rather than silently shrinking the gate (a renamed or
@@ -44,9 +49,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -63,6 +71,7 @@ type Record struct {
 	NsPerOp      float64 `json:"ns_per_op"`
 	Iterations   int     `json:"iterations"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op,omitempty"`
 	GOMAXPROCS   int     `json:"gomaxprocs,omitempty"`
 	// Slab records the flat-slab geometry NewSystem allocates for this
 	// benchmark's config — the memory shape behind the number.
@@ -97,16 +106,22 @@ func run() int {
 		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional cycles/s regression vs the baseline")
 		minSpeed  = flag.Float64("minspeedup", 0, "fail unless TickIdle skip/noskip speedup is at least this (0 = no check)")
 		maxAlloc  = flag.Float64("maxallocgrowth", 0.10, "allowed fractional allocs/op growth vs the baseline (0 = no check)")
+		maxBytes  = flag.Float64("maxbytesgrowth", 0.10, "allowed fractional bytes/op growth vs the baseline (0 = no check; baselines predating bytes/op pass)")
 		parity    = flag.Float64("shardallocparity", 0.10, "allowed fractional per-core allocs/op excess of TickParallel/shard1 over SimulatorThroughput (0 = no check)")
 		stamp     = flag.String("stamp", "", "timestamp to embed in the JSON (explicit input, kept out of comparisons)")
 		history   = flag.String("history", "", "append this run's report as one JSON line to this file")
 		deltaMD   = flag.String("deltamd", "", "with -baseline: append a markdown before/after table to this file (\"-\" = stdout)")
 		pgoOut    = flag.String("pgo-refresh", "", "profile the benchmark mix and write a PGO pprof file here instead of measuring")
 		pgoSecs   = flag.Float64("pgo-seconds", 15, "minimum profiling duration for -pgo-refresh")
+		ileave    = flag.String("interleave", "", "BEFORE,AFTER: paths to two clipbench binaries; run them in alternating windows and report paired per-round deltas instead of measuring in-process")
+		rounds    = flag.Int("rounds", 3, "with -interleave: number of BEFORE/AFTER window pairs")
 	)
 	flag.Parse()
 	if *pgoOut != "" {
 		return refreshPGO(*pgoOut, *pgoSecs)
+	}
+	if *ileave != "" {
+		return runInterleave(*ileave, *rounds)
 	}
 	if *out == "" && *baseline == "" {
 		*out = "-"
@@ -131,6 +146,7 @@ func run() int {
 			NsPerOp:      float64(res.NsPerOp()),
 			Iterations:   res.N,
 			AllocsPerOp:  res.AllocsPerOp(),
+			BytesPerOp:   res.AllocedBytesPerOp(),
 			GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		}
 		if g, err := clip.BenchSlabGeometry(cfg); err == nil {
@@ -254,6 +270,20 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "%-22s %8d allocs/op vs baseline %8d (ceiling %8.0f) %s\n",
 					name, got.AllocsPerOp, b.AllocsPerOp, ceiling, verdict)
 			}
+			// bytes/op is gated like allocs/op: host-independent and near-
+			// deterministic, so growth means the hot path genuinely allocates
+			// more. Baselines recorded before the field existed carry zero and
+			// are skipped rather than failed.
+			if *maxBytes > 0 && b.BytesPerOp > 0 {
+				ceiling := float64(b.BytesPerOp) * (1 + *maxBytes)
+				verdict := "ok"
+				if float64(got.BytesPerOp) > ceiling {
+					verdict = "BYTES REGRESSION"
+					failed = true
+				}
+				fmt.Fprintf(os.Stderr, "%-22s %8d bytes/op vs baseline %8d (ceiling %8.0f) %s\n",
+					name, got.BytesPerOp, b.BytesPerOp, ceiling, verdict)
+			}
 		}
 	}
 	if *parity > 0 {
@@ -348,6 +378,93 @@ func writeDeltaMD(path string, base, rep *Report) error {
 	}
 	fmt.Fprintf(w, "\nskip speedup: %.2fx (baseline %.2fx)\n\n", rep.SkipSpeedup, base.SkipSpeedup)
 	return nil
+}
+
+// runInterleave drives two clipbench binaries — BEFORE and AFTER builds of
+// the simulator — in alternating windows: B0 A0 B1 A1 ... Each pair runs
+// back-to-back, so the slow clock drift of a shared host (this repo's bench
+// hosts drift ~2x between distant windows) cancels out of the per-round
+// ratio; a single before-run followed by a single after-run would fold the
+// whole drift into the "speedup". The reported number per benchmark is the
+// median across rounds of the paired AFTER/BEFORE cycles/s ratio, plus the
+// host-independent allocs/op and bytes/op from the final round.
+func runInterleave(spec string, rounds int) int {
+	before, after, ok := strings.Cut(spec, ",")
+	if !ok || before == "" || after == "" || rounds < 1 {
+		fmt.Fprintln(os.Stderr, "-interleave wants BEFORE,AFTER binary paths and -rounds >= 1")
+		return 2
+	}
+	exec1 := func(bin string) (*Report, error) {
+		cmd := exec.Command(bin, "-out", "-")
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bin, err)
+		}
+		var rep Report
+		if err := json.Unmarshal(out, &rep); err != nil {
+			return nil, fmt.Errorf("%s: parsing report: %w", bin, err)
+		}
+		return &rep, nil
+	}
+	repsB := make([]*Report, 0, rounds)
+	repsA := make([]*Report, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		fmt.Fprintf(os.Stderr, "== round %d/%d: BEFORE %s\n", r+1, rounds, before)
+		rb, err := exec1(before)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "== round %d/%d: AFTER  %s\n", r+1, rounds, after)
+		ra, err := exec1(after)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		repsB, repsA = append(repsB, rb), append(repsA, ra)
+	}
+	median := func(xs []float64) float64 {
+		sort.Float64s(xs)
+		n := len(xs)
+		if n%2 == 1 {
+			return xs[n/2]
+		}
+		return (xs[n/2-1] + xs[n/2]) / 2
+	}
+	fmt.Printf("%-22s %9s  %s\n", "benchmark", "median Δ", "per-round AFTER/BEFORE")
+	for _, name := range benchNames {
+		var ratios []float64
+		perRound := ""
+		for r := 0; r < rounds; r++ {
+			b, okB := repsB[r].Benchmarks[name]
+			a, okA := repsA[r].Benchmarks[name]
+			if !okB || !okA || b.CyclesPerSec <= 0 {
+				continue
+			}
+			ratio := a.CyclesPerSec / b.CyclesPerSec
+			ratios = append(ratios, ratio)
+			perRound += fmt.Sprintf(" %.3f", ratio)
+		}
+		if len(ratios) == 0 {
+			fmt.Printf("%-22s %9s  (missing from one side)\n", name, "n/a")
+			continue
+		}
+		fmt.Printf("%-22s %+8.1f%% %s\n", name, 100*(median(ratios)-1), perRound)
+	}
+	lastB, lastA := repsB[rounds-1], repsA[rounds-1]
+	fmt.Printf("\n%-22s %14s %14s   %14s %14s\n", "benchmark",
+		"allocs before", "allocs after", "bytes before", "bytes after")
+	for _, name := range benchNames {
+		b, okB := lastB.Benchmarks[name]
+		a, okA := lastA.Benchmarks[name]
+		if !okB || !okA {
+			continue
+		}
+		fmt.Printf("%-22s %14d %14d   %14d %14d\n", name,
+			b.AllocsPerOp, a.AllocsPerOp, b.BytesPerOp, a.BytesPerOp)
+	}
+	return 0
 }
 
 // refreshPGO CPU-profiles the busy-loop benchmark mix (SimulatorThroughput

@@ -52,3 +52,28 @@ func (c *Cache) touch(i int) {
 	c.cur = &c.slab[i]
 	escaped = &c.slab[i]
 }
+
+// The column fast-path shapes: findWay reslices a set's tag column to scan
+// it and respond writes through a queue-slot pointer. Both aliases are legal
+// only while they stay local — the seeded stores below are the escapes a
+// careless refactor of the batched lookup/respond path would introduce.
+
+//clipvet:slab
+func (c *Cache) findWay(set, ways int) int {
+	base := set * ways
+	col := c.slab[base : base+ways] // local column view: dies with the call
+	for w := range col {
+		if col[w] != 0 {
+			return w
+		}
+	}
+	c.window = c.slab[base : base+ways] // want "slab reslice .* retained in struct field c.window"
+	return -1
+}
+
+//clipvet:slab
+func (c *Cache) respond(n int) {
+	r := &c.mshrLine[n] // local slot pointer: written through, then dropped
+	*r = 1
+	c.cur = &c.mshrLine[n] // want "slab element pointer .* retained in struct field c.cur"
+}

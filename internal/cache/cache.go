@@ -137,18 +137,21 @@ type AccessEvent struct {
 // Cache is one level of the hierarchy.
 type Cache struct {
 	cfg    Config
-	policy Policy
+	policy *Policy
 	lower  Lower
 
 	// Line state, structure-of-arrays. tags[set*Ways+way] packs the tag as
 	// tag<<1|1 so zero means invalid and the way scan is a single compare.
-	// dirtyBits/pfBits[set] hold one bit per way. trigger[set*Ways+way] is
-	// the prefetch trigger IP. All four are carved from slab.
+	// dirtyBits/pfBits/validBits[set] hold one bit per way (validBits makes
+	// the install free-way pick a TrailingZeros64 scan and gives Probe an
+	// empty-set early out). trigger[set*Ways+way] is the prefetch trigger
+	// IP. All five are carved from slab.
 	slab      []uint64
 	tags      []uint64
 	trigger   []uint64
 	dirtyBits []uint64
 	pfBits    []uint64
+	validBits []uint64
 
 	inQ mem.Ring[queued]
 	wbQ mem.Ring[mem.Request]
@@ -204,10 +207,11 @@ func New(cfg Config, lower Lower) (*Cache, error) {
 		mshrWait:  make([][]waiter, cfg.MSHRs),
 	}
 	lines := cfg.Sets * cfg.Ways
-	c.slab = make([]uint64, 2*lines+2*cfg.Sets)
+	c.slab = make([]uint64, 2*lines+3*cfg.Sets)
 	c.tags, c.trigger = c.slab[:lines], c.slab[lines:2*lines]
 	c.dirtyBits = c.slab[2*lines : 2*lines+cfg.Sets]
-	c.pfBits = c.slab[2*lines+cfg.Sets:]
+	c.pfBits = c.slab[2*lines+cfg.Sets : 2*lines+2*cfg.Sets]
+	c.validBits = c.slab[2*lines+2*cfg.Sets:]
 	// Carve every MSHR's waiter list out of one backing array (full slice
 	// expressions cap each list at its 8-slot share, so an overflowing append
 	// migrates that list to its own array instead of clobbering a neighbour).
@@ -292,16 +296,21 @@ func (c *Cache) TryIssue(req *mem.Request) bool {
 // helper and Hermes' filter input).
 func (c *Cache) Probe(addr mem.Addr) bool {
 	set, tag := c.index(addr)
+	if c.validBits[set] == 0 {
+		return false // empty set: skip the tag column scan entirely
+	}
 	return c.findWay(set, tag) >= 0
 }
 
 // findWay returns the way holding tag in set, or -1. Packed tags make the
-// scan one compare per way with no validity branch.
+// scan one word compare per way with no validity branch; the one-time
+// reslice bounds the column so the compiler drops the per-way bounds check.
 func (c *Cache) findWay(set int, tag uint64) int {
 	key := tag<<1 | 1
 	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.tags[base+w] == key {
+	ways := c.tags[base : base+c.cfg.Ways]
+	for w := range ways {
+		if ways[w] == key {
 			return w
 		}
 	}
@@ -486,15 +495,12 @@ func (c *Cache) lookup(req *mem.Request, first bool) bool {
 			if req.Type == mem.Load {
 				c.stats.DemandHits++
 			}
-			c.respond(mem.Response{
-				Req: *req, ServedBy: c.cfg.Level, DoneCycle: c.cycle,
-				WasPrefetch: hitPF,
-			})
+			c.respond(req, c.cfg.Level, c.cycle, hitPF, false)
 		}
 		if req.Type == mem.Prefetch {
 			// Present here; still propagate upward so higher levels (down to
 			// the request's fill level) install the line.
-			c.respond(mem.Response{Req: *req, ServedBy: c.cfg.Level, DoneCycle: c.cycle})
+			c.respond(req, c.cfg.Level, c.cycle, false, false)
 		}
 		if c.onAccess != nil && isDemand {
 			c.accessEv = AccessEvent{Req: *req, Hit: true, Cycle: c.cycle,
@@ -624,16 +630,11 @@ func (c *Cache) Fill(resp *mem.Response) {
 			}
 		}
 		for wi := range waiters {
-			c.respond(mem.Response{
-				Req: waiters[wi].req, ServedBy: resp.ServedBy, DoneCycle: c.cycle,
-				WasPrefetch: isPrefetch, LatePF: isPrefetch,
-			})
+			c.respond(&waiters[wi].req, resp.ServedBy, c.cycle, isPrefetch, isPrefetch)
 		}
 		if isPrefetch {
 			// Propagate the prefetch fill toward its target level.
-			c.respond(mem.Response{
-				Req: c.mshrPfReq[i], ServedBy: resp.ServedBy, DoneCycle: c.cycle,
-			})
+			c.respond(&c.mshrPfReq[i], resp.ServedBy, c.cycle, false, false)
 		}
 		c.mshrValid.Clear(i)
 		c.mshrWait[i] = c.mshrWait[i][:0]
@@ -684,12 +685,12 @@ func (c *Cache) install(req *mem.Request, dirty bool) {
 		}
 		return
 	}
+	// Lowest invalid way, if any — a TrailingZeros64 pick off the valid
+	// bitmap (fills always take the lowest free way, exactly the order of
+	// the per-way tag==0 scan this replaces).
 	way := -1
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.tags[base+w] == 0 {
-			way = w
-			break
-		}
+	if free := ^c.validBits[set] & waysMask(c.cfg.Ways); free != 0 {
+		way = bits.TrailingZeros64(free)
 	}
 	if way < 0 {
 		way = c.policy.Victim(set)
@@ -713,6 +714,7 @@ func (c *Cache) install(req *mem.Request, dirty bool) {
 	}
 	wbit := uint64(1) << uint(way)
 	c.tags[base+way] = tag<<1 | 1
+	c.validBits[set] |= wbit
 	c.trigger[base+way] = req.TriggerIP
 	if dirty {
 		c.dirtyBits[set] |= wbit
@@ -727,15 +729,35 @@ func (c *Cache) install(req *mem.Request, dirty bool) {
 	c.policy.OnFill(set, way, req)
 }
 
-func (c *Cache) respond(resp mem.Response) {
-	// Store (write-allocate) responses must still propagate upward so the
-	// upper levels fill and wake their MSHRs — demand loads merged behind a
-	// store miss depend on it. The core-level sink ignores them (stores
-	// complete through the store buffer, ROBIndex < 0).
-	if resp.Req.Type == mem.Prefetch && resp.Req.FillLevel >= c.cfg.Level {
+// respond queues a response to the level above, writing it directly into
+// the response queue's next slot: the caller passes the request pointer and
+// the scalar fields instead of a built-up mem.Response, so the only copy is
+// the one unavoidable Request move into the queue (the by-value path this
+// replaces built an 80-byte Response temp and then duff-copied it again on
+// append).
+//
+// Store (write-allocate) responses must still propagate upward so the
+// upper levels fill and wake their MSHRs — demand loads merged behind a
+// store miss depend on it. The core-level sink ignores them (stores
+// complete through the store buffer, ROBIndex < 0).
+//
+//clipvet:hotpath
+func (c *Cache) respond(req *mem.Request, servedBy mem.Level, done uint64, wasPF, latePF bool) {
+	if req.Type == mem.Prefetch && req.FillLevel >= c.cfg.Level {
 		return // reached (or passed) its fill level: terminate
 	}
-	c.respQ = append(c.respQ, resp) //clipvet:allocok respQ retains capacity across ticks
+	n := len(c.respQ)
+	if n < cap(c.respQ) {
+		c.respQ = c.respQ[:n+1]
+	} else {
+		c.respQ = append(c.respQ, mem.Response{}) //clipvet:allocok respQ retains capacity across ticks
+	}
+	r := &c.respQ[n]
+	r.Req = *req
+	r.ServedBy = servedBy
+	r.DoneCycle = done
+	r.WasPrefetch = wasPF
+	r.LatePF = latePF
 }
 
 func (c *Cache) deliver() {

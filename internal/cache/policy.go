@@ -1,202 +1,202 @@
 package cache
 
-import "clip/internal/mem"
+import (
+	"math/bits"
 
-// Policy is a cache replacement policy. Implementations are per-cache-
-// instance and may keep per-set metadata.
-type Policy interface {
-	// OnHit notifies a demand or prefetch hit on (set, way).
-	OnHit(set, way int)
-	// OnFill notifies that (set, way) was filled by req.
-	OnFill(set, way int, req *mem.Request)
-	// Victim picks the way to evict in set; lines[i].Valid may be false
-	// (invalid ways are chosen by the cache before Victim is consulted).
-	Victim(set int) int
+	"clip/internal/mem"
+)
+
+// Policy is a cache replacement policy over sets x ways line metadata. It is
+// a concrete column store rather than an interface: OnHit/OnFill run on
+// every access in the lookup hot path, and the per-kind switch below inlines
+// where an interface dispatch could not. All metadata lives in two slabs
+// carved at construction — one []uint64 for word-granular columns (LRU
+// stamps, NRU/Mockingjay per-set way bitmaps) and one []uint8 for byte
+// columns (RRPV, signatures) — so a policy touch is a column write, never a
+// per-way struct walk.
+type Policy struct {
+	kind policyKind
+	ways int
+
+	// words is the word slab; stamp (LRU, per line) and ref/reused (NRU /
+	// Mockingjay, one way-bitmap word per set) are carved from it.
+	words []uint64
+	stamp []uint64 // LRU: per-line last-touch stamp
+	ref   []uint64 // NRU: per-set referenced-way bitmap
+	clock uint64
+
+	// bytesSlab holds the byte columns: rrpv (SRRIP/Mockingjay, per line)
+	// and sig (Mockingjay, per line).
+	bytesSlab []uint8
+	rrpv      []uint8
+	sig       []uint8
+
+	// Mockingjay-lite: per-set reused-way bitmap plus the signature table.
+	reused  []uint64
+	mjTable [256]int8 // signature -> reuse confidence
+	probe   uint8     // rotating counter for probational inserts
 }
+
+type policyKind uint8
+
+const (
+	policyLRU policyKind = iota
+	policyNRU
+	policySRRIP
+	policyMockingjay
+)
 
 // NewPolicy constructs the named policy for a sets x ways cache. Supported:
 // "lru", "nru", "srrip" (L2 default, Table 3) and "mockingjay" (LLC default —
 // a lightweight mimicry of Mockingjay's reuse-distance bypassing built on
-// RRIP plus a trigger-signature reuse table; see the type comment).
-func NewPolicy(name string, sets, ways int) Policy {
+// RRIP plus a trigger-signature reuse table; see OnFill).
+func NewPolicy(name string, sets, ways int) *Policy {
+	lines := sets * ways
+	p := &Policy{ways: ways}
 	switch name {
 	case "", "lru":
-		return newLRU(sets, ways)
+		p.kind = policyLRU
+		p.words = make([]uint64, lines)
+		p.stamp = p.words
 	case "nru":
-		return newNRU(sets, ways)
+		p.kind = policyNRU
+		p.words = make([]uint64, sets)
+		p.ref = p.words
 	case "srrip":
-		return newSRRIP(sets, ways)
+		p.kind = policySRRIP
+		p.bytesSlab = make([]uint8, lines)
+		p.rrpv = p.bytesSlab
+		for i := range p.rrpv {
+			p.rrpv[i] = rrpvMax
+		}
 	case "mockingjay":
-		return newMockingjayLite(sets, ways)
-	}
-	panic("cache: unknown replacement policy " + name)
-}
-
-// ---- LRU ----
-
-type lru struct {
-	ways  int
-	stamp []uint64
-	clock uint64
-}
-
-func newLRU(sets, ways int) *lru {
-	return &lru{ways: ways, stamp: make([]uint64, sets*ways)}
-}
-
-func (p *lru) touch(set, way int) {
-	p.clock++
-	p.stamp[set*p.ways+way] = p.clock
-}
-
-func (p *lru) OnHit(set, way int)                    { p.touch(set, way) }
-func (p *lru) OnFill(set, way int, req *mem.Request) { p.touch(set, way) }
-
-func (p *lru) Victim(set int) int {
-	base := set * p.ways
-	best, bestStamp := 0, p.stamp[base]
-	for w := 1; w < p.ways; w++ {
-		if s := p.stamp[base+w]; s < bestStamp {
-			best, bestStamp = w, s
+		p.kind = policyMockingjay
+		p.words = make([]uint64, sets)
+		p.reused = p.words
+		p.bytesSlab = make([]uint8, 2*lines)
+		p.rrpv = p.bytesSlab[:lines]
+		p.sig = p.bytesSlab[lines:]
+		for i := range p.rrpv {
+			p.rrpv[i] = rrpvMax
 		}
+	default:
+		panic("cache: unknown replacement policy " + name)
 	}
-	return best
+	return p
 }
 
-// ---- NRU ----
+const rrpvMax = 3 // 2-bit RRPV (Jaleel et al., ISCA'10)
 
-type nru struct {
-	ways int
-	ref  []bool
+// OnHit notifies a demand or prefetch hit on (set, way).
+func (p *Policy) OnHit(set, way int) {
+	switch p.kind {
+	case policyLRU:
+		p.clock++
+		p.stamp[set*p.ways+way] = p.clock
+	case policyNRU:
+		p.nruSet(set, way)
+	case policySRRIP:
+		p.rrpv[set*p.ways+way] = 0
+	case policyMockingjay:
+		p.rrpv[set*p.ways+way] = 0
+		p.reused[set] |= 1 << uint(way)
+	}
 }
 
-func newNRU(sets, ways int) *nru {
-	return &nru{ways: ways, ref: make([]bool, sets*ways)}
+// OnFill notifies that (set, way) was filled by req.
+func (p *Policy) OnFill(set, way int, req *mem.Request) {
+	switch p.kind {
+	case policyLRU:
+		p.clock++
+		p.stamp[set*p.ways+way] = p.clock
+	case policyNRU:
+		p.nruSet(set, way)
+	case policySRRIP:
+		// Insert with long re-reference prediction (SRRIP-HP).
+		p.rrpv[set*p.ways+way] = rrpvMax - 1
+	case policyMockingjay:
+		p.mjFill(set, way, req)
+	}
 }
 
-func (p *nru) set(set, way int) {
-	p.ref[set*p.ways+way] = true
-	// If all referenced, clear others.
+// Victim picks the way to evict in set (invalid ways are chosen by the
+// cache before Victim is consulted, so every way here holds a live line).
+func (p *Policy) Victim(set int) int {
 	base := set * p.ways
-	all := true
-	for w := 0; w < p.ways; w++ {
-		if !p.ref[base+w] {
-			all = false
-			break
+	switch p.kind {
+	case policyLRU:
+		stamps := p.stamp[base : base+p.ways]
+		best, bestStamp := 0, stamps[0]
+		for w := 1; w < len(stamps); w++ {
+			if s := stamps[w]; s < bestStamp {
+				best, bestStamp = w, s
+			}
 		}
-	}
-	if all {
-		for w := 0; w < p.ways; w++ {
-			if w != way {
-				p.ref[base+w] = false
+		return best
+	case policyNRU:
+		// First unreferenced way; 0 when all are referenced (unreachable
+		// after nruSet, which clears on saturation — kept for parity with
+		// the per-way loop this replaces).
+		if un := ^p.ref[set] & waysMask(p.ways); un != 0 {
+			return bits.TrailingZeros64(un)
+		}
+		return 0
+	default: // SRRIP backbone, shared by Mockingjay-lite
+		rrpv := p.rrpv[base : base+p.ways]
+		for {
+			for w := 0; w < len(rrpv); w++ {
+				if rrpv[w] == rrpvMax {
+					return w
+				}
+			}
+			for w := range rrpv {
+				rrpv[w]++
 			}
 		}
 	}
 }
 
-func (p *nru) OnHit(set, way int)                    { p.set(set, way) }
-func (p *nru) OnFill(set, way int, req *mem.Request) { p.set(set, way) }
-
-func (p *nru) Victim(set int) int {
-	base := set * p.ways
-	for w := 0; w < p.ways; w++ {
-		if !p.ref[base+w] {
-			return w
-		}
+// waysMask returns the ways-wide all-ones bitmap (ways <= 64 by Validate).
+func waysMask(ways int) uint64 {
+	if ways == 64 {
+		return ^uint64(0)
 	}
-	return 0
+	return 1<<uint(ways) - 1
 }
 
-// ---- SRRIP (Jaleel et al., ISCA'10) ----
-
-const rrpvMax = 3 // 2-bit RRPV
-
-type srrip struct {
-	ways int
-	rrpv []uint8
-}
-
-func newSRRIP(sets, ways int) *srrip {
-	r := &srrip{ways: ways, rrpv: make([]uint8, sets*ways)}
-	for i := range r.rrpv {
-		r.rrpv[i] = rrpvMax
+// nruSet marks (set, way) referenced; when every way is referenced the
+// others are cleared, leaving only the toucher marked.
+func (p *Policy) nruSet(set, way int) {
+	bit := uint64(1) << uint(way)
+	r := p.ref[set] | bit
+	if r == waysMask(p.ways) {
+		r = bit
 	}
-	return r
+	p.ref[set] = r
 }
 
-func (p *srrip) OnHit(set, way int) { p.rrpv[set*p.ways+way] = 0 }
-
-func (p *srrip) OnFill(set, way int, req *mem.Request) {
-	// Insert with long re-reference prediction (SRRIP-HP).
-	p.rrpv[set*p.ways+way] = rrpvMax - 1
-}
-
-func (p *srrip) Victim(set int) int {
-	base := set * p.ways
-	for {
-		for w := 0; w < p.ways; w++ {
-			if p.rrpv[base+w] == rrpvMax {
-				return w
-			}
-		}
-		for w := 0; w < p.ways; w++ {
-			p.rrpv[base+w]++
-		}
-	}
-}
-
-// ---- Mockingjay-lite ----
-
-// mockingjayLite approximates Mockingjay (Shah, Jain & Lin, HPCA'22), the
-// paper's LLC policy, at a fraction of its state: an RRIP backbone plus a
-// sampled reuse table indexed by the trigger IP signature. Lines whose
-// signature historically shows no reuse are inserted at distant RRPV (near-
-// bypass) — in particular unused prefetch streams — which is the property the
-// paper relies on ("Mockingjay significantly minimizes prefetcher-caused
-// negative interference").
-type mockingjayLite struct {
-	srrip
-	ways   int
-	sig    []uint8 // per-line signature (for feedback on eviction)
-	reused []bool
-	table  [256]int8 // signature -> reuse confidence
-	probe  uint8     // rotating counter for probational inserts
-}
-
-func newMockingjayLite(sets, ways int) *mockingjayLite {
-	m := &mockingjayLite{
-		srrip:  *newSRRIP(sets, ways),
-		ways:   ways,
-		sig:    make([]uint8, sets*ways),
-		reused: make([]bool, sets*ways),
-	}
-	return m
-}
-
-func sigOf(req *mem.Request) uint8 {
-	s := mem.Mix64(req.TriggerIP ^ uint64(req.Type)<<56)
-	return uint8(s)
-}
-
-func (m *mockingjayLite) OnHit(set, way int) {
-	m.srrip.OnHit(set, way)
-	m.reused[set*m.ways+way] = true
-}
-
-func (m *mockingjayLite) OnFill(set, way int, req *mem.Request) {
-	idx := set*m.ways + way
+// mjFill approximates Mockingjay (Shah, Jain & Lin, HPCA'22), the paper's
+// LLC policy, at a fraction of its state: an RRIP backbone plus a sampled
+// reuse table indexed by the trigger IP signature. Lines whose signature
+// historically shows no reuse are inserted at distant RRPV (near-bypass) —
+// in particular unused prefetch streams — which is the property the paper
+// relies on ("Mockingjay significantly minimizes prefetcher-caused negative
+// interference").
+func (p *Policy) mjFill(set, way int, req *mem.Request) {
+	idx := set*p.ways + way
+	wbit := uint64(1) << uint(way)
 	// Feedback for the line being replaced.
-	old := m.sig[idx]
-	if m.reused[idx] {
-		if m.table[old] < 15 {
-			m.table[old]++
+	old := p.sig[idx]
+	if p.reused[set]&wbit != 0 {
+		if p.mjTable[old] < 15 {
+			p.mjTable[old]++
 		}
-	} else if m.table[old] > -16 {
-		m.table[old]--
+	} else if p.mjTable[old] > -16 {
+		p.mjTable[old]--
 	}
 	s := sigOf(req)
-	m.sig[idx] = s
-	m.reused[idx] = false
+	p.sig[idx] = s
+	p.reused[set] &^= wbit
 	// Predicted dead on arrival: insert at distant RRPV. Demand fills get a
 	// 1-in-8 probational normal insert: upper levels filter reuse, so
 	// without probation a cold signature whose lines *are* re-requested
@@ -204,18 +204,21 @@ func (m *mockingjayLite) OnFill(set, way int, req *mem.Request) {
 	// spiral the sampler in full Mockingjay avoids). Prefetch fills get no
 	// probation — bypassing dead prefetch streams is exactly the anti-
 	// pollution behaviour the paper relies on.
-	dead := m.table[s] < -8
+	dead := p.mjTable[s] < -8
 	if dead && req.Type != mem.Prefetch {
-		m.probe++
-		if m.probe&7 == 0 {
+		p.probe++
+		if p.probe&7 == 0 {
 			dead = false
 		}
 	}
 	if dead {
-		m.rrpv[idx] = rrpvMax
+		p.rrpv[idx] = rrpvMax
 	} else {
-		m.rrpv[idx] = rrpvMax - 1
+		p.rrpv[idx] = rrpvMax - 1
 	}
 }
 
-func (m *mockingjayLite) Victim(set int) int { return m.srrip.Victim(set) }
+func sigOf(req *mem.Request) uint8 {
+	s := mem.Mix64(req.TriggerIP ^ uint64(req.Type)<<56)
+	return uint8(s)
+}

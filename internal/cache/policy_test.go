@@ -21,7 +21,7 @@ func TestNewPolicyNames(t *testing.T) {
 }
 
 func TestLRUVictimIsLeastRecent(t *testing.T) {
-	p := newLRU(1, 4)
+	p := NewPolicy("lru", 1, 4)
 	for w := 0; w < 4; w++ {
 		p.OnFill(0, w, &mem.Request{})
 	}
@@ -32,7 +32,7 @@ func TestLRUVictimIsLeastRecent(t *testing.T) {
 }
 
 func TestNRUVictimUnreferenced(t *testing.T) {
-	p := newNRU(1, 4)
+	p := NewPolicy("nru", 1, 4)
 	p.OnFill(0, 0, &mem.Request{})
 	p.OnFill(0, 1, &mem.Request{})
 	v := p.Victim(0)
@@ -42,7 +42,7 @@ func TestNRUVictimUnreferenced(t *testing.T) {
 }
 
 func TestNRUClearsWhenSaturated(t *testing.T) {
-	p := newNRU(1, 2)
+	p := NewPolicy("nru", 1, 2)
 	p.OnFill(0, 0, &mem.Request{})
 	p.OnFill(0, 1, &mem.Request{}) // all referenced -> clear others
 	if v := p.Victim(0); v != 0 {
@@ -51,7 +51,7 @@ func TestNRUClearsWhenSaturated(t *testing.T) {
 }
 
 func TestSRRIPPromotionOnHit(t *testing.T) {
-	p := newSRRIP(1, 2)
+	p := NewPolicy("srrip", 1, 2)
 	p.OnFill(0, 0, &mem.Request{})
 	p.OnFill(0, 1, &mem.Request{})
 	p.OnHit(0, 0)
@@ -62,7 +62,7 @@ func TestSRRIPPromotionOnHit(t *testing.T) {
 }
 
 func TestSRRIPVictimTerminates(t *testing.T) {
-	p := newSRRIP(1, 4)
+	p := NewPolicy("srrip", 1, 4)
 	for w := 0; w < 4; w++ {
 		p.OnFill(0, w, &mem.Request{})
 		p.OnHit(0, w) // all rrpv 0
@@ -75,7 +75,7 @@ func TestSRRIPVictimTerminates(t *testing.T) {
 }
 
 func TestMockingjayLiteBypassesDeadSignatures(t *testing.T) {
-	m := newMockingjayLite(1, 4)
+	m := NewPolicy("mockingjay", 1, 4)
 	deadIP := uint64(0xDEAD)
 	// Train: fill with deadIP, never hit, refill same ways repeatedly.
 	for i := 0; i < 40; i++ {

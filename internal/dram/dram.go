@@ -14,6 +14,7 @@ package dram
 
 import (
 	"fmt"
+	"math/bits"
 
 	"clip/internal/invariant"
 	"clip/internal/mem"
@@ -99,31 +100,34 @@ func (s *Stats) RowHitRate() float64 {
 	return stats.Ratio(s.RowHits, s.RowHits+s.RowMisses+s.RowConflicts)
 }
 
-// rdEntry caches the request's (bank, row) routing at Issue time: the
-// schedulers re-rank the whole queue every controller cycle, and routing is
-// three divisions per entry that never change after enqueue.
-type rdEntry struct {
-	req     mem.Request
-	arrived uint64
-	row     int64
-	bk      int32
-}
-
-// wrEntry is the write-queue counterpart of rdEntry.
-type wrEntry struct {
-	req mem.Request
-	row int64
-	bk  int32
-}
-
 type bank struct {
 	openRow   int64 // -1 closed
 	busyUntil uint64
+	queued    int32 // read+write queue entries routed to this bank
 }
 
+// channel keeps its read and write queues as index-aligned column arrays
+// rather than slices of entry structs: the scheduler re-ranks the whole read
+// queue every controller cycle, and ranking touches only the routing columns
+// (bank, row, arrival) — one word per entry per column — while the 56-byte
+// request payload stays cold until the winning entry is dispatched. Routing
+// (bank, row) is cached at Issue time; it is three divisions per entry that
+// never change after enqueue. All columns are carved with full queue capacity
+// at New, so enqueues never reallocate.
 type channel struct {
-	rq          []rdEntry
-	wq          []wrEntry
+	// Read-queue columns: entry i is rdReq[i]/rdArrived[i]/rdRow[i]/rdBk[i].
+	// All routing columns share one word-sized element type — rows are
+	// nonnegative so the int64 bit-casts roundtrip exactly — which lets every
+	// column be carved from a single per-channel allocation at New.
+	rdReq     []mem.Request
+	rdArrived []uint64
+	rdRow     []uint64 // bit-cast int64 row ids
+	rdBk      []uint64
+	// Write-queue columns. The write payload is never read back by the
+	// scheduler (writeback data is not modeled), so only routing is kept.
+	wrRow []uint64 // bit-cast int64 row ids
+	wrBk  []uint64
+
 	banks       []bank
 	busFreeAt   uint64
 	nextRefresh uint64
@@ -133,6 +137,34 @@ type channel struct {
 	utilCycles  uint64
 	recentUtil  float64
 	epochCycles uint64
+}
+
+// removeRead closes the gap left by dispatching read-queue entry i, keeping
+// every column index-aligned. copy on each column compiles to memmove — no
+// per-entry struct shuffling. (Not a //clipvet:slab function: the column
+// fields are the queues' canonical owners, so re-storing their own reslices
+// is the point, not a leak.)
+func (c *channel) removeRead(i int) {
+	n := len(c.rdBk) - 1
+	c.banks[c.rdBk[i]].queued--
+	copy(c.rdReq[i:n], c.rdReq[i+1:])
+	copy(c.rdArrived[i:n], c.rdArrived[i+1:])
+	copy(c.rdRow[i:n], c.rdRow[i+1:])
+	copy(c.rdBk[i:n], c.rdBk[i+1:])
+	c.rdReq = c.rdReq[:n]
+	c.rdArrived = c.rdArrived[:n]
+	c.rdRow = c.rdRow[:n]
+	c.rdBk = c.rdBk[:n]
+}
+
+// removeWrite is removeRead's write-queue counterpart.
+func (c *channel) removeWrite(i int) {
+	n := len(c.wrBk) - 1
+	c.banks[c.wrBk[i]].queued--
+	copy(c.wrRow[i:n], c.wrRow[i+1:])
+	copy(c.wrBk[i:n], c.wrBk[i+1:])
+	c.wrRow = c.wrRow[:n]
+	c.wrBk = c.wrBk[:n]
 }
 
 // DRAM is the whole memory system.
@@ -146,6 +178,15 @@ type DRAM struct {
 	// through the callback never forces a per-read heap allocation; the
 	// callee consumes it synchronously.
 	resp mem.Response
+
+	// scheduleRead scratch bitmaps, one bit per read-queue entry, sized to
+	// ceil(RQ/64) words at New and rebuilt from the routing columns every
+	// schedule attempt: eligibility (target bank free), row hit, and demand
+	// class. Class selection is then word arithmetic plus TrailingZeros64
+	// instead of a per-entry rank comparison loop.
+	eligW []uint64
+	rhitW []uint64
+	dmndW []uint64
 
 	// sealed (clipdebug only) marks the shard-parallel tile phase, during
 	// which Issue is forbidden: tile code must stage direct-DRAM reads and
@@ -167,12 +208,32 @@ func New(cfg Config) (*DRAM, error) {
 		return nil, err
 	}
 	d := &DRAM{cfg: cfg, chans: make([]channel, cfg.Channels)}
+	words := (cfg.RQ + 63) / 64
+	scratch := make([]uint64, 3*words)
+	d.eligW = scratch[0*words : 1*words]
+	d.rhitW = scratch[1*words : 2*words]
+	d.dmndW = scratch[2*words : 3*words]
 	for i := range d.chans {
 		ch := &d.chans[i]
 		ch.banks = make([]bank, cfg.Banks)
 		for b := range ch.banks {
 			ch.banks[b].openRow = -1
 		}
+		// Queue columns carved once with full capacity from one slab:
+		// Issue-time appends never reallocate, and a dispatched entry's gap
+		// closes with memmoves over the columns. Three-index slices give each
+		// column zero length but its full private capacity.
+		cols := make([]uint64, 3*cfg.RQ+2*cfg.WQ)
+		ch.rdArrived = cols[0:0:cfg.RQ]
+		cols = cols[cfg.RQ:]
+		ch.rdRow = cols[0:0:cfg.RQ]
+		cols = cols[cfg.RQ:]
+		ch.rdBk = cols[0:0:cfg.RQ]
+		cols = cols[cfg.RQ:]
+		ch.wrRow = cols[0:0:cfg.WQ]
+		cols = cols[cfg.WQ:]
+		ch.wrBk = cols[0:0:cfg.WQ]
+		ch.rdReq = make([]mem.Request, 0, cfg.RQ)
 	}
 	return d, nil
 }
@@ -234,21 +295,27 @@ func (d *DRAM) Issue(req *mem.Request) bool {
 	ch, bk, row := d.route(req.Addr)
 	c := &d.chans[ch]
 	if req.Type == mem.Writeback {
-		if len(c.wq) >= d.cfg.WQ {
+		if len(c.wrBk) >= d.cfg.WQ {
 			d.stats.WQFullEvents++
 			return false
 		}
-		c.wq = append(c.wq, wrEntry{req: *req, bk: int32(bk), row: row}) //clipvet:allocok per-channel queues retain capacity across ticks
+		c.wrRow = append(c.wrRow, uint64(row)) //clipvet:allocok columns carved with full queue capacity at New
+		c.wrBk = append(c.wrBk, uint64(bk))    //clipvet:allocok columns carved with full queue capacity at New
+		c.banks[bk].queued++
 		return true
 	}
-	if len(c.rq) >= d.cfg.RQ {
+	if len(c.rdBk) >= d.cfg.RQ {
 		d.stats.RQFullEvents++
 		if req.Type == mem.Prefetch && !req.Owned {
 			return true // dropped
 		}
 		return false
 	}
-	c.rq = append(c.rq, rdEntry{req: *req, arrived: d.cycle, bk: int32(bk), row: row}) //clipvet:allocok per-channel queues retain capacity across ticks
+	c.rdReq = append(c.rdReq, *req)            //clipvet:allocok columns carved with full queue capacity at New
+	c.rdArrived = append(c.rdArrived, d.cycle) //clipvet:allocok columns carved with full queue capacity at New
+	c.rdRow = append(c.rdRow, uint64(row))     //clipvet:allocok columns carved with full queue capacity at New
+	c.rdBk = append(c.rdBk, uint64(bk))        //clipvet:allocok columns carved with full queue capacity at New
+	c.banks[bk].queued++
 	return true
 }
 
@@ -256,7 +323,7 @@ func (d *DRAM) Issue(req *mem.Request) bool {
 func (d *DRAM) QueueOccupancy() int {
 	n := 0
 	for i := range d.chans {
-		n += len(d.chans[i].rq)
+		n += len(d.chans[i].rdBk)
 	}
 	return n
 }
@@ -321,14 +388,14 @@ func (d *DRAM) tickChannel(c *channel) {
 	// Write drain hysteresis.
 	hi := d.cfg.WQ * d.cfg.WriteWatermarkNum / d.cfg.WriteWatermarkDen
 	lo := d.cfg.WQ / 4
-	if len(c.wq) >= hi {
+	if len(c.wrBk) >= hi {
 		c.draining = true
-	} else if len(c.wq) <= lo {
+	} else if len(c.wrBk) <= lo {
 		c.draining = false
 	}
 
 	// Reads prioritized over writes unless draining (Table 3).
-	if c.draining && len(c.wq) > 0 {
+	if c.draining && len(c.wrBk) > 0 {
 		if d.scheduleWrite(c) {
 			return
 		}
@@ -337,7 +404,7 @@ func (d *DRAM) tickChannel(c *channel) {
 		return
 	}
 	// Opportunistic write when idle.
-	if len(c.wq) > 0 && len(c.rq) == 0 {
+	if len(c.wrBk) > 0 && len(c.rdBk) == 0 {
 		d.scheduleWrite(c)
 	}
 }
@@ -371,7 +438,7 @@ func (d *DRAM) NextEvent(now uint64) uint64 {
 				continue
 			}
 		}
-		if len(c.rq) == 0 && len(c.wq) == 0 {
+		if len(c.rdBk) == 0 && len(c.wrBk) == 0 {
 			continue
 		}
 		if e := d.earliestBankFree(c, now); e <= now {
@@ -386,18 +453,16 @@ func (d *DRAM) NextEvent(now uint64) uint64 {
 // earliestBankFree returns the earliest cycle >= now at which any queued
 // request's target bank is free — a conservative bound on when a schedule
 // attempt can next succeed (scheduling considers only bank-free requests;
-// the shared data bus delays completion, never eligibility).
+// the shared data bus delays completion, never eligibility). The per-bank
+// queued counts maintained at enqueue/dispatch reduce this from a walk over
+// every queue entry to one pass over the banks.
 func (d *DRAM) earliestBankFree(c *channel, now uint64) uint64 {
 	next := mem.NoEvent
-	for i := range c.rq {
-		if b := c.banks[c.rq[i].bk].busyUntil; b <= now {
-			return now
-		} else if b < next {
-			next = b
+	for bk := range c.banks {
+		if c.banks[bk].queued == 0 {
+			continue
 		}
-	}
-	for i := range c.wq {
-		if b := c.banks[c.wq[i].bk].busyUntil; b <= now {
+		if b := c.banks[bk].busyUntil; b <= now {
 			return now
 		} else if b < next {
 			next = b
@@ -453,9 +518,9 @@ func (d *DRAM) AdvanceTo(from, n uint64) {
 		}
 		hi := d.cfg.WQ * d.cfg.WriteWatermarkNum / d.cfg.WriteWatermarkDen
 		lo := d.cfg.WQ / 4
-		if len(c.wq) >= hi {
+		if len(c.wrBk) >= hi {
 			c.draining = true
-		} else if len(c.wq) <= lo {
+		} else if len(c.wrBk) <= lo {
 			c.draining = false
 		}
 	}
@@ -467,51 +532,79 @@ func (d *DRAM) AdvanceTo(from, n uint64) {
 // in-flight MSHRs upstream cannot be starved indefinitely.
 const agePromote = 600
 
-// classRank orders scheduling classes: lower is better.
-func (d *DRAM) classRank(e *rdEntry, rowHit bool) int {
-	demand := e.req.Type != mem.Prefetch ||
-		(d.cfg.CriticalPriority && e.req.Critical) ||
-		d.cycle-e.arrived >= agePromote
-	switch {
-	case demand && rowHit:
-		return 0
-	case demand:
-		return 1
-	case rowHit: // plain prefetch, row hit
-		if d.cfg.PADC {
-			return 2
-		}
-		return 0 // without PADC, FR-FCFS ignores request type
-	default:
-		if d.cfg.PADC {
-			return 3
-		}
-		return 1
-	}
-}
-
+// scheduleRead picks the next read with PADC/FR-FCFS class ranking (lower is
+// better; FCFS — lowest queue index — breaks ties within a class):
+//
+//	demand && rowHit -> 0      demand = non-prefetch, or a CLIP-critical
+//	demand           -> 1               prefetch under CriticalPriority, or
+//	rowHit           -> 2               any prefetch older than agePromote
+//	otherwise        -> 3
+//
+// Without PADC, FR-FCFS ignores request type: rowHit -> 0, otherwise -> 1.
+//
+// One pass over the routing columns builds eligibility / row-hit / demand
+// bitmaps; the winner is then the first set bit of the best nonempty class
+// word — identical to the old per-entry rank loop, which also took the first
+// entry of the globally minimal rank.
+//
+//clipvet:slab
 func (d *DRAM) scheduleRead(c *channel) bool {
-	best := -1
-	bestRank := 1 << 30
-	for i := range c.rq {
-		e := &c.rq[i]
-		b := &c.banks[e.bk]
+	n := len(c.rdBk)
+	if n == 0 {
+		return false
+	}
+	words := (n + 63) / 64
+	elig, rhit, dmnd := d.eligW, d.rhitW, d.dmndW
+	for w := 0; w < words; w++ {
+		elig[w], rhit[w], dmnd[w] = 0, 0, 0
+	}
+	promoteBefore := uint64(0)
+	if d.cycle >= agePromote {
+		promoteBefore = d.cycle - agePromote
+	}
+	for i := 0; i < n; i++ {
+		b := &c.banks[c.rdBk[i]]
 		if b.busyUntil > d.cycle {
 			continue
 		}
-		rank := d.classRank(e, b.openRow == e.row)
-		if rank < bestRank { // FCFS within rank: first match wins ties
-			bestRank = rank
-			best = i
+		bit := uint64(1) << (i & 63)
+		w := i >> 6
+		elig[w] |= bit
+		if b.openRow == int64(c.rdRow[i]) {
+			rhit[w] |= bit
+		}
+		req := &c.rdReq[i]
+		if req.Type != mem.Prefetch ||
+			(d.cfg.CriticalPriority && req.Critical) ||
+			(d.cycle >= agePromote && c.rdArrived[i] <= promoteBefore) {
+			dmnd[w] |= bit
+		}
+	}
+	best := -1
+	if d.cfg.PADC {
+		best = firstBit(elig, rhit, dmnd, words)
+	} else {
+		// FR-FCFS without PADC: row hits first, then anything eligible.
+		for w := 0; w < words && best < 0; w++ {
+			if m := elig[w] & rhit[w]; m != 0 {
+				best = w<<6 + bits.TrailingZeros64(m)
+			}
+		}
+		for w := 0; w < words && best < 0; w++ {
+			if m := elig[w]; m != 0 {
+				best = w<<6 + bits.TrailingZeros64(m)
+			}
 		}
 	}
 	if best < 0 {
 		return false
 	}
-	e := c.rq[best]
-	c.rq = append(c.rq[:best], c.rq[best+1:]...) //clipvet:allocok per-bank pending lists retain capacity across ticks
 
-	bk, row := e.bk, e.row
+	bk, row := c.rdBk[best], int64(c.rdRow[best])
+	arrived := c.rdArrived[best]
+	isPrefetch := c.rdReq[best].Type == mem.Prefetch
+	d.resp.Req = c.rdReq[best]
+	c.removeRead(best)
 	b := &c.banks[bk]
 	if invariant.Enabled {
 		// tRP/tRCD ordering: a bank may only be (re-)activated once its
@@ -556,22 +649,55 @@ func (d *DRAM) scheduleRead(c *channel) bool {
 	d.stats.BusBusyCycles += uint64(d.cfg.Transfer)
 
 	d.stats.Reads++
-	if e.req.Type == mem.Prefetch {
+	if isPrefetch {
 		d.stats.PrefetchReads++
 	}
-	d.stats.QueueDelay.Add(d.cycle - e.arrived)
-	d.stats.ServiceLatency.Add(done - e.arrived)
+	d.stats.QueueDelay.Add(d.cycle - arrived)
+	d.stats.ServiceLatency.Add(done - arrived)
 
 	if d.onResp != nil {
-		d.resp = mem.Response{Req: e.req, ServedBy: mem.LevelDRAM, DoneCycle: done}
+		// d.resp.Req was filled from the column before the dequeue memmove.
+		d.resp.ServedBy = mem.LevelDRAM
+		d.resp.DoneCycle = done
+		d.resp.WasPrefetch = false
+		d.resp.LatePF = false
 		d.onResp(&d.resp)
 	}
 	return true
 }
 
+// firstBit returns the queue index of the first set bit of the best nonempty
+// PADC class, scanning classes in rank order (demand row-hit, demand,
+// prefetch row-hit, prefetch).
+func firstBit(elig, rhit, dmnd []uint64, words int) int {
+	for class := 0; class < 4; class++ {
+		for w := 0; w < words; w++ {
+			m := elig[w]
+			switch class {
+			case 0:
+				m &= dmnd[w] & rhit[w]
+			case 1:
+				m &= dmnd[w] &^ rhit[w]
+			case 2:
+				m &= rhit[w] &^ dmnd[w]
+			case 3:
+				m &^= dmnd[w] | rhit[w]
+			}
+			if m != 0 {
+				return w<<6 + bits.TrailingZeros64(m)
+			}
+		}
+	}
+	return -1
+}
+
+// scheduleWrite dispatches the first write whose bank is free (writes are
+// drained oldest-first; they are latency-insensitive so no class ranking).
+//
+//clipvet:slab
 func (d *DRAM) scheduleWrite(c *channel) bool {
-	for i := range c.wq {
-		bk, row := c.wq[i].bk, c.wq[i].row
+	for i := range c.wrBk {
+		bk, row := c.wrBk[i], int64(c.wrRow[i])
 		b := &c.banks[bk]
 		if b.busyUntil > d.cycle {
 			continue
@@ -603,7 +729,7 @@ func (d *DRAM) scheduleWrite(c *channel) bool {
 		b.busyUntil = ready
 		c.utilWindow += uint64(d.cfg.Transfer)
 		d.stats.BusBusyCycles += uint64(d.cfg.Transfer)
-		c.wq = append(c.wq[:i], c.wq[i+1:]...) //clipvet:allocok per-bank pending lists retain capacity across ticks
+		c.removeWrite(i)
 		d.stats.Writes++
 		return true
 	}

@@ -14,9 +14,39 @@ import (
 // above a high coverage watermark fill to L1; above a low watermark to L2.
 // High-coverage timely deltas are what make Berti the most accurate of the
 // evaluated prefetchers (>82.9% average in the paper).
+//
+// Layout: the per-IP state is not a table of entry structs but a set of
+// flat column arrays indexed by a row id, with rows mapped from IPs by a
+// table.Fixed[int32] (FIFO, as before — the row recycles when its IP is
+// evicted). Train's inner loops — the timeliness scan over history and the
+// delta match — walk one word-sized column each instead of striding through
+// 500-byte entry structs, and the whole probe sequence is one table lookup
+// per access (GetOrInsert).
 type Berti struct {
 	aggr
-	table *table.Fixed[bertiEntry] // per-IP history, FIFO replacement
+	rows *table.Fixed[int32] // IP -> row id, FIFO replacement
+
+	// Column views carved from slab (one allocation), one block of
+	// bertiHistLen / bertiDeltaCap elements per row. histLine/histCycle hold
+	// the access history ring; deltaVal/deltaHits the live delta set
+	// ([:nDeltas]). deltaVal stores int64 deltas bit-cast to uint64 so every
+	// column shares the slab; histLen/histPos/nDeltas are small counters
+	// widened to the slab word.
+	slab      []uint64
+	histLine  []uint64
+	histCycle []uint64
+	deltaVal  []uint64 // bit-cast int64
+	deltaHits []uint64
+
+	// Per-row scalar columns, also carved from slab.
+	histLen  []uint64
+	histPos  []uint64
+	nDeltas  []uint64
+	accesses []uint64
+
+	// nextRow hands out never-used rows until the table fills; after that
+	// rows recycle through FIFO eviction.
+	nextRow int32
 
 	// latencyEst estimates the fetch latency that defines timeliness; it is
 	// updated from observed miss-to-hit spacing (a fixed seed value works
@@ -35,25 +65,6 @@ type bertiScored struct {
 	coverage float64
 }
 
-type bertiEntry struct {
-	hist     [bertiHistLen]bertiAccess
-	histLen  int
-	histPos  int
-	deltas   [bertiDeltaCap]bertiDelta // live in [:nDeltas]; full table refuses new deltas
-	nDeltas  int
-	accesses uint64
-}
-
-type bertiAccess struct {
-	line  uint64
-	cycle uint64
-}
-
-type bertiDelta struct {
-	delta      int64
-	timelyHits uint64
-}
-
 const (
 	bertiHistLen    = 16
 	bertiTableSize  = 64
@@ -64,75 +75,123 @@ const (
 	bertiMinSamples = 8
 )
 
-// NewBerti constructs Berti with the tuned watermarks.
+// NewBerti constructs Berti with the tuned watermarks. All columns are
+// carved from one slab so constructing a per-core prefetcher costs one
+// allocation beyond the row table.
 func NewBerti() *Berti {
-	return &Berti{
-		table:      table.NewFixed[bertiEntry](bertiTableSize, table.FIFO),
+	const (
+		hist   = bertiTableSize * bertiHistLen
+		deltas = bertiTableSize * bertiDeltaCap
+	)
+	b := &Berti{
+		rows:       table.NewFixed[int32](bertiTableSize, table.FIFO),
+		slab:       make([]uint64, 2*hist+2*deltas+4*bertiTableSize),
 		latencyEst: 120,
 	}
+	s := b.slab
+	b.histLine, s = s[:hist], s[hist:]
+	b.histCycle, s = s[:hist], s[hist:]
+	b.deltaVal, s = s[:deltas], s[deltas:]
+	b.deltaHits, s = s[:deltas], s[deltas:]
+	b.histLen, s = s[:bertiTableSize], s[bertiTableSize:]
+	b.histPos, s = s[:bertiTableSize], s[bertiTableSize:]
+	b.nDeltas, s = s[:bertiTableSize], s[bertiTableSize:]
+	b.accesses = s
+	return b
 }
 
 // Name implements Prefetcher.
 func (b *Berti) Name() string { return "berti" }
 
+// rowFor resolves (or allocates) the row id for ip: one table probe. A row
+// freed by FIFO eviction is recycled for the new IP with its columns reset —
+// exactly the fresh zero entry the struct-valued table handed out.
+func (b *Berti) rowFor(ip uint64) int32 {
+	rp, present, _, evictedRow, evicted := b.rows.GetOrInsert(ip)
+	if present {
+		return *rp
+	}
+	row := b.nextRow
+	if evicted {
+		row = evictedRow
+	} else {
+		b.nextRow++
+	}
+	*rp = row
+	b.histLen[row] = 0
+	b.histPos[row] = 0
+	b.nDeltas[row] = 0
+	b.accesses[row] = 0
+	return row
+}
+
 // Train implements Prefetcher.
 //
 //clipvet:hotpath
 func (b *Berti) Train(a Access) []Candidate {
-	e := b.table.Get(a.IP)
-	if e == nil {
-		e, _, _, _ = b.table.Insert(a.IP, bertiEntry{})
-	}
+	row := b.rowFor(a.IP)
 	line := a.Addr.LineID()
-	e.accesses++
+	b.accesses[row]++
+
+	hbase := int(row) * bertiHistLen
+	dbase := int(row) * bertiDeltaCap
+	hist := b.histCycle[hbase : hbase+bertiHistLen]
+	lines := b.histLine[hbase : hbase+bertiHistLen]
+	nd := int(b.nDeltas[row])
 
 	// Search history for timely deltas: accesses old enough that a prefetch
-	// issued at that time would have completed by now.
-	for i := 0; i < e.histLen; i++ {
-		h := e.hist[i]
-		if h.cycle+b.latencyEst > a.Cycle {
+	// issued at that time would have completed by now. The cycle column is
+	// scanned first — most entries fail the timeliness gate, and that test
+	// touches one word per entry.
+	for i := 0; i < int(b.histLen[row]); i++ {
+		if hist[i]+b.latencyEst > a.Cycle {
 			continue // too recent: a prefetch from there would have been late
 		}
-		d := int64(line) - int64(h.line)
+		d := int64(line) - int64(lines[i])
 		if d == 0 || d > 512 || d < -512 {
 			continue
 		}
 		di := -1
-		for j := 0; j < e.nDeltas; j++ {
-			if e.deltas[j].delta == d {
+		for j := 0; j < nd; j++ {
+			if b.deltaVal[dbase+j] == uint64(d) {
 				di = j
 				break
 			}
 		}
 		if di < 0 {
-			if e.nDeltas >= bertiDeltaCap {
+			if nd >= bertiDeltaCap {
 				continue
 			}
-			di = e.nDeltas
-			e.deltas[di] = bertiDelta{delta: d}
-			e.nDeltas++
+			di = nd
+			b.deltaVal[dbase+di] = uint64(d)
+			b.deltaHits[dbase+di] = 0
+			nd++
 		}
-		e.deltas[di].timelyHits++
+		b.deltaHits[dbase+di]++
 	}
+	b.nDeltas[row] = uint64(nd)
 
 	// Record this access.
-	e.hist[e.histPos] = bertiAccess{line: line, cycle: a.Cycle}
-	e.histPos = (e.histPos + 1) % bertiHistLen
-	if e.histLen < bertiHistLen {
-		e.histLen++
+	pos := b.histPos[row]
+	lines[pos] = line
+	hist[pos] = a.Cycle
+	b.histPos[row] = (pos + 1) % bertiHistLen
+	if b.histLen[row] < bertiHistLen {
+		b.histLen[row]++
 	}
 
-	if e.accesses < bertiMinSamples {
+	acc := b.accesses[row]
+	if acc < bertiMinSamples {
 		return nil
 	}
 
 	// Rank deltas by coverage. The comparator is a total order (coverage
 	// desc, delta asc), so the ranking is independent of table order.
 	top := b.scratchTop[:0]
-	for j := 0; j < e.nDeltas; j++ {
-		cov := float64(e.deltas[j].timelyHits) / float64(e.accesses)
+	for j := 0; j < nd; j++ {
+		cov := float64(b.deltaHits[dbase+j]) / float64(acc)
 		if cov >= bertiLoCoverage {
-			top = append(top, bertiScored{e.deltas[j].delta, cov}) //clipvet:allocok candidate scratch retains capacity across Train calls
+			top = append(top, bertiScored{int64(b.deltaVal[dbase+j]), cov}) //clipvet:allocok candidate scratch retains capacity across Train calls
 		}
 	}
 	b.scratchTop = top
@@ -171,24 +230,30 @@ func (b *Berti) Train(a Access) []Candidate {
 			TriggerIP: a.IP, FillLevel: fill, Confidence: s.coverage,
 		})
 	}
-
-	// Periodically age coverage counters so stale deltas fade (the tuned
-	// Berti re-evaluates coverage per epoch), and compact away deltas that
-	// faded to nothing so the bounded table can admit a changed pattern.
-	if e.accesses%256 == 0 {
-		keep := 0
-		for j := 0; j < e.nDeltas; j++ {
-			e.deltas[j].timelyHits /= 2
-			if e.deltas[j].timelyHits != 0 {
-				e.deltas[keep] = e.deltas[j]
-				keep++
-			}
-		}
-		e.nDeltas = keep
-		e.accesses /= 2
-	}
+	b.maybeAge(row, acc)
 	b.scratchOut = out
 	return out
+}
+
+// maybeAge periodically halves coverage counters so stale deltas fade (the
+// tuned Berti re-evaluates coverage per epoch), and compacts away deltas
+// that faded to nothing so the bounded table can admit a changed pattern.
+func (b *Berti) maybeAge(row int32, acc uint64) {
+	if acc%256 != 0 {
+		return
+	}
+	dbase := int(row) * bertiDeltaCap
+	keep := 0
+	for j := 0; j < int(b.nDeltas[row]); j++ {
+		h := b.deltaHits[dbase+j] / 2
+		if h != 0 {
+			b.deltaVal[dbase+keep] = b.deltaVal[dbase+j]
+			b.deltaHits[dbase+keep] = h
+			keep++
+		}
+	}
+	b.nDeltas[row] = uint64(keep)
+	b.accesses[row] = acc / 2
 }
 
 // ObserveMissLatency lets the owner feed measured miss latencies to refine

@@ -1,0 +1,158 @@
+package prefetch
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clip/internal/mem"
+)
+
+// The Berti train-equivalence fixture pins the flattened column layout to
+// the behaviour of the pre-rewrite struct-of-arrays-of-structs tables: the
+// fixture was captured from the PR 8 Berti (per-IP bertiEntry structs held
+// inline in table.Fixed) over a deterministic access stream, and the test
+// replays the same stream through the current implementation, requiring
+// candidate-for-candidate identical output including confidences.
+//
+// Regenerate (only when deliberately changing Berti's *algorithm*, never
+// for a layout change) with:
+//
+//	CLIP_REGEN_BERTI_GOLDEN=1 go test ./internal/prefetch -run BertiGolden
+
+const bertiGoldenPath = "testdata/berti_train_golden.json"
+
+// bertiGoldenStep is one Train call and its observed output.
+type bertiGoldenStep struct {
+	IP    uint64 `json:"ip"`
+	Addr  uint64 `json:"addr"`
+	Hit   bool   `json:"hit"`
+	Cycle uint64 `json:"cycle"`
+	// ObserveLat, when nonzero, is fed to ObserveMissLatency before Train.
+	ObserveLat uint64              `json:"observe_lat,omitempty"`
+	Out        []bertiGoldenCandid `json:"out,omitempty"`
+}
+
+type bertiGoldenCandid struct {
+	Addr       uint64  `json:"addr"`
+	TriggerIP  uint64  `json:"trigger_ip"`
+	FillLevel  uint8   `json:"fill_level"`
+	Confidence float64 `json:"confidence"`
+}
+
+// bertiGoldenStream synthesizes the deterministic access stream: a handful
+// of strided IPs (different strides and noise levels), an irregular IP, and
+// enough distinct IPs to force FIFO table evictions, with cycles advancing
+// unevenly so timeliness windows open and close.
+func bertiGoldenStream() []bertiGoldenStep {
+	rng := mem.NewPRNG(0xbe271)
+	var steps []bertiGoldenStep
+	cycle := uint64(1000)
+	// Per-IP cursors for the strided streams.
+	type stream struct {
+		ip     uint64
+		line   uint64
+		stride int64
+		noise  uint64 // 1-in-noise accesses jump randomly (0 = clean)
+	}
+	streams := []stream{
+		{ip: 0x400100, line: 1 << 20, stride: 1},
+		{ip: 0x400200, line: 2 << 20, stride: 4, noise: 7},
+		{ip: 0x400300, line: 3 << 20, stride: -2},
+		{ip: 0x400400, line: 4 << 20, stride: 13, noise: 5},
+	}
+	for i := 0; i < 4000; i++ {
+		cycle += 20 + rng.Uint64()%180
+		var st bertiGoldenStep
+		switch pick := rng.Uint64() % 10; {
+		case pick < 6: // strided stream access
+			s := &streams[rng.Uint64()%uint64(len(streams))]
+			if s.noise != 0 && rng.Uint64()%s.noise == 0 {
+				s.line += rng.Uint64() % 1000
+			} else {
+				s.line = uint64(int64(s.line) + s.stride)
+			}
+			st = bertiGoldenStep{IP: s.ip, Addr: s.line << mem.LineShift,
+				Hit: rng.Uint64()&1 == 0, Cycle: cycle}
+		case pick < 8: // irregular IP: random lines in a 4K-line pool
+			st = bertiGoldenStep{IP: 0x400500, Addr: (rng.Uint64() % 4096 << mem.LineShift) + 5<<32,
+				Cycle: cycle}
+		default: // churn IPs to exercise FIFO eviction
+			st = bertiGoldenStep{IP: 0x500000 + rng.Uint64()%100,
+				Addr: (6 << 32) + rng.Uint64()%(1<<20)<<mem.LineShift, Cycle: cycle}
+		}
+		if rng.Uint64()%64 == 0 {
+			st.ObserveLat = 40 + rng.Uint64()%300
+		}
+		steps = append(steps, st)
+	}
+	return steps
+}
+
+// runBertiGolden replays the stream through a fresh Berti, filling in Out.
+func runBertiGolden(steps []bertiGoldenStep) {
+	b := NewBerti()
+	for i := range steps {
+		s := &steps[i]
+		if s.ObserveLat != 0 {
+			b.ObserveMissLatency(s.ObserveLat)
+		}
+		out := b.Train(Access{IP: s.IP, Addr: mem.Addr(s.Addr), Hit: s.Hit, Cycle: s.Cycle})
+		s.Out = nil
+		for _, c := range out {
+			s.Out = append(s.Out, bertiGoldenCandid{
+				Addr: uint64(c.Addr), TriggerIP: c.TriggerIP,
+				FillLevel: uint8(c.FillLevel), Confidence: c.Confidence,
+			})
+		}
+	}
+}
+
+func TestBertiGoldenEquivalence(t *testing.T) {
+	steps := bertiGoldenStream()
+	if os.Getenv("CLIP_REGEN_BERTI_GOLDEN") != "" {
+		runBertiGolden(steps)
+		data, err := json.MarshalIndent(steps, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(bertiGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(bertiGoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d steps)", bertiGoldenPath, len(steps))
+		return
+	}
+	data, err := os.ReadFile(bertiGoldenPath)
+	if err != nil {
+		t.Fatalf("fixture missing (regenerate with CLIP_REGEN_BERTI_GOLDEN=1): %v", err)
+	}
+	var want []bertiGoldenStep
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(steps) {
+		t.Fatalf("fixture has %d steps, stream generates %d — stream generator drifted", len(want), len(steps))
+	}
+	got := make([]bertiGoldenStep, len(steps))
+	copy(got, steps)
+	runBertiGolden(got)
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.IP != g.IP || w.Addr != g.Addr || w.Cycle != g.Cycle {
+			t.Fatalf("step %d: stream drifted (ip %x vs %x)", i, g.IP, w.IP)
+		}
+		if len(w.Out) != len(g.Out) {
+			t.Fatalf("step %d (ip %x cy %d): got %d candidates, fixture has %d\ngot:  %+v\nwant: %+v",
+				i, w.IP, w.Cycle, len(g.Out), len(w.Out), g.Out, w.Out)
+		}
+		for j := range w.Out {
+			if w.Out[j] != g.Out[j] {
+				t.Fatalf("step %d candidate %d: got %+v, fixture has %+v", i, j, g.Out[j], w.Out[j])
+			}
+		}
+	}
+}

@@ -33,7 +33,7 @@ const (
 
 // TableGeometries implements TableReporter.
 func (b *Berti) TableGeometries() []table.Geometry {
-	return []table.Geometry{b.table.Geometry("berti.table", bertiEntryBits)}
+	return []table.Geometry{b.rows.Geometry("berti.table", bertiEntryBits)}
 }
 
 // TableGeometries implements TableReporter.

@@ -15,8 +15,8 @@ func TestBertiTableEviction(t *testing.T) {
 			b.Train(Access{IP: ip, Addr: mem.Addr(0x1000 + i*64), Cycle: uint64(i) * 300})
 		}
 	}
-	if b.table.Len() > bertiTableSize {
-		t.Fatalf("Berti table grew to %d entries (cap %d)", b.table.Len(), bertiTableSize)
+	if b.rows.Len() > bertiTableSize {
+		t.Fatalf("Berti table grew to %d entries (cap %d)", b.rows.Len(), bertiTableSize)
 	}
 	// A new IP still trains and eventually produces candidates.
 	got := feed(b, strideStream(0xFFFF, 0x900000, 1, 200))

@@ -72,10 +72,10 @@ func (p *IPCP) Name() string { return "ipcp" }
 //
 //clipvet:hotpath
 func (p *IPCP) Train(a Access) []Candidate {
-	e := p.ip.Get(a.IP)
+	e, present, _, _, _ := p.ip.GetOrInsert(a.IP)
 	line := a.Addr.LineID()
-	if e == nil {
-		p.ip.Insert(a.IP, ipcpEntry{lastLine: line})
+	if !present {
+		e.lastLine = line
 		return p.trainGS(a)
 	}
 	delta := int64(line) - int64(e.lastLine)
@@ -153,9 +153,9 @@ func (p *IPCP) Train(a Access) []Candidate {
 // streams ahead of it.
 func (p *IPCP) trainGS(a Access) []Candidate {
 	rid := a.Addr.Region()
-	r := p.region.Get(rid)
-	if r == nil {
-		r, _, _, _ = p.region.Insert(rid, gsRegion{lastOff: -1})
+	r, present, _, _, _ := p.region.GetOrInsert(rid)
+	if !present {
+		r.lastOff = -1
 	}
 	off := int(a.Addr.LineID() & 31) // 2KB region = 32 lines
 	if r.bitmap&(1<<off) == 0 {

@@ -37,9 +37,9 @@ func (s *Stride) Name() string { return "stride" }
 //clipvet:hotpath
 func (s *Stride) Train(a Access) []Candidate {
 	line := a.Addr.LineID()
-	e := s.table.Get(a.IP)
-	if e == nil {
-		s.table.Insert(a.IP, strideEntry{lastLine: line})
+	e, present, _, _, _ := s.table.GetOrInsert(a.IP)
+	if !present {
+		e.lastLine = line
 		return nil
 	}
 	d := int64(line) - int64(e.lastLine)

@@ -243,6 +243,47 @@ func (t *Fixed[V]) Insert(key uint64, v V) (ptr *V, evictedKey uint64, evictedVa
 	return &t.vals[s], evictedKey, evictedVal, evicted
 }
 
+// GetOrInsert returns a pointer to key's value, inserting the zero value
+// first when the key is absent (evicting the policy victim if the table is
+// full). present reports whether the key was already there; the eviction
+// results mirror Insert's. Hits cost exactly one index probe — the batched
+// per-access pattern of the prefetcher training hot paths, which would
+// otherwise pay Get and then Insert on every cold IP.
+func (t *Fixed[V]) GetOrInsert(key uint64) (ptr *V, present bool, evictedKey uint64, evictedVal V, evicted bool) {
+	h := t.findIdx(key)
+	if e := t.idx[h]; e != 0 {
+		s := e - 1
+		if t.policy == LRU {
+			t.listRemove(s)
+			t.listAppend(s)
+		}
+		return &t.vals[s], true, 0, evictedVal, false
+	}
+	if t.n == t.capacity {
+		evictedKey, evictedVal, _ = t.PopVictim()
+		evicted = true
+		// The index shifted during deletion; re-locate the insertion cell.
+		h = t.findIdx(key)
+	}
+	s := t.freeList
+	if invariant.Enabled {
+		invariant.Check(s != noSlot && t.n < t.capacity,
+			"table: Fixed free-list empty with %d/%d entries", t.n, t.capacity)
+	}
+	t.freeList = t.next[s]
+	t.keys[s] = key
+	// vals[s] is already the zero value: NewFixed zero-allocates and remove
+	// re-zeroes on the way to the free list.
+	t.listAppend(s)
+	t.idx[h] = s + 1
+	t.n++
+	if invariant.Enabled {
+		invariant.Check(t.n <= t.capacity,
+			"table: Fixed occupancy %d exceeds capacity %d", t.n, t.capacity)
+	}
+	return &t.vals[s], false, evictedKey, evictedVal, evicted
+}
+
 // PopVictim removes and returns the policy victim: the oldest entry (FIFO),
 // the least recently used (LRU), or the smallest key (MinKey). ok is false
 // on an empty table.
