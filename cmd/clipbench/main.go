@@ -59,6 +59,8 @@ import (
 	"time"
 
 	"clip"
+	"clip/internal/experiments"
+	"clip/internal/runner"
 )
 
 // Record holds one benchmark measurement. GOMAXPROCS stamps the host shape
@@ -78,13 +80,35 @@ type Record struct {
 	Slab *clip.SlabGeometry `json:"slab_geometry,omitempty"`
 }
 
+// benchSchema versions the Report JSON (the BENCH_history.jsonl line
+// format). History entries written before the field existed carry 0 and are
+// read as version 1; entries with a schema newer than this binary knows are
+// skipped with a warning rather than misread.
+//
+//	1: benchmarks + skip_speedup (schema field absent)
+//	2: adds schema and the warm_fork figure-suite record
+const benchSchema = 2
+
 // Report is the BENCH_simthroughput.json schema. SkipSpeedup is the
 // TickIdle skip:noskip cycles/s ratio — the headline number of the
 // event-horizon fast path.
 type Report struct {
+	Schema      int               `json:"schema,omitempty"`
 	Stamp       string            `json:"stamp,omitempty"`
 	Benchmarks  map[string]Record `json:"benchmarks"`
 	SkipSpeedup float64           `json:"skip_speedup"`
+	// WarmFork carries the -figsuite measurement: figure-suite wall clock
+	// with warmup-once-fork-many execution against cold per-variant warmup.
+	WarmFork *WarmForkRecord `json:"warm_fork,omitempty"`
+}
+
+// WarmForkRecord is the paired cold/warm figure-suite measurement.
+type WarmForkRecord struct {
+	Experiment string  `json:"experiment"`
+	Rounds     int     `json:"rounds"`
+	ColdSecs   float64 `json:"cold_secs"` // median cold round
+	WarmSecs   float64 `json:"warm_secs"` // median warm round
+	Speedup    float64 `json:"speedup"`   // median paired cold/warm ratio
 }
 
 // benchNames lists every measured benchmark in report order.
@@ -114,7 +138,9 @@ func run() int {
 		pgoOut    = flag.String("pgo-refresh", "", "profile the benchmark mix and write a PGO pprof file here instead of measuring")
 		pgoSecs   = flag.Float64("pgo-seconds", 15, "minimum profiling duration for -pgo-refresh")
 		ileave    = flag.String("interleave", "", "BEFORE,AFTER: paths to two clipbench binaries; run them in alternating windows and report paired per-round deltas instead of measuring in-process")
-		rounds    = flag.Int("rounds", 3, "with -interleave: number of BEFORE/AFTER window pairs")
+		rounds    = flag.Int("rounds", 3, "with -interleave or -figsuite: number of paired rounds")
+		figsuite  = flag.String("figsuite", "", "experiment name (e.g. fig9): measure its figure suite warm-fork vs cold in paired alternating rounds instead of the benchmark set")
+		minWarm   = flag.Float64("minwarmfork", 0, "with -figsuite: fail unless the median warm-fork speedup is at least this (0 = no check)")
 	)
 	flag.Parse()
 	if *pgoOut != "" {
@@ -122,6 +148,9 @@ func run() int {
 	}
 	if *ileave != "" {
 		return runInterleave(*ileave, *rounds)
+	}
+	if *figsuite != "" {
+		return runFigSuite(*figsuite, *rounds, *minWarm, *history, *stamp)
 	}
 	if *out == "" && *baseline == "" {
 		*out = "-"
@@ -175,7 +204,7 @@ func run() int {
 		}
 	}
 
-	rep := Report{Stamp: *stamp, Benchmarks: map[string]Record{}}
+	rep := Report{Schema: benchSchema, Stamp: *stamp, Benchmarks: map[string]Record{}}
 	for _, name := range benchNames {
 		rep.Benchmarks[name] = measure(configFor(name))
 	}
@@ -316,8 +345,12 @@ func run() int {
 }
 
 // appendHistory adds one compact JSON line for this run to the .jsonl
-// trajectory log. The log is append-only: successive runs on the same host
-// give the performance trend that the single-snapshot baseline cannot.
+// trajectory log and prints a short trend over the readable entries. The
+// log is append-only: successive runs on the same host give the performance
+// trend that the single-snapshot baseline cannot. Lines carrying a schema
+// version this binary does not know (newer than benchSchema) are skipped
+// with a warning instead of being misread into the current layout; a
+// missing schema field reads as version 1, the pre-versioning format.
 func appendHistory(path string, rep *Report) error {
 	line, err := json.Marshal(rep)
 	if err != nil {
@@ -331,7 +364,142 @@ func appendHistory(path string, rep *Report) error {
 	if _, err := f.Write(append(line, '\n')); err != nil {
 		return err
 	}
+	summarizeHistory(path)
 	return nil
+}
+
+// summarizeHistory reads the trajectory log back and prints one trend line
+// per readable entry (best effort: an unreadable log is not an error).
+func summarizeHistory(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	fmt.Fprintf(os.Stderr, "history %s (%d entries):\n", path, len(lines))
+	for i, ln := range lines {
+		if strings.TrimSpace(ln) == "" {
+			continue
+		}
+		var e Report
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			fmt.Fprintf(os.Stderr, "  [%d] skipping unparseable entry: %v\n", i+1, err)
+			continue
+		}
+		if e.Schema > benchSchema {
+			fmt.Fprintf(os.Stderr, "  [%d] skipping entry with schema %d (this binary knows up to %d — rebuild clipbench to read it)\n",
+				i+1, e.Schema, benchSchema)
+			continue
+		}
+		trend := fmt.Sprintf("skip %.2fx", e.SkipSpeedup)
+		if t, ok := e.Benchmarks["SimulatorThroughput"]; ok {
+			trend = fmt.Sprintf("%.0f cycles/s, %s", t.CyclesPerSec, trend)
+		}
+		if e.WarmFork != nil {
+			trend += fmt.Sprintf(", warm-fork %s %.2fx", e.WarmFork.Experiment, e.WarmFork.Speedup)
+		}
+		fmt.Fprintf(os.Stderr, "  [%d] %-22s %s\n", i+1, e.Stamp, trend)
+	}
+}
+
+// median returns the median of xs (which it sorts in place).
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// runFigSuite measures the warmup-once-fork-many win on a real figure
+// suite: the named experiment runs in paired alternating rounds — cold
+// (every variant re-runs its warmup in process) then warm-fork (all
+// variants of a figure point fork from one checkpointed warmup image) —
+// and the reported speedup is the median paired cold/warm wall-clock
+// ratio, so slow host-clock drift cancels exactly as in -interleave.
+//
+// The scale is the quick figure scale with a warmup-heavy budget (3:1
+// warmup:measurement): warm-fork's win is the warmup fraction of every
+// variant run, and at paper scale — hundreds of millions of warmup
+// instructions per point — that fraction dominates. The run cache is reset
+// between rounds so neither side coasts on memoized results.
+func runFigSuite(name string, rounds int, minSpeedup float64, history, stamp string) int {
+	e, err := experiments.Lookup(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if rounds < 1 {
+		fmt.Fprintln(os.Stderr, "-figsuite wants -rounds >= 1")
+		return 2
+	}
+	sc := experiments.Quick()
+	sc.InstrPerCore = 8000
+	sc.Warmup = 24000
+	cold, warm := sc, sc
+	warm.WarmFork = true
+
+	run := func(sc experiments.Scale) (string, float64, error) {
+		runner.ResetShared()
+		t0 := time.Now()
+		rep, err := e.Run(sc)
+		if err != nil {
+			return "", 0, err
+		}
+		return rep.String(), time.Since(t0).Seconds(), nil
+	}
+
+	var ratios, coldSecs, warmSecs []float64
+	var coldOut, warmOut string
+	for r := 0; r < rounds; r++ {
+		fmt.Fprintf(os.Stderr, "== round %d/%d: COLD %s\n", r+1, rounds, name)
+		cOut, cs, err := run(cold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "== round %d/%d: WARM %s\n", r+1, rounds, name)
+		wOut, ws, err := run(warm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		// Both protocols are deterministic; a report that changes between
+		// rounds means the checkpoint path leaked state.
+		if r == 0 {
+			coldOut, warmOut = cOut, wOut
+		} else if cOut != coldOut || wOut != warmOut {
+			fmt.Fprintln(os.Stderr, "figure reports differ between rounds — nondeterministic run")
+			return 1
+		}
+		coldSecs, warmSecs = append(coldSecs, cs), append(warmSecs, ws)
+		ratios = append(ratios, cs/ws)
+		fmt.Fprintf(os.Stderr, "   cold %.2fs  warm %.2fs  ratio %.2fx\n", cs, ws, cs/ws)
+	}
+
+	rec := &WarmForkRecord{
+		Experiment: name, Rounds: rounds,
+		ColdSecs: median(coldSecs), WarmSecs: median(warmSecs),
+		Speedup: median(ratios),
+	}
+	fmt.Printf("warm-fork %s: median %.2fx (cold %.2fs, warm %.2fs over %d rounds)\n",
+		name, rec.Speedup, rec.ColdSecs, rec.WarmSecs, rounds)
+
+	if history != "" {
+		rep := Report{Schema: benchSchema, Stamp: stamp,
+			Benchmarks: map[string]Record{}, WarmFork: rec}
+		if err := appendHistory(history, &rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if minSpeedup > 0 && rec.Speedup < minSpeedup {
+		fmt.Fprintf(os.Stderr, "warm-fork speedup %.2fx below required %.2fx\n",
+			rec.Speedup, minSpeedup)
+		return 1
+	}
+	return 0
 }
 
 // writeDeltaMD renders the baseline comparison as a markdown table and
@@ -423,14 +591,6 @@ func runInterleave(spec string, rounds int) int {
 			return 2
 		}
 		repsB, repsA = append(repsB, rb), append(repsA, ra)
-	}
-	median := func(xs []float64) float64 {
-		sort.Float64s(xs)
-		n := len(xs)
-		if n%2 == 1 {
-			return xs[n/2]
-		}
-		return (xs[n/2-1] + xs[n/2]) / 2
 	}
 	fmt.Printf("%-22s %9s  %s\n", "benchmark", "median Δ", "per-round AFTER/BEFORE")
 	for _, name := range benchNames {

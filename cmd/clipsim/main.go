@@ -13,9 +13,22 @@
 // or table reports, at the configured scale. Independent simulations within
 // one experiment run concurrently across -workers goroutines; reports are
 // byte-identical for any worker count.
+//
+// The -checkpoint mode exercises deterministic save/restore of a single
+// simulation across process boundaries (the restore-into-fresh-process arm
+// of the equivalence matrix):
+//
+//	clipsim -checkpoint run  -workload 619.lbm_s-2676B -prefetcher berti -clip   # straight run, result JSON on stdout
+//	clipsim -checkpoint save -checkpoint-file warm.clps -workload 619.lbm_s-2676B -prefetcher berti -clip
+//	clipsim -checkpoint load -checkpoint-file warm.clps -workload 619.lbm_s-2676B -prefetcher berti -clip
+//
+// "save" runs the warmup phase and writes the image; "load" — typically in a
+// different process — restores it and finishes the run. The result JSON that
+// "load" prints is byte-identical to what "run" prints for the same flags.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +38,9 @@ import (
 	"strings"
 	"time"
 
+	"clip/internal/core"
 	"clip/internal/experiments"
+	"clip/internal/sim"
 )
 
 func main() { os.Exit(run()) }
@@ -48,6 +63,12 @@ func run() int {
 		skipMode = flag.String("skip", "on", "event-horizon cycle skipping: on|off; results are identical for either value")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+
+		checkpoint = flag.String("checkpoint", "", "single-simulation checkpoint mode: run|save|load (see package docs)")
+		ckptFile   = flag.String("checkpoint-file", "", "image path for -checkpoint save/load")
+		ckptWl     = flag.String("workload", "619.lbm_s-2676B", "with -checkpoint: homogeneous workload trace")
+		ckptPf     = flag.String("prefetcher", "berti", "with -checkpoint: prefetcher name")
+		ckptCLIP   = flag.Bool("clip", false, "with -checkpoint: attach CLIP filtering")
 	)
 	flag.Parse()
 
@@ -79,6 +100,15 @@ func run() int {
 			}
 			f.Close()
 		}()
+	}
+
+	if *checkpoint != "" {
+		noskip := *skipMode == "off"
+		return runCheckpoint(*checkpoint, *ckptFile, ckptConfig{
+			workload: *ckptWl, prefetcher: *ckptPf, clip: *ckptCLIP,
+			cores: *cores, instr: *instr, warmup: *warmup, seed: *seed,
+			noskip: noskip, shardWorkers: *shardW,
+		})
 	}
 
 	if *list || *exp == "" {
@@ -163,4 +193,105 @@ func run() int {
 		fmt.Printf("%s\n(%s in %.1fs)\n\n", rep, e.Name, time.Since(t0).Seconds())
 	}
 	return 0
+}
+
+// ckptConfig carries the flag overrides for the single-simulation
+// checkpoint mode.
+type ckptConfig struct {
+	workload, prefetcher string
+	clip                 bool
+	cores                int
+	instr, warmup, seed  uint64
+	noskip               bool
+	shardWorkers         int
+}
+
+// build resolves the flags into a sim.Config (defaults mirror the
+// equivalence-matrix base: small system, slow bus, real warmup phase).
+func (c ckptConfig) build() sim.Config {
+	cores := c.cores
+	if cores <= 0 {
+		cores = 4
+	}
+	cfg := sim.DefaultConfig(cores, 1, 8)
+	for i := range cfg.Workload {
+		cfg.Workload[i] = c.workload
+	}
+	cfg.InstrPerCore = 4000
+	if c.instr > 0 {
+		cfg.InstrPerCore = c.instr
+	}
+	cfg.WarmupInstr = 1000
+	if c.warmup > 0 {
+		cfg.WarmupInstr = c.warmup
+	}
+	cfg.TransferCycles = 40
+	cfg.Prefetcher = c.prefetcher
+	if c.seed != 0 {
+		cfg.Seed = c.seed
+	}
+	cfg.DisableSkip = c.noskip
+	cfg.ShardWorkers = c.shardWorkers
+	if c.clip {
+		cc := core.DefaultConfig()
+		cfg.CLIP = &cc
+	}
+	return cfg
+}
+
+// runCheckpoint is the -checkpoint dispatcher: "run" executes straight
+// through, "save" writes the warmup image, "load" restores it (typically in
+// a fresh process) and finishes. "run" and "load" print the result as
+// canonical JSON on stdout, which must be byte-identical between the two.
+func runCheckpoint(mode, file string, c ckptConfig) int {
+	cfg := c.build()
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "checkpoint %s: %v\n", mode, err)
+		return 1
+	}
+	emit := func(res *sim.Result) int {
+		data, err := json.Marshal(res)
+		if err != nil {
+			return fail(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return 0
+	}
+	switch mode {
+	case "run":
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		return emit(res)
+	case "save":
+		if file == "" {
+			return fail(fmt.Errorf("-checkpoint-file is required"))
+		}
+		image, err := sim.WarmupImage(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		if err := os.WriteFile(file, image, 0o644); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", file, len(image))
+		return 0
+	case "load":
+		if file == "" {
+			return fail(fmt.Errorf("-checkpoint-file is required"))
+		}
+		image, err := os.ReadFile(file)
+		if err != nil {
+			return fail(err)
+		}
+		res, err := sim.RunFromImage(cfg, image)
+		if err != nil {
+			return fail(err)
+		}
+		return emit(res)
+	default:
+		fmt.Fprintf(os.Stderr, "bad -checkpoint mode %q (want run, save or load)\n", mode)
+		return 2
+	}
 }

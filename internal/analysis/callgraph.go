@@ -62,6 +62,7 @@ type CallEdge struct {
 	Kind   string `json:"kind"`
 	Callee FuncID `json:"callee,omitempty"` // static: FuncID; iface: bare method name
 	Arity  int    `json:"arity"`            // call-site argument count (resolution hint)
+	Sig    string `json:"sig,omitempty"`    // func-value calls: canonical call signature
 
 	// Staged marks a //clipvet:staged escape on the call line: sharedstate's
 	// interprocedural walk does not follow the edge. AllocOK is the same cut
@@ -104,7 +105,8 @@ type FuncSummary struct {
 	ID    FuncID `json:"id"`
 	Name  string `json:"name"` // bare name (iface resolution key)
 	Pos   string `json:"pos"`
-	Arity int    `json:"arity"` // declared parameter count
+	Arity int    `json:"arity"`         // declared parameter count
+	Sig   string `json:"sig,omitempty"` // canonical signature (func-value resolution key)
 
 	Method    bool `json:"method,omitempty"`
 	AddrTaken bool `json:"addrTaken,omitempty"` // used as a value somewhere
@@ -114,6 +116,7 @@ type FuncSummary struct {
 	TilePhase bool `json:"tilephase,omitempty"` // //clipvet:tilephase root
 	AllocOK   bool `json:"allocok,omitempty"`   // whole function is a cold slow path
 	Sink      bool `json:"sink,omitempty"`      // //clipvet:sink: args reach canonical output
+	Serial    bool `json:"serial,omitempty"`    // //clipvet:serial: runs only between ticks
 
 	Allocs     []Site     `json:"allocs,omitempty"`     // unescaped allocation sites
 	SharedMuts []Site     `json:"sharedMuts,omitempty"` // unescaped shared-state mutations
@@ -211,7 +214,8 @@ func (t *SummaryTable) buildIndexes() {
 
 // ResolveEdge returns the possible callees of one edge within this table:
 // exact for static calls, conservative (name+arity for interface calls,
-// address-taken+arity for func-value calls) otherwise.
+// address-taken+signature for func-value calls, arity when a summary
+// predates the Sig field) otherwise.
 func (t *SummaryTable) ResolveEdge(e *CallEdge) []*FuncSummary {
 	switch e.Kind {
 	case CallStatic:
@@ -232,6 +236,16 @@ func (t *SummaryTable) ResolveEdge(e *CallEdge) []*FuncSummary {
 		t.buildIndexes()
 		var out []*FuncSummary
 		for _, f := range t.addrTaken {
+			// Full-signature matching when both sides carry one (a zero-arg
+			// func() float64 bandwidth hook must not resolve to every
+			// zero-arg closure in the module); arity is the fallback for
+			// summaries predating the Sig field.
+			if e.Sig != "" && f.Sig != "" {
+				if e.Sig == f.Sig {
+					out = append(out, f)
+				}
+				continue
+			}
 			if f.Arity == e.Arity {
 				out = append(out, f)
 			}
@@ -384,11 +398,13 @@ func (b *summaryBuilder) summarizeDecl(fd *ast.FuncDecl) {
 	s := &FuncSummary{
 		ID: id, Name: fd.Name.Name, Pos: b.fset.Position(fd.Pos()).String(),
 		Arity:     sig.Params().Len(),
+		Sig:       sigString(sig),
 		Method:    isMethod,
 		Hotpath:   b.dirs.has(b.fset, fd.Pos(), "hotpath"),
 		TilePhase: b.dirs.has(b.fset, fd.Pos(), "tilephase"),
 		AllocOK:   b.dirs.has(b.fset, fd.Pos(), "allocok"),
 		Sink:      b.dirs.has(b.fset, fd.Pos(), "sink"),
+		Serial:    b.dirs.has(b.fset, fd.Pos(), "serial"),
 	}
 	b.sums.Funcs[id] = s
 	b.order = append(b.order, id)
@@ -409,8 +425,10 @@ func (b *summaryBuilder) walkBody(s *FuncSummary, body *ast.BlockStmt) {
 				ID:   fmt.Sprintf("%s$%d", s.ID, litN),
 				Name: "func literal", Pos: b.fset.Position(n.Pos()).String(),
 				Arity:     sig.Params().Len(),
+				Sig:       sigString(sig),
 				AddrTaken: true, // literals exist only as values
 				AllocOK:   s.AllocOK || b.dirs.has(b.fset, n.Pos(), "allocok"),
+				Serial:    s.Serial || b.dirs.has(b.fset, n.Pos(), "serial"),
 			}
 			b.sums.Funcs[lit.ID] = lit
 			b.order = append(b.order, lit.ID)
@@ -574,6 +592,11 @@ func (b *summaryBuilder) addCall(s *FuncSummary, call *ast.CallExpr) {
 		}
 	}
 
+	if edge.Kind == CallFunc {
+		if sig := signatureOf(b.info, fun); sig != nil {
+			edge.Sig = sigString(sig)
+		}
+	}
 	s.Calls = append(s.Calls, edge)
 
 	// fmt-style boxing: passing arguments through a variadic ...any
@@ -660,6 +683,26 @@ func calleeFunc(info *types.Info, fun ast.Expr) *types.Func {
 		return obj
 	}
 	return nil
+}
+
+// sigString renders a signature canonically (full package paths, receiver
+// and parameter names stripped) so call sites and candidate callees compare
+// across packages: a declared func(x int) must equal a call through a
+// func(int) value.
+func sigString(sig *types.Signature) string {
+	strip := func(t *types.Tuple) *types.Tuple {
+		if t == nil {
+			return nil
+		}
+		vars := make([]*types.Var, t.Len())
+		for i := range vars {
+			vars[i] = types.NewVar(token.NoPos, nil, "", t.At(i).Type())
+		}
+		return types.NewTuple(vars...)
+	}
+	sig = types.NewSignatureType(nil, nil, nil,
+		strip(sig.Params()), strip(sig.Results()), sig.Variadic())
+	return types.TypeString(sig, func(p *types.Package) string { return p.Path() })
 }
 
 // signatureOf returns the call signature of fun, or nil.

@@ -31,10 +31,11 @@ var (
 	knownDirectives = map[string]bool{
 		"orderfree": true, "floatorder": true, "hotmap": true, "staged": true,
 		"slabok": true, "allocok": true, "tilephase": true, "hotpath": true,
-		"slab": true, "sink": true,
+		"slab": true, "sink": true, "serial": true,
 	}
 	funcDirectives = map[string]bool{
 		"tilephase": true, "hotpath": true, "slab": true, "sink": true,
+		"serial": true,
 	}
 )
 
@@ -95,7 +96,7 @@ func runCallGraph(pass *Pass) error {
 						"unknown clipvet directive //clipvet:%s — a typo here silently "+
 							"disables the check it was meant to configure (known: orderfree, "+
 							"floatorder, hotmap, staged, slabok, allocok, tilephase, hotpath, "+
-							"slab, sink)", d.name)
+							"slab, sink, serial)", d.name)
 					continue
 				}
 				if funcDirectives[d.name] && !declLines[fname][l] {

@@ -28,7 +28,11 @@ import (
 // Commit-phase helpers that a tile-phase function legitimately shares source
 // with carry a //clipvet:staged annotation with a one-line justification —
 // on the mutation line to excuse the write, or on a call line to cut the
-// traversal at that edge.
+// traversal at that edge. Functions that only ever run between ticks
+// (checkpoint save/restore, result collection) carry //clipvet:serial on
+// their declaration: the walk does not descend into them, since conservative
+// func-value resolution would otherwise connect their closures to every
+// event-hook call of compatible signature.
 var SharedState = &Analyzer{
 	Name: "sharedstate",
 	Doc: "flags shared System/Mesh/DRAM mutation reachable from " +
@@ -104,7 +108,10 @@ func runSharedState(pass *Pass) error {
 	// violation at the call chain. Tile-phase functions themselves are
 	// covered by the direct check (theirs or their own package's).
 	reached := reach(pass.Table, roots, reachOpts{
-		skip:    func(s *FuncSummary, local bool) bool { return s.TilePhase },
+		// Serial-only functions (checkpoint save/restore, collection) never
+		// run during the tile phase; conservative func-value resolution
+		// would otherwise drag their closures into every event-hook chain.
+		skip:    func(s *FuncSummary, local bool) bool { return s.TilePhase || s.Serial },
 		cutEdge: func(e *CallEdge) bool { return e.Staged },
 		local:   func(s *FuncSummary) bool { return pass.Cur.Funcs[s.ID] == s },
 	})

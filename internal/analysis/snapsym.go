@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SnapSym enforces the snapshot codec's mirror contract (DESIGN.md §12): a
+// component's Save and Load bodies must perform the same ordered sequence of
+// codec operations, or a checkpoint written by one will be misparsed by the
+// other. The snapshot Writer and Reader deliberately expose the same method
+// names (U64, Bool, Section, ...) so the two bodies read line-for-line; this
+// analyzer checks that they actually do.
+//
+// A "save" function is any function with a *snapshot.Writer parameter whose
+// name contains Save/save; its partner is the same-package, same-receiver
+// function named with Save→Load (save→load) substituted, taking a
+// *snapshot.Reader. For each such pair the analyzer flattens, in source
+// order, the calls that advance the stream — methods on the Writer/Reader
+// value (minus error plumbing: Err, Fail, Done) and calls to other
+// Save*/Load* codec helpers, canonicalized to load spelling — and reports
+// the first point where the two sequences diverge.
+//
+// Functions that navigate the stream structurally (NextSection/SkipSection:
+// top-level loaders that skip sections their configuration lacks) are
+// exempt — skipping is the documented, deliberate asymmetry — as are
+// Reader.U64sVar reads, which mirror Writer.U64s for variable-length
+// content.
+var SnapSym = &Analyzer{
+	Name: "snapsym",
+	Doc: "checks that snapshot Save/Load pairs perform mirrored codec call " +
+		"sequences (same ordered Writer/Reader method calls and Save*/Load* " +
+		"helper calls), so a stream written by one side parses on the other",
+	Run: runSnapSym,
+}
+
+// snapSide classifies one function of a codec pair.
+type snapSide struct {
+	fd  *ast.FuncDecl
+	seq []string // canonical (load-spelled) codec call sequence
+	nav bool     // uses SkipSection/NextSection: a structural navigator
+}
+
+func runSnapSym(pass *Pass) error {
+	saves := map[string]*snapSide{}
+	loads := map[string]*snapSide{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			param, side := snapParam(pass, fd)
+			if param == nil {
+				continue
+			}
+			name := fd.Name.Name
+			s := &snapSide{fd: fd}
+			s.seq, s.nav = snapSeq(pass, fd.Body, param)
+			switch side {
+			case "Writer":
+				canon := saveToLoad(name)
+				if canon == name {
+					continue // not named as a codec save; out of contract
+				}
+				saves[snapKey(fd, canon)] = s
+			case "Reader":
+				if saveToLoad(name) != name {
+					continue // a "Save" taking a Reader: not a codec load
+				}
+				loads[snapKey(fd, name)] = s
+			}
+		}
+	}
+
+	var keys []string
+	for k := range saves {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sv := saves[k]
+		ld := loads[k]
+		if ld == nil {
+			continue // partner elsewhere (or save-only helper); equivalence tests cover semantics
+		}
+		if sv.nav || ld.nav {
+			continue // structural navigator: asymmetric by design
+		}
+		if at, ok := seqDiverge(sv.seq, ld.seq); !ok {
+			pass.Reportf(ld.fd.Name.Pos(),
+				"snapshot codec asymmetry: %s and %s diverge at codec call %d (%s writes %s, %s reads %s): "+
+					"Save and Load must perform mirrored call sequences or the stream misparses",
+				sv.fd.Name.Name, ld.fd.Name.Name, at+1,
+				sv.fd.Name.Name, seqAt(sv.seq, at), ld.fd.Name.Name, seqAt(ld.seq, at))
+		}
+	}
+	return nil
+}
+
+// snapKey scopes a pair to its receiver type: (*Cache).Save pairs with
+// (*Cache).Load, not with a package-level Load.
+func snapKey(fd *ast.FuncDecl, canon string) string {
+	recv := ""
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			recv = id.Name
+		}
+	}
+	return recv + "." + canon
+}
+
+// snapParam returns the *snapshot.Writer or *snapshot.Reader parameter
+// object of fd, if it has exactly one of the two.
+func snapParam(pass *Pass, fd *ast.FuncDecl) (types.Object, string) {
+	var obj types.Object
+	var side string
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		n, ok := p.Elem().(*types.Named)
+		if !ok || n.Obj().Pkg() == nil ||
+			internalSegment(n.Obj().Pkg().Path()) != "snapshot" {
+			continue
+		}
+		name := n.Obj().Name()
+		if name != "Writer" && name != "Reader" {
+			continue
+		}
+		if obj != nil || len(field.Names) != 1 {
+			return nil, "" // both sides, or an unnamed param: not a codec body
+		}
+		obj = pass.TypesInfo.ObjectOf(field.Names[0])
+		side = name
+	}
+	return obj, side
+}
+
+// snapSeq flattens body's codec calls in source order, canonicalized to the
+// load spelling, and reports whether the body navigates sections.
+func snapSeq(pass *Pass, body *ast.BlockStmt, param types.Object) (seq []string, nav bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			if id, ok := fun.X.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == param {
+				switch name {
+				case "Err", "Fail", "Done":
+					return true // error plumbing, not stream layout
+				case "SkipSection", "NextSection":
+					nav = true
+					return true
+				case "U64sVar":
+					name = "U64s" // Reader's variable-length mirror of Writer.U64s
+				}
+				seq = append(seq, name)
+				return true
+			}
+			if canon := saveToLoad(name); canon != name {
+				seq = append(seq, canon)
+			} else if strings.Contains(name, "Load") || strings.Contains(name, "load") {
+				seq = append(seq, name)
+			}
+		case *ast.Ident:
+			name := fun.Name
+			if canon := saveToLoad(name); canon != name {
+				seq = append(seq, canon)
+			} else if strings.Contains(name, "Load") || strings.Contains(name, "load") {
+				seq = append(seq, name)
+			}
+		}
+		return true
+	})
+	return seq, nav
+}
+
+// saveToLoad canonicalizes a save-side name to its load-side partner.
+func saveToLoad(name string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(name, "Save", "Load"), "save", "load")
+}
+
+// seqDiverge returns the first index where the two sequences differ.
+func seqDiverge(a, b []string) (int, bool) {
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			return i, false
+		}
+	}
+	if len(b) > len(a) {
+		return len(a), false
+	}
+	return 0, true
+}
+
+// seqAt renders one sequence position ("<end>" past the shorter side).
+func seqAt(seq []string, i int) string {
+	if i >= len(seq) {
+		return "<end>"
+	}
+	return seq[i]
+}

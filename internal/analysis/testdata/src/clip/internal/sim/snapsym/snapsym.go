@@ -1,0 +1,105 @@
+// Package snapsym exercises the snapsym analyzer: snapshot Save/Load pairs
+// must perform mirrored ordered codec call sequences; section navigators
+// are exempt.
+package snapsym
+
+import "clip/internal/snapshot"
+
+// queue's pair is a faithful mirror: same calls, same order, with the
+// variable-length U64s/U64sVar correspondence and a nested helper pair.
+type queue struct {
+	head  uint64
+	items []uint64
+	tags  []bool
+}
+
+func (q *queue) Save(w *snapshot.Writer) {
+	w.U64(q.head)
+	w.U64s(q.items)
+	w.Int(len(q.tags))
+	for _, t := range q.tags {
+		w.Bool(t)
+	}
+	saveExtras(w, q)
+}
+
+func (q *queue) Load(r *snapshot.Reader) {
+	q.head = r.U64()
+	q.items = r.U64sVar()
+	n := r.Int()
+	q.tags = q.tags[:0]
+	for i := 0; i < n; i++ {
+		q.tags = append(q.tags, r.Bool())
+	}
+	loadExtras(r, q)
+}
+
+func saveExtras(w *snapshot.Writer, q *queue) { w.U64(q.head) }
+func loadExtras(r *snapshot.Reader, q *queue) { q.head = r.U64() }
+
+// table's Load reads its two fields in the opposite order from Save: the
+// stream written by Save misparses, which is exactly what snapsym flags.
+type table struct {
+	rows  uint64
+	dirty bool
+}
+
+func (t *table) Save(w *snapshot.Writer) {
+	w.U64(t.rows)
+	w.Bool(t.dirty)
+}
+
+func (t *table) Load(r *snapshot.Reader) { // want "snapshot codec asymmetry: Save and Load diverge at codec call 1"
+	t.dirty = r.Bool()
+	t.rows = r.U64()
+}
+
+// dropped's Load forgets the trailing flag entirely — a shorter sequence
+// diverges at the missing call.
+type dropped struct {
+	n    uint64
+	flag bool
+}
+
+func (d *dropped) Save(w *snapshot.Writer) {
+	w.U64(d.n)
+	w.Bool(d.flag)
+}
+
+func (d *dropped) Load(r *snapshot.Reader) { // want "diverge at codec call 2 .* reads <end>"
+	d.n = r.U64()
+}
+
+// navigator skips sections it does not consume: deliberately asymmetric
+// with its writer, and exempt.
+type navigator struct {
+	base uint64
+}
+
+func (v *navigator) Save(w *snapshot.Writer) {
+	w.Section("base", func() { w.U64(v.base) })
+	w.Section("extra", func() { w.Bool(true) })
+}
+
+func (v *navigator) Load(r *snapshot.Reader) {
+	r.Section("base", func() { v.base = r.U64() })
+	r.SkipSection()
+}
+
+// helper pairs by lower-case substitution and is checked like a method pair;
+// error plumbing (Err/Fail/Done) never participates in the sequence.
+func saveMeta(w *snapshot.Writer, n uint64) {
+	w.String("meta")
+	w.U64(n)
+	if w.Err() != nil {
+		w.Fail(w.Err())
+	}
+}
+
+func loadMeta(r *snapshot.Reader) uint64 { // want "snapshot codec asymmetry: saveMeta and loadMeta diverge at codec call 2"
+	_ = r.String()
+	v := r.Bool()
+	_ = r.Done()
+	_ = v
+	return r.U64()
+}

@@ -1,0 +1,30 @@
+// Package snapshot is a fixture stand-in for the real codec: the snapsym
+// analyzer only needs the Writer/Reader types and their shared method
+// vocabulary, not the encoding.
+package snapshot
+
+type Writer struct{ err error }
+
+func (w *Writer) U64(v uint64)                  {}
+func (w *Writer) Int(v int)                     {}
+func (w *Writer) Bool(v bool)                   {}
+func (w *Writer) String(s string)               {}
+func (w *Writer) U64s(vs []uint64)              {}
+func (w *Writer) Section(tag string, fn func()) {}
+func (w *Writer) Fail(err error)                {}
+func (w *Writer) Err() error                    { return w.err }
+
+type Reader struct{ err error }
+
+func (r *Reader) U64() uint64                   { return 0 }
+func (r *Reader) Int() int                      { return 0 }
+func (r *Reader) Bool() bool                    { return false }
+func (r *Reader) String() string                { return "" }
+func (r *Reader) U64s(dst []uint64)             {}
+func (r *Reader) U64sVar() []uint64             { return nil }
+func (r *Reader) Section(tag string, fn func()) {}
+func (r *Reader) SkipSection() string           { return "" }
+func (r *Reader) NextSection() (string, bool)   { return "", false }
+func (r *Reader) Fail(err error)                {}
+func (r *Reader) Err() error                    { return r.err }
+func (r *Reader) Done() error                   { return r.err }

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"clip/internal/snapshot"
+)
+
+// CLIP checkpointing: both stages' tables, the utility-buffer CAM, the
+// exploration-window state, the mirrored history registers and the
+// observation map all serialize; cfg and the counter bounds are rebuilt by
+// construction.
+
+// Save serializes the CLIP instance.
+func (c *CLIP) Save(w *snapshot.Writer) {
+	w.Int(len(c.filter))
+	for i := range c.filter {
+		e := &c.filter[i]
+		w.Bool(e.valid)
+		w.U8(e.tag)
+		w.U8(e.critCount)
+		w.U8(e.hitCount)
+		w.U8(e.issueCount)
+		w.Bool(e.critAcc)
+		w.U8(e.explored)
+	}
+	w.Int(len(c.pred))
+	for i := range c.pred {
+		e := &c.pred[i]
+		w.Bool(e.valid)
+		w.U8(e.tag)
+		w.U8(e.counter)
+		w.Bool(e.nru)
+	}
+
+	c.utilValid.Save(w)
+	w.U64s(c.utilLine)
+	w.U64s(c.utilTrig)
+	w.Int(c.utilPos)
+
+	w.U64(c.windowMisses)
+	w.U64(c.windowAccesses)
+	w.U64(c.windowStart)
+	w.Int(len(c.apcHistory))
+	for _, v := range c.apcHistory {
+		w.F64(v)
+	}
+
+	w.U32(c.curBranchHist)
+	w.U32(c.curCritHist)
+
+	c.ipSeen.Save(w, func(o *ipObs) {
+		w.U64(o.instances)
+		w.U64(o.critical)
+		w.Bool(o.selected)
+	})
+
+	w.U64(c.stats.Allowed)
+	w.U64(c.stats.Explored)
+	for i := range c.stats.Dropped {
+		w.U64(c.stats.Dropped[i])
+	}
+	w.U64(c.stats.PhaseResets)
+	w.U64(c.stats.Windows)
+	w.U64(c.stats.CritInserts)
+	w.U64(c.stats.UtilityHits)
+	w.U64(c.stats.PredTrainInc)
+	w.U64(c.stats.PredTrainDec)
+	w.U64(c.stats.PredScore.TruePos)
+	w.U64(c.stats.PredScore.FalsePos)
+	w.U64(c.stats.PredScore.FalseNeg)
+	w.U64(c.stats.PredScore.TrueNeg)
+}
+
+// Load restores a snapshot taken from an identically-configured CLIP.
+func (c *CLIP) Load(r *snapshot.Reader) {
+	if n := r.Int(); r.Err() == nil && n != len(c.filter) {
+		r.Fail(fmt.Errorf("core: snapshot filter %d entries, receiver has %d: %w",
+			n, len(c.filter), snapshot.ErrCorrupt))
+	}
+	if r.Err() != nil {
+		return
+	}
+	for i := range c.filter {
+		e := &c.filter[i]
+		e.valid = r.Bool()
+		e.tag = r.U8()
+		e.critCount = r.U8()
+		e.hitCount = r.U8()
+		e.issueCount = r.U8()
+		e.critAcc = r.Bool()
+		e.explored = r.U8()
+	}
+	if n := r.Int(); r.Err() == nil && n != len(c.pred) {
+		r.Fail(fmt.Errorf("core: snapshot predictor %d entries, receiver has %d: %w",
+			n, len(c.pred), snapshot.ErrCorrupt))
+	}
+	if r.Err() != nil {
+		return
+	}
+	for i := range c.pred {
+		e := &c.pred[i]
+		e.valid = r.Bool()
+		e.tag = r.U8()
+		e.counter = r.U8()
+		e.nru = r.Bool()
+	}
+
+	c.utilValid.Load(r)
+	r.U64s(c.utilLine)
+	r.U64s(c.utilTrig)
+	c.utilPos = r.Int()
+	if r.Err() == nil && (c.utilPos < 0 || c.utilPos >= len(c.utilLine)) {
+		r.Fail(fmt.Errorf("core: utility cursor %d out of range: %w", c.utilPos, snapshot.ErrCorrupt))
+		return
+	}
+
+	c.windowMisses = r.U64()
+	c.windowAccesses = r.U64()
+	c.windowStart = r.U64()
+	an := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if an < 0 || an > c.cfg.APCWindows+1 {
+		r.Fail(fmt.Errorf("core: APC history %d entries for %d windows: %w",
+			an, c.cfg.APCWindows, snapshot.ErrCorrupt))
+		return
+	}
+	c.apcHistory = c.apcHistory[:0]
+	for i := 0; i < an; i++ {
+		c.apcHistory = append(c.apcHistory, r.F64())
+	}
+
+	c.curBranchHist = r.U32()
+	c.curCritHist = r.U32()
+
+	c.ipSeen.Load(r, func(o *ipObs) {
+		o.instances = r.U64()
+		o.critical = r.U64()
+		o.selected = r.Bool()
+	})
+
+	c.stats.Allowed = r.U64()
+	c.stats.Explored = r.U64()
+	for i := range c.stats.Dropped {
+		c.stats.Dropped[i] = r.U64()
+	}
+	c.stats.PhaseResets = r.U64()
+	c.stats.Windows = r.U64()
+	c.stats.CritInserts = r.U64()
+	c.stats.UtilityHits = r.U64()
+	c.stats.PredTrainInc = r.U64()
+	c.stats.PredTrainDec = r.U64()
+	c.stats.PredScore.TruePos = r.U64()
+	c.stats.PredScore.FalsePos = r.U64()
+	c.stats.PredScore.FalseNeg = r.U64()
+	c.stats.PredScore.TrueNeg = r.U64()
+}

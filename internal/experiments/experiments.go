@@ -45,6 +45,13 @@ type Scale struct {
 	// value. When Workers is defaulted, the engine divides its pool by this
 	// width so Workers x ShardWorkers never oversubscribes the host.
 	ShardWorkers int
+	// WarmFork enables warmup-once-fork-many execution (clipbench
+	// -warmfork): each figure point's variants fork from one checkpointed
+	// warmup image (the mechanism-free canonical warmup, sim.WarmupConfig)
+	// instead of each re-running the warmup. Mechanisms start cold at the
+	// measurement barrier under this protocol, so reports differ from the
+	// in-process-warmup ones — deterministically so; see EXPERIMENTS.md.
+	WarmFork bool
 }
 
 // Quick is the bench-friendly scale: a representative subset of mixes.
@@ -235,6 +242,11 @@ type engine struct {
 	sc   Scale
 	pool *runner.Pool
 	fail *firstErr
+	// cache overrides the process-wide run cache when the scale opts into
+	// warm-fork execution; nil selects runner.Shared(). One engine tree
+	// shares one cache, so warm-fork images and warm-fork results never
+	// leak into the shared cold-run cache (the two protocols differ).
+	cache *runner.Cache
 
 	mu      sync.Mutex
 	runners map[int]*workload.Runner
@@ -263,14 +275,20 @@ func (f *firstErr) get() error {
 func newEngine(sc Scale) *engine {
 	// One host-core budget across both parallelism levels: a defaulted
 	// Workers shrinks with the shard width instead of stacking on top of it.
-	return &engine{sc: sc, pool: runner.NewPool(runner.BudgetedWorkers(sc.Workers, sc.ShardWorkers)),
+	e := &engine{sc: sc, pool: runner.NewPool(runner.BudgetedWorkers(sc.Workers, sc.ShardWorkers)),
 		fail: &firstErr{}, runners: map[int]*workload.Runner{}}
+	if sc.WarmFork {
+		e.cache = runner.NewCache()
+		e.cache.WarmFork = true
+	}
+	return e
 }
 
 // sub derives an engine for a modified scale (different core count, say)
-// sharing the worker pool and error sink but not the runner templates.
+// sharing the worker pool, error sink and run cache but not the runner
+// templates.
 func (e *engine) sub(sc Scale) *engine {
-	return &engine{sc: sc, pool: e.pool, fail: e.fail,
+	return &engine{sc: sc, pool: e.pool, fail: e.fail, cache: e.cache,
 		runners: map[int]*workload.Runner{}}
 }
 
@@ -282,6 +300,7 @@ func (e *engine) at(paperCh int) *workload.Runner {
 		return r
 	}
 	r := workload.NewRunner(template(e.sc, paperCh))
+	r.Cache = e.cache
 	e.runners[paperCh] = r
 	return r
 }

@@ -1,0 +1,28 @@
+package hermes
+
+import "clip/internal/snapshot"
+
+// Save serializes the perceptron weights and counters (the activation
+// threshold is a construction-time constant).
+func (p *Predictor) Save(w *snapshot.Writer) {
+	for t := range p.tables {
+		w.I8s(p.tables[t][:])
+	}
+	w.U64(p.stats.Predictions)
+	w.U64(p.stats.PredOffChip)
+	w.U64(p.stats.TruePos)
+	w.U64(p.stats.FalsePos)
+	w.U64(p.stats.FalseNeg)
+}
+
+// Load restores the predictor.
+func (p *Predictor) Load(r *snapshot.Reader) {
+	for t := range p.tables {
+		r.I8s(p.tables[t][:])
+	}
+	p.stats.Predictions = r.U64()
+	p.stats.PredOffChip = r.U64()
+	p.stats.TruePos = r.U64()
+	p.stats.FalsePos = r.U64()
+	p.stats.FalseNeg = r.U64()
+}

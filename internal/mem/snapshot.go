@@ -1,0 +1,98 @@
+package mem
+
+import "clip/internal/snapshot"
+
+// Save serializes the PRNG (one word: SplitMix64 is its state).
+func (p *PRNG) Save(w *snapshot.Writer) {
+	w.U64(p.state)
+}
+
+// Load restores the PRNG.
+func (p *PRNG) Load(r *snapshot.Reader) {
+	p.state = r.U64()
+}
+
+// SaveRing serializes a Ring's logical content: length, then elements
+// front-to-back via elem. Buffer geometry (head position, capacity) is not
+// observable through the Ring API, so it is not captured; SaveRing/LoadRing
+// round-trip the queue, not the buffer.
+func SaveRing[T any](w *snapshot.Writer, r *Ring[T], elem func(*T)) {
+	w.Int(r.n)
+	for i := 0; i < r.n; i++ {
+		elem(r.At(i))
+	}
+}
+
+// LoadRing restores a Ring saved by SaveRing, reusing the existing buffer
+// (growing it if the saved queue is deeper). elem decodes one element into
+// the pushed slot.
+func LoadRing[T any](r *snapshot.Reader, q *Ring[T], elem func(*T)) {
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if n < 0 || n > 1<<28 {
+		r.Fail(snapshot.ErrCorrupt)
+		return
+	}
+	// Reset to empty, reusing the buffer.
+	for q.n > 0 {
+		q.PopFront()
+	}
+	q.head = 0
+	q.Grow(n)
+	var zero T
+	for i := 0; i < n; i++ {
+		q.Push(zero)
+		elem(q.At(i))
+		if r.Err() != nil {
+			return
+		}
+	}
+}
+
+// SaveRequest writes one Request field-for-field.
+func SaveRequest(w *snapshot.Writer, q *Request) {
+	w.U64(uint64(q.Addr))
+	w.U64(q.IP)
+	w.U64(q.TriggerIP)
+	w.U64(q.IssueCycle)
+	w.Int(q.Core)
+	w.Int(q.ROBIndex)
+	w.U8(uint8(q.Type))
+	w.Bool(q.Critical)
+	w.U8(uint8(q.FillLevel))
+	w.Bool(q.Owned)
+}
+
+// LoadRequest reads one Request.
+func LoadRequest(r *snapshot.Reader, q *Request) {
+	q.Addr = Addr(r.U64())
+	q.IP = r.U64()
+	q.TriggerIP = r.U64()
+	q.IssueCycle = r.U64()
+	q.Core = r.Int()
+	q.ROBIndex = r.Int()
+	q.Type = AccessType(r.U8())
+	q.Critical = r.Bool()
+	q.FillLevel = Level(r.U8())
+	q.Owned = r.Bool()
+}
+
+// SaveResponse writes one Response.
+func SaveResponse(w *snapshot.Writer, resp *Response) {
+	SaveRequest(w, &resp.Req)
+	w.U8(uint8(resp.ServedBy))
+	w.U64(resp.DoneCycle)
+	w.Bool(resp.WasPrefetch)
+	w.Bool(resp.LatePF)
+}
+
+// LoadResponse reads one Response.
+func LoadResponse(r *snapshot.Reader, resp *Response) {
+	LoadRequest(r, &resp.Req)
+	resp.ServedBy = Level(r.U8())
+	resp.DoneCycle = r.U64()
+	resp.WasPrefetch = r.Bool()
+	resp.LatePF = r.Bool()
+}

@@ -31,6 +31,7 @@ func Fingerprint(cfg *sim.Config) string {
 type CacheStats struct {
 	Executions uint64 // simulations actually run
 	Hits       uint64 // served from memory (or by waiting on an in-flight run)
+	Warmups    uint64 // warmup images actually built (warm-fork mode)
 }
 
 // Cache memoizes simulation results by configuration fingerprint with
@@ -42,9 +43,20 @@ type CacheStats struct {
 // which the whole repository already does: a sim.Result is only ever read
 // after Run returns.
 type Cache struct {
-	runs  Memo[string, *sim.Result]
-	execs atomic.Uint64
-	hits  atomic.Uint64
+	// WarmFork enables warmup-once-fork-many execution: every configuration
+	// with a warmup budget is canonicalized to its mechanism-free warmup core
+	// (sim.WarmupConfig), the warmed image is built once per core and cached,
+	// and each variant forks from the image instead of re-running the warmup.
+	// All variants of one figure point — same workloads, seed and geometry,
+	// different mechanisms — therefore share a single warmup execution. Set
+	// before first use; flipping it mid-flight would mix protocols.
+	WarmFork bool
+
+	runs    Memo[string, *sim.Result]
+	images  Memo[string, []byte]
+	execs   atomic.Uint64
+	hits    atomic.Uint64
+	warmups atomic.Uint64
 }
 
 // NewCache builds an empty cache.
@@ -58,7 +70,7 @@ func (c *Cache) Run(cfg sim.Config) (*sim.Result, error) {
 	res, err := c.runs.Do(key, func() (*sim.Result, error) {
 		executed = true
 		c.execs.Add(1)
-		return sim.Run(cfg)
+		return c.simulate(cfg)
 	})
 	if !executed {
 		c.hits.Add(1)
@@ -66,9 +78,31 @@ func (c *Cache) Run(cfg sim.Config) (*sim.Result, error) {
 	return res, err
 }
 
+// simulate performs one simulation: a straight sim.Run, or — in warm-fork
+// mode — a fork from the memoized warmup image shared by every variant with
+// the same canonical warmup configuration.
+func (c *Cache) simulate(cfg sim.Config) (*sim.Result, error) {
+	if !c.WarmFork || cfg.WarmupInstr == 0 {
+		return sim.Run(cfg)
+	}
+	wcfg := sim.WarmupConfig(cfg)
+	image, err := c.images.Do(Fingerprint(&wcfg), func() ([]byte, error) {
+		c.warmups.Add(1)
+		return sim.WarmupImage(wcfg)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: warm-fork warmup: %w", err)
+	}
+	return sim.RunFromImage(cfg, image)
+}
+
 // Stats returns a snapshot of the traffic counters.
 func (c *Cache) Stats() CacheStats {
-	return CacheStats{Executions: c.execs.Load(), Hits: c.hits.Load()}
+	return CacheStats{
+		Executions: c.execs.Load(),
+		Hits:       c.hits.Load(),
+		Warmups:    c.warmups.Load(),
+	}
 }
 
 // Len returns the number of distinct configurations cached or in flight.

@@ -72,6 +72,9 @@ type System struct {
 	cycle        uint64
 	measureStart uint64
 	attachL2     bool
+	// warmed flips at the warmup barrier; it is part of serialized state so
+	// a snapshot taken mid-warmup restores into the right loop phase.
+	warmed bool
 
 	// skip enables event-horizon cycle skipping (Config.DisableSkip off):
 	// quiescent components are tick-skipped every cycle, and Run jumps the
@@ -132,6 +135,7 @@ func NewSystem(cfg Config) (*System, error) {
 		hermesBypass: map[uint64]int{},
 		epochPrev:    make([]epochSnapshot, n),
 		attachL2:     prefetchAttachL2(cfg.Prefetcher),
+		warmed:       cfg.WarmupInstr == 0,
 	}
 
 	// DRAM responses are held until their DoneCycle, then routed to the
@@ -598,6 +602,63 @@ func (s *System) resetStats() {
 	}
 }
 
+// MaxCycles resolves the configured cycle bound (the safety net of the run
+// loop): Config.MaxCycles when set, otherwise derived from the instruction
+// budget.
+func (s *System) MaxCycles() uint64 {
+	if s.cfg.MaxCycles != 0 {
+		return s.cfg.MaxCycles
+	}
+	maxCycles := (s.cfg.WarmupInstr + s.cfg.InstrPerCore) * 300
+	if maxCycles < 2_000_000 {
+		maxCycles = 2_000_000
+	}
+	return maxCycles
+}
+
+// warmupBarrier transitions the system from warmup into measurement: zero
+// counters, extend budgets, re-arm the finished counter (ExtendBudget resets
+// each core's trigger).
+func (s *System) warmupBarrier() {
+	s.warmed = true
+	s.resetStats()
+	s.measureStart = s.cycle
+	s.finished = 0
+	for _, c := range s.cores {
+		c.ExtendBudget(s.cfg.InstrPerCore)
+	}
+}
+
+// Step advances the run loop by one iteration — one Tick plus the barrier
+// and skip handling — and reports whether the run continues. Extracting the
+// loop body lets checkpoint tests pause a run at an arbitrary iteration with
+// the exact semantics of Run.
+func (s *System) Step(maxCycles uint64) bool {
+	if s.cycle >= maxCycles {
+		return false
+	}
+	s.Tick()
+	if s.Finished() {
+		if s.warmed {
+			return false
+		}
+		s.warmupBarrier()
+		return true
+	}
+	if s.skip && s.coresTicked == 0 {
+		// Every core was quiescent this cycle — worth probing for a
+		// global jump. (While any core is active the horizon is "now"
+		// and the fold would be wasted work on the hot path.)
+		s.skipAhead(maxCycles)
+	}
+	return true
+}
+
+func (s *System) runLoop(maxCycles uint64) {
+	for s.Step(maxCycles) {
+	}
+}
+
 // Run executes the configured simulation.
 func Run(cfg Config) (*Result, error) {
 	s, err := NewSystem(cfg)
@@ -605,39 +666,84 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer s.Close()
-	maxCycles := cfg.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = (cfg.WarmupInstr + cfg.InstrPerCore) * 300
-		if maxCycles < 2_000_000 {
-			maxCycles = 2_000_000
-		}
-	}
+	s.runLoop(s.MaxCycles())
+	return s.collect(), nil
+}
 
-	warmed := cfg.WarmupInstr == 0
-	for s.cycle < maxCycles {
+// WarmupConfig canonicalizes a configuration down to its warmup-relevant
+// core: every mechanism is stripped and the execution-mode knobs are zeroed,
+// so all variants of one figure point — which share workloads, seeds and
+// geometry but differ in mechanisms — map to the same warmup configuration
+// and can fork from one warmed image.
+func WarmupConfig(cfg Config) Config {
+	c := cfg
+	c.Prefetcher = "none"
+	c.CLIP = nil
+	c.CLIPAutoWindow = false
+	c.CritPredictor = ""
+	c.ScorePredictors = false
+	c.Throttler = ""
+	c.ThrottleEpoch = 0
+	c.Hermes = false
+	c.DSPatch = false
+	c.DynamicCLIP = false
+	c.NoCCriticalPriority = true
+	c.DRAMCriticalPriority = true
+	c.MaxCycles = 0
+	c.DisableSkip = false
+	c.ShardWorkers = 0
+	return c
+}
+
+// WarmupImage runs cfg's warmup phase to completion and serializes the
+// system at the warmup barrier — the instant the last core retires its
+// warmup budget, before counters are zeroed. Restoring the image and
+// crossing the barrier is byte-identical to having run the warmup in
+// process (the warm-fork equivalence test pins this).
+func WarmupImage(cfg Config) ([]byte, error) {
+	if cfg.WarmupInstr == 0 {
+		return nil, fmt.Errorf("sim: WarmupImage requires WarmupInstr > 0")
+	}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	maxCycles := s.MaxCycles()
+	for s.cycle < maxCycles && !s.Finished() {
 		s.Tick()
 		if s.Finished() {
-			if warmed {
-				break
-			}
-			// Warmup barrier: zero counters, extend budgets, re-arm the
-			// finished counter (ExtendBudget resets each core's trigger).
-			warmed = true
-			s.resetStats()
-			s.measureStart = s.cycle
-			s.finished = 0
-			for _, c := range s.cores {
-				c.ExtendBudget(cfg.InstrPerCore)
-			}
-			continue
+			break
 		}
 		if s.skip && s.coresTicked == 0 {
-			// Every core was quiescent this cycle — worth probing for a
-			// global jump. (While any core is active the horizon is "now"
-			// and the fold would be wasted work on the hot path.)
 			s.skipAhead(maxCycles)
 		}
 	}
+	if !s.Finished() {
+		return nil, fmt.Errorf("sim: warmup did not complete within %d cycles", maxCycles)
+	}
+	return s.SaveState()
+}
+
+// RunFromImage restores a warmup image (or any SaveState stream) into a
+// fresh system built from cfg and runs it to completion. A mid-warmup image
+// crosses the warmup barrier first, exactly as Run would have.
+func RunFromImage(cfg Config, image []byte) (*Result, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if err := s.LoadState(image); err != nil {
+		return nil, err
+	}
+	if !s.warmed {
+		if !s.Finished() {
+			return nil, fmt.Errorf("sim: image paused mid-warmup; resume it with LoadState+Step")
+		}
+		s.warmupBarrier()
+	}
+	s.runLoop(s.MaxCycles())
 	return s.collect(), nil
 }
 

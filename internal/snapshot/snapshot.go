@@ -1,0 +1,508 @@
+// Package snapshot is the versioned binary codec behind deterministic
+// checkpoint/restore of simulator state (DESIGN.md §12).
+//
+// The format is deliberately simple: a magic+version header, then a flat
+// little-endian stream of fixed-width primitives produced by Writer and
+// consumed by Reader. Writer and Reader expose the *same method names*
+// (U64, U32, I64, Bool, ...) so a component's Save and Load bodies are
+// line-for-line mirrors of each other; the clipvet snapsym analyzer checks
+// that the two call sequences stay structurally identical, and the
+// equivalence matrix in internal/sim checks the semantics.
+//
+// Sections give the stream a skippable, length-prefixed coarse structure:
+// a reader that does not understand (or does not want) a section can skip
+// it wholesale, which is how optional mechanism state (CLIP, Hermes,
+// throttlers) stays forward-compatible with configs that lack it.
+//
+// Error handling is sticky on both sides: the first failure latches and
+// every subsequent call is a cheap no-op, so Save/Load bodies stay free of
+// error plumbing and the caller checks once at the end. A Reader never
+// panics on truncated or corrupt input — it latches ErrCorrupt — which the
+// fuzz tests pin down.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Magic identifies a snapshot stream ("CLPS" | version byte appended).
+const Magic = 0x43_4C_50_53 // "CLPS"
+
+// Version is the current format version. Bump on any layout change; old
+// versions are rejected at Open (checkpoints are cheap to regenerate, so
+// there is no migration machinery).
+const Version = 1
+
+// ErrCorrupt is latched by a Reader on truncated or malformed input.
+var ErrCorrupt = errors.New("snapshot: corrupt or truncated stream")
+
+// maxSliceLen bounds decoded element counts so a corrupt length prefix
+// cannot drive a giant allocation before the per-element reads fail.
+const maxSliceLen = 1 << 28
+
+// Writer serializes into an in-memory buffer.
+type Writer struct {
+	buf []byte
+	err error
+}
+
+// NewWriter returns a Writer with the magic+version header already emitted.
+func NewWriter() *Writer {
+	w := &Writer{buf: make([]byte, 0, 1<<16)}
+	w.U32(Magic)
+	w.U32(Version)
+	return w
+}
+
+// Bytes returns the encoded stream and the first latched error, if any.
+func (w *Writer) Bytes() ([]byte, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	return w.buf, nil
+}
+
+// Fail latches err (used by components that discover unserializable state,
+// e.g. a live NoC packet carrying a closure).
+func (w *Writer) Fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// Err returns the latched error.
+func (w *Writer) Err() error { return w.err }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	if w.err != nil {
+		return
+	}
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	if w.err != nil {
+		return
+	}
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U16 appends a little-endian uint16.
+func (w *Writer) U16(v uint16) {
+	if w.err != nil {
+		return
+	}
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, v)
+}
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) {
+	if w.err != nil {
+		return
+	}
+	w.buf = append(w.buf, v)
+}
+
+// I64 appends an int64 (two's-complement bit pattern).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// I32 appends an int32.
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// I8 appends an int8.
+func (w *Writer) I8(v int8) { w.U8(uint8(v)) }
+
+// Int appends an int as 64 bits.
+func (w *Writer) Int(v int) { w.U64(uint64(v)) }
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// F64 appends a float64 by bit pattern (exact round-trip, NaN included).
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes8 appends a length-prefixed byte slice.
+func (w *Writer) Bytes8(b []byte) {
+	w.Int(len(b))
+	if w.err != nil {
+		return
+	}
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Int(len(s))
+	if w.err != nil {
+		return
+	}
+	w.buf = append(w.buf, s...)
+}
+
+// U64s appends a length-prefixed []uint64 (slabs, bitmap words, columns).
+func (w *Writer) U64s(vs []uint64) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.U64(v)
+	}
+}
+
+// U8s appends a length-prefixed []uint8 column.
+func (w *Writer) U8s(vs []uint8) {
+	w.Int(len(vs))
+	if w.err != nil {
+		return
+	}
+	w.buf = append(w.buf, vs...)
+}
+
+// I32s appends a length-prefixed []int32 column.
+func (w *Writer) I32s(vs []int32) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.I32(v)
+	}
+}
+
+// I8s appends a length-prefixed []int8 table.
+func (w *Writer) I8s(vs []int8) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.I8(v)
+	}
+}
+
+// Bools appends a length-prefixed []bool.
+func (w *Writer) Bools(vs []bool) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.Bool(v)
+	}
+}
+
+// Section brackets fn's output with a tag and a length prefix, so readers
+// can verify they are aligned on the same section (Tag) and skip sections
+// they do not consume (SkipSection). The length is patched in after fn runs.
+func (w *Writer) Section(tag string, fn func()) {
+	w.String(tag)
+	if w.err != nil {
+		return
+	}
+	at := len(w.buf)
+	w.U64(0) // length placeholder
+	fn()
+	if w.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(w.buf[at:], uint64(len(w.buf)-at-8))
+}
+
+// Reader decodes a stream produced by Writer. All methods are safe on
+// corrupt input: the first out-of-bounds or malformed read latches
+// ErrCorrupt and subsequent calls return zero values.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps buf, checking the magic+version header.
+func NewReader(buf []byte) (*Reader, error) {
+	r := &Reader{buf: buf}
+	if m := r.U32(); m != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %#x: %w", m, ErrCorrupt)
+	}
+	if v := r.U32(); v != Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", v, Version)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r, nil
+}
+
+// Err returns the latched error.
+func (r *Reader) Err() error { return r.err }
+
+// Fail latches err.
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// corrupt latches ErrCorrupt with context.
+func (r *Reader) corrupt(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snapshot: reading %s at offset %d: %w", what, r.off, ErrCorrupt)
+	}
+}
+
+// Done reports whether the stream was fully consumed without error.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("snapshot: %d trailing bytes: %w", len(r.buf)-r.off, ErrCorrupt)
+	}
+	return nil
+}
+
+// U64 reads a uint64.
+func (r *Reader) U64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.corrupt("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// U32 reads a uint32.
+func (r *Reader) U32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.corrupt("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// U16 reads a uint16.
+func (r *Reader) U16() uint16 {
+	if r.err != nil || r.off+2 > len(r.buf) {
+		r.corrupt("u16")
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.corrupt("u8")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// I32 reads an int32.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// I8 reads an int8.
+func (r *Reader) I8() int8 { return int8(r.U8()) }
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(int64(r.U64())) }
+
+// Bool reads a bool; any byte other than 0/1 is corrupt.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.corrupt("bool")
+		return false
+	}
+}
+
+// F64 reads a float64 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// sliceLen validates a decoded element count against the remaining input
+// (elemSize is a lower bound on the encoded size per element).
+func (r *Reader) sliceLen(what string, elemSize int) int {
+	n := r.Int()
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > maxSliceLen || n*elemSize > len(r.buf)-r.off {
+		r.corrupt(what)
+		return 0
+	}
+	return n
+}
+
+// Bytes8 reads a length-prefixed byte slice (a fresh copy).
+func (r *Reader) Bytes8() []byte {
+	n := r.sliceLen("bytes", 1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:])
+	r.off += n
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.sliceLen("string", 1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// U64s reads a length-prefixed []uint64 into dst, which must have exactly
+// the encoded length (columns and slabs are geometry-fixed, so a length
+// mismatch means the snapshot belongs to a different configuration).
+func (r *Reader) U64s(dst []uint64) {
+	n := r.sliceLen("u64 slice", 8)
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.corrupt("u64 slice length")
+		return
+	}
+	for i := range dst {
+		dst[i] = r.U64()
+	}
+}
+
+// U64sVar reads a length-prefixed []uint64 of any length (content queues).
+func (r *Reader) U64sVar() []uint64 {
+	n := r.sliceLen("u64 slice", 8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.U64()
+	}
+	return out
+}
+
+// U8s reads a length-prefixed []uint8 into dst (exact length).
+func (r *Reader) U8s(dst []uint8) {
+	n := r.sliceLen("u8 slice", 1)
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.corrupt("u8 slice length")
+		return
+	}
+	copy(dst, r.buf[r.off:r.off+n])
+	r.off += n
+}
+
+// I32s reads a length-prefixed []int32 into dst (exact length).
+func (r *Reader) I32s(dst []int32) {
+	n := r.sliceLen("i32 slice", 4)
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.corrupt("i32 slice length")
+		return
+	}
+	for i := range dst {
+		dst[i] = r.I32()
+	}
+}
+
+// I8s reads a length-prefixed []int8 into dst (exact length).
+func (r *Reader) I8s(dst []int8) {
+	n := r.sliceLen("i8 slice", 1)
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.corrupt("i8 slice length")
+		return
+	}
+	for i := range dst {
+		dst[i] = r.I8()
+	}
+}
+
+// Bools reads a length-prefixed []bool into dst (exact length).
+func (r *Reader) Bools(dst []bool) {
+	n := r.sliceLen("bool slice", 1)
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.corrupt("bool slice length")
+		return
+	}
+	for i := range dst {
+		dst[i] = r.Bool()
+	}
+}
+
+// Section checks the next section's tag and runs fn over its body,
+// verifying fn consumed exactly the recorded length.
+func (r *Reader) Section(tag string, fn func()) {
+	if got := r.String(); r.err == nil && got != tag {
+		r.Fail(fmt.Errorf("snapshot: section %q, expected %q: %w", got, tag, ErrCorrupt))
+	}
+	n := r.U64()
+	if r.err != nil {
+		return
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.corrupt("section length")
+		return
+	}
+	end := r.off + int(n)
+	fn()
+	if r.err == nil && r.off != end {
+		r.Fail(fmt.Errorf("snapshot: section %q consumed %d of %d bytes: %w",
+			tag, int(n)-(end-r.off), n, ErrCorrupt))
+	}
+}
+
+// NextSection peeks the next section tag without consuming anything.
+func (r *Reader) NextSection() (string, bool) {
+	if r.err != nil {
+		return "", false
+	}
+	saveOff := r.off
+	tag := r.String()
+	ok := r.err == nil
+	r.off, r.err = saveOff, nil
+	return tag, ok
+}
+
+// SkipSection skips one section wholesale, returning its tag.
+func (r *Reader) SkipSection() string {
+	tag := r.String()
+	n := r.U64()
+	if r.err != nil {
+		return tag
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.corrupt("section length")
+		return tag
+	}
+	r.off += int(n)
+	return tag
+}

@@ -1,0 +1,17 @@
+package stats
+
+import "clip/internal/snapshot"
+
+// Save serializes the accumulator.
+func (l *LatencyAcc) Save(w *snapshot.Writer) {
+	w.U64(l.Sum)
+	w.U64(l.Count)
+	w.U64(l.Max)
+}
+
+// Load restores the accumulator.
+func (l *LatencyAcc) Load(r *snapshot.Reader) {
+	l.Sum = r.U64()
+	l.Count = r.U64()
+	l.Max = r.U64()
+}
